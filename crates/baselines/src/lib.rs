@@ -1,0 +1,34 @@
+//! # baselines — the comparison queues from the wCQ evaluation (§6)
+//!
+//! Every algorithm the paper benchmarks against, implemented from scratch:
+//!
+//! | Module | Algorithm | Progress | Notes |
+//! |--------|-----------|----------|-------|
+//! | [`faa`] | F&A counters only | wait-free | not a real queue: the paper's throughput "upper bound" |
+//! | [`msqueue`] | Michael & Scott 1996 | lock-free | hazard-pointer reclamation |
+//! | [`ccqueue`] | Fatourou & Kallimanis CC-Synch 2012 | blocking (combining) | |
+//! | [`lcrq`] | Morrison & Afek 2013 | lock-free | CRQ rings + MS outer list, CAS2 per cell |
+//! | [`ymc`] | Yang & Mellor-Crummey 2016 | see DESIGN.md §3.4 | segment list + the paper-noted reclamation flaw |
+//! | [`crturn`] | Ramalhete & Correia 2016/17 | wait-free enqueue, lock-free dequeue (see DESIGN.md §3.4) | hazard pointers |
+//!
+//! SCQ — also a baseline — lives in the `wcq` crate (`wcq::ScqQueue`), since
+//! it is simultaneously the substrate wCQ builds on.
+//!
+//! All queues here store `u64` values (the benchmarks enqueue pointer-sized
+//! payloads, as in the paper's test framework).
+
+#![warn(missing_docs)]
+
+pub mod ccqueue;
+pub mod crturn;
+pub mod faa;
+pub mod lcrq;
+pub mod msqueue;
+pub mod ymc;
+
+pub use ccqueue::CcQueue;
+pub use crturn::CrTurnQueue;
+pub use faa::FaaQueue;
+pub use lcrq::Lcrq;
+pub use msqueue::MsQueue;
+pub use ymc::YmcQueue;

@@ -1,0 +1,171 @@
+//! Ablation benches for the design choices DESIGN.md §5 calls out:
+//! MAX_PATIENCE, HELP_DELAY, MAX_CATCHUP, Cache_Remap, and the dwcas
+//! backend's primitive costs.
+//!
+//! All queue-level ablations run the pairwise workload on a small thread
+//! count through `iter_custom` (criterion drives repetitions, our harness
+//! drives the threads).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use harness::queues::{QueueSpec, ScqBench, WcqBench};
+use harness::workload::{run, Workload, WorkloadCfg};
+use std::time::Duration;
+use wcq::WcqConfig;
+
+const THREADS: usize = 2;
+const OPS: u64 = 20_000;
+
+fn wl_cfg() -> WorkloadCfg {
+    WorkloadCfg {
+        threads: THREADS,
+        ops_per_thread: OPS,
+        prefill: 0,
+        max_delay_spins: 0,
+        seed: 42,
+        pin: false,
+    }
+}
+
+fn pairwise_elapsed(cfg: &WcqConfig, iters: u64) -> Duration {
+    let spec = QueueSpec {
+        max_threads: THREADS + 1,
+        ring_order: 12,
+        cfg: *cfg,
+    };
+    let mut total = Duration::ZERO;
+    for _ in 0..iters {
+        let q = WcqBench::new(&spec);
+        total += run(&q, Workload::Pairwise, &wl_cfg()).elapsed;
+    }
+    total
+}
+
+fn ablate_patience(c: &mut Criterion) {
+    let mut g = c.benchmark_group("patience");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(2));
+    for patience in [1u32, 4, 16, 64, 256] {
+        let cfg = WcqConfig {
+            max_patience_enq: patience,
+            max_patience_deq: patience,
+            ..WcqConfig::default()
+        };
+        g.bench_with_input(
+            BenchmarkId::from_parameter(patience),
+            &cfg,
+            |b, cfg| b.iter_custom(|iters| pairwise_elapsed(cfg, iters)),
+        );
+    }
+    g.finish();
+}
+
+fn ablate_help_delay(c: &mut Criterion) {
+    let mut g = c.benchmark_group("help_delay");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(2));
+    for delay in [0u32, 4, 16, 128] {
+        let cfg = WcqConfig {
+            help_delay: delay,
+            ..WcqConfig::default()
+        };
+        g.bench_with_input(BenchmarkId::from_parameter(delay), &cfg, |b, cfg| {
+            b.iter_custom(|iters| pairwise_elapsed(cfg, iters))
+        });
+    }
+    g.finish();
+}
+
+fn ablate_catchup(c: &mut Criterion) {
+    let mut g = c.benchmark_group("catchup");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(2));
+    for catchup in [0u32, 4, 16, 64] {
+        let cfg = WcqConfig {
+            max_catchup: catchup,
+            ..WcqConfig::default()
+        };
+        g.bench_with_input(BenchmarkId::from_parameter(catchup), &cfg, |b, cfg| {
+            b.iter_custom(|iters| pairwise_elapsed(cfg, iters))
+        });
+    }
+    g.finish();
+}
+
+fn ablate_remap(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cache_remap");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(2));
+    for (label, remap) in [("on", true), ("off", false)] {
+        // wCQ
+        let cfg = WcqConfig {
+            remap,
+            ..WcqConfig::default()
+        };
+        g.bench_with_input(BenchmarkId::new("wcq", label), &cfg, |b, cfg| {
+            b.iter_custom(|iters| pairwise_elapsed(cfg, iters))
+        });
+        // SCQ
+        g.bench_with_input(BenchmarkId::new("scq", label), &cfg, |b, cfg| {
+            b.iter_custom(|iters| {
+                let spec = QueueSpec {
+                    max_threads: THREADS + 1,
+                    ring_order: 12,
+                    cfg: *cfg,
+                };
+                let mut total = Duration::ZERO;
+                for _ in 0..iters {
+                    let q = ScqBench::new(&spec);
+                    total += run(&q, Workload::Pairwise, &wl_cfg()).elapsed;
+                }
+                total
+            })
+        });
+    }
+    g.finish();
+}
+
+fn dwcas_primitives(c: &mut Criterion) {
+    let mut g = c.benchmark_group(format!("dwcas[{}]", dwcas::BACKEND));
+    let pair = dwcas::AtomicPair::new(0, 0);
+    g.bench_function("fetch_add_lo", |b| {
+        b.iter(|| std::hint::black_box(pair.fetch_add_lo(1)))
+    });
+    g.bench_function("load2", |b| b.iter(|| std::hint::black_box(pair.load2())));
+    g.bench_function("cas2_success", |b| {
+        b.iter(|| {
+            let cur = pair.load2();
+            std::hint::black_box(pair.compare_exchange2(cur, (cur.0 + 1, cur.1)))
+        })
+    });
+    // Baseline: plain word CAS for comparison.
+    let word = std::sync::atomic::AtomicU64::new(0);
+    g.bench_function("word_cas_baseline", |b| {
+        b.iter(|| {
+            let cur = word.load(std::sync::atomic::Ordering::SeqCst);
+            std::hint::black_box(
+                word.compare_exchange(
+                    cur,
+                    cur + 1,
+                    std::sync::atomic::Ordering::SeqCst,
+                    std::sync::atomic::Ordering::SeqCst,
+                )
+                .is_ok(),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    ablate_patience,
+    ablate_help_delay,
+    ablate_catchup,
+    ablate_remap,
+    dwcas_primitives
+);
+criterion_main!(benches);

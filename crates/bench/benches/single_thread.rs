@@ -1,0 +1,50 @@
+//! Single-threaded enqueue+dequeue latency per queue — the uncontended
+//! floor each design pays (corresponds to the `threads = 1` points of the
+//! paper's throughput figures).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use harness::queues::{
+    BenchQueue, CcBench, CrTurnBench, FaaBench, LcrqBench, MsBench, QueueHandle, QueueSpec,
+    ScqBench, WcqBench, YmcBench,
+};
+
+fn spec() -> QueueSpec {
+    QueueSpec {
+        max_threads: 2,
+        ring_order: 12,
+        cfg: wcq::WcqConfig::default(),
+    }
+}
+
+fn bench_queue<Q: BenchQueue>(c: &mut Criterion, q: &Q) {
+    let mut h = q.handle();
+    c.bench_function(&format!("pair1t/{}", q.name()), |b| {
+        b.iter(|| {
+            let _ = std::hint::black_box(h.enqueue(7));
+            std::hint::black_box(h.dequeue())
+        })
+    });
+}
+
+fn single_thread(c: &mut Criterion) {
+    let s = spec();
+    bench_queue(c, &FaaBench::new(&s));
+    bench_queue(c, &WcqBench::new(&s));
+    bench_queue(c, &ScqBench::new(&s));
+    bench_queue(c, &LcrqBench::new(&s));
+    bench_queue(c, &YmcBench::new(&s));
+    bench_queue(c, &MsBench::new(&s));
+    bench_queue(c, &CcBench::new(&s));
+    bench_queue(c, &CrTurnBench::new(&s));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(20);
+    targets = single_thread
+}
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Runs every figure panel back-to-back (the `cargo bench`-adjacent smoke
+//! harness used to produce `bench_output.txt`).
+//!
+//! Respects the same `WCQ_BENCH_*` environment knobs as the individual
+//! binaries. Note that Figure 12's faithful run needs the `portable`
+//! feature; without it this binary still prints the panel but marks it as
+//! the hardware-CAS2 variant.
+
+use bench::{print_env_banner, run_figure, BenchOpts, QueueSet, LADDER_PPC, LADDER_X86};
+use harness::workload::Workload;
+
+#[global_allocator]
+static ALLOC: harness::alloc::CountingAlloc = harness::alloc::CountingAlloc;
+
+fn main() {
+    print_env_banner("All figures");
+
+    // Figure 10: memory test.
+    let mut opts = BenchOpts::from_env(LADDER_X86);
+    opts.delay = 64;
+    let s = run_figure(Workload::Mixed5050, QueueSet::Full, &opts, true);
+    s.print_mem("Figure 10a: Memory usage");
+    s.print_tput("Figure 10b: Throughput (memory test)");
+
+    // Figure 11: x86 throughput.
+    let opts = BenchOpts::from_env(LADDER_X86);
+    run_figure(Workload::EmptyDequeue, QueueSet::Full, &opts, false)
+        .print_tput("Figure 11a: Empty Dequeue throughput");
+    run_figure(Workload::Pairwise, QueueSet::Full, &opts, false)
+        .print_tput("Figure 11b: Pairwise Enqueue-Dequeue");
+    run_figure(Workload::Mixed5050, QueueSet::Full, &opts, false)
+        .print_tput("Figure 11c: 50%/50% Enqueue-Dequeue");
+
+    // Figure 12: PPC substitution ladder (portable backend when built with
+    // `--features portable`).
+    let opts = BenchOpts::from_env(LADDER_PPC);
+    let tag = if dwcas::HARDWARE_CAS2 {
+        " [hardware-CAS2 build — rebuild with --features portable for the substitution]"
+    } else {
+        " [portable backend]"
+    };
+    run_figure(Workload::EmptyDequeue, QueueSet::NoLcrq, &opts, false)
+        .print_tput(&format!("Figure 12a: Empty Dequeue{tag}"));
+    run_figure(Workload::Pairwise, QueueSet::NoLcrq, &opts, false)
+        .print_tput(&format!("Figure 12b: Pairwise{tag}"));
+    run_figure(Workload::Mixed5050, QueueSet::NoLcrq, &opts, false)
+        .print_tput(&format!("Figure 12c: 50%/50%{tag}"));
+}

@@ -1,0 +1,36 @@
+//! Figure 10 — memory test, x86-64 (paper §6, Figs. 10a/10b).
+//!
+//! Workload: enqueue/dequeue chosen randomly (50/50) with tiny random
+//! delays between operations, "standard malloc" (here: the counting
+//! allocator wrapping the system allocator so we can census per-queue
+//! usage).
+//!
+//! * Panel (a): memory consumed per queue as threads grow. Expected shape:
+//!   LCRQ balloons (closed rings), YMC grows (pinned segments), wCQ/SCQ
+//!   stay flat at ring size (wCQ ≈ 2× SCQ: 16-byte entry pairs).
+//! * Panel (b): throughput of the same runs.
+//!
+//! Usage: `cargo run --release -p bench --bin figure10 [-- --panel mem|tput]`
+
+use bench::{print_env_banner, run_figure, BenchOpts, QueueSet, LADDER_X86};
+use harness::workload::Workload;
+
+#[global_allocator]
+static ALLOC: harness::alloc::CountingAlloc = harness::alloc::CountingAlloc;
+
+fn main() {
+    let panel = std::env::args()
+        .skip_while(|a| a != "--panel")
+        .nth(1)
+        .unwrap_or_else(|| "both".into());
+    let mut opts = BenchOpts::from_env(LADDER_X86);
+    opts.delay = 64; // the paper's "tiny random delays"
+    print_env_banner("Figure 10: memory test (random 50/50 ops, tiny random delays)");
+    let series = run_figure(Workload::Mixed5050, QueueSet::Full, &opts, true);
+    if panel == "mem" || panel == "both" {
+        series.print_mem("Figure 10a: Memory usage");
+    }
+    if panel == "tput" || panel == "both" {
+        series.print_tput("Figure 10b: Throughput");
+    }
+}

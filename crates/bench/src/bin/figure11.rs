@@ -1,0 +1,32 @@
+//! Figure 11 — throughput on x86-64 (paper §6, Figs. 11a/11b/11c).
+//!
+//! * (a) empty-queue dequeue in a tight loop — wCQ/SCQ dominate via the
+//!   threshold fast path; FAA is poor (still pays the RMW).
+//! * (b) pairwise enqueue–dequeue.
+//! * (c) 50%/50% random enqueue/dequeue.
+//!
+//! Usage: `cargo run --release -p bench --bin figure11 [-- --panel empty|pairs|mixed]`
+
+use bench::{print_env_banner, run_figure, BenchOpts, QueueSet, LADDER_X86};
+use harness::workload::Workload;
+
+fn main() {
+    let panel = std::env::args()
+        .skip_while(|a| a != "--panel")
+        .nth(1)
+        .unwrap_or_else(|| "all".into());
+    let opts = BenchOpts::from_env(LADDER_X86);
+    print_env_banner("Figure 11: x86-64 throughput");
+    if panel == "empty" || panel == "all" {
+        run_figure(Workload::EmptyDequeue, QueueSet::Full, &opts, false)
+            .print_tput("Figure 11a: Empty Dequeue throughput");
+    }
+    if panel == "pairs" || panel == "all" {
+        run_figure(Workload::Pairwise, QueueSet::Full, &opts, false)
+            .print_tput("Figure 11b: Pairwise Enqueue-Dequeue");
+    }
+    if panel == "mixed" || panel == "all" {
+        run_figure(Workload::Mixed5050, QueueSet::Full, &opts, false)
+            .print_tput("Figure 11c: 50%/50% Enqueue-Dequeue");
+    }
+}

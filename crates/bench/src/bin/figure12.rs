@@ -1,0 +1,46 @@
+//! Figure 12 — throughput on PowerPC (paper §6, Figs. 12a/12b/12c),
+//! reproduced via the hardware substitution documented in DESIGN.md §3.5.
+//!
+//! The paper's PowerPC build has no CAS2 and no native F&A: wCQ runs on
+//! LL/SC emulation (Fig. 9). We have no POWER machine, so this binary is
+//! meant to be built with the portable dwcas backend, which routes every
+//! CAS2 *and* F&A through a stripe-reservation path with the same cost
+//! model:
+//!
+//! ```text
+//! cargo run --release -p bench --features portable --bin figure12
+//! ```
+//!
+//! LCRQ is omitted, as in the paper (it requires true CAS2). The thread
+//! ladder is the paper's POWER ladder (1..64).
+
+use bench::{print_env_banner, run_figure, BenchOpts, QueueSet, LADDER_PPC};
+use harness::workload::Workload;
+
+fn main() {
+    let panel = std::env::args()
+        .skip_while(|a| a != "--panel")
+        .nth(1)
+        .unwrap_or_else(|| "all".into());
+    print_env_banner("Figure 12: PowerPC substitution (LL/SC-emulated CAS2, no native F&A)");
+    if dwcas::HARDWARE_CAS2 {
+        eprintln!(
+            "WARNING: built with the hardware CAS2 backend ({}); for the \
+             faithful Fig. 12 substitution rebuild with `--features portable`.",
+            dwcas::BACKEND
+        );
+    }
+    let opts = BenchOpts::from_env(LADDER_PPC);
+    if panel == "empty" || panel == "all" {
+        run_figure(Workload::EmptyDequeue, QueueSet::NoLcrq, &opts, false)
+            .print_tput("Figure 12a: Empty Dequeue throughput (PPC substitution)");
+    }
+    if panel == "pairs" || panel == "all" {
+        run_figure(Workload::Pairwise, QueueSet::NoLcrq, &opts, false)
+            .print_tput("Figure 12b: Pairwise Enqueue-Dequeue (PPC substitution)");
+    }
+    if panel == "mixed" || panel == "all" {
+        run_figure(Workload::Mixed5050, QueueSet::NoLcrq, &opts, false)
+            .print_tput("Figure 12c: 50%/50% Enqueue-Dequeue (PPC substitution)");
+    }
+}

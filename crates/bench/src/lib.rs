@@ -1,0 +1,307 @@
+//! Shared machinery for the figure-regeneration binaries.
+//!
+//! Each binary reproduces one figure of the paper (see `DESIGN.md` §5 for
+//! the experiment index). The series layout mirrors the figures: one row
+//! per thread count, one column per queue, values in Mops/s (throughput
+//! panels) or MB (memory panel).
+//!
+//! Environment knobs (all optional):
+//!
+//! * `WCQ_BENCH_OPS` — operations per thread per run (default 100 000; the
+//!   paper uses 10 000 000 per point).
+//! * `WCQ_BENCH_REPS` — repetitions per point (default 3; the paper uses 10).
+//! * `WCQ_BENCH_THREADS` — comma-separated thread ladder override, e.g.
+//!   `1,2,4,8,18,36,72,144` (the paper's x86 ladder; the default caps the
+//!   ladder at 4 × available cores to keep CI turnaround sane).
+//! * `WCQ_BENCH_PIN` — set to `1` to pin workers round-robin.
+
+#![warn(missing_docs)]
+
+use harness::queues::{
+    CcBench, CrTurnBench, FaaBench, LcrqBench, MsBench, QueueSpec, ScqBench, WcqBench, YmcBench,
+};
+use harness::stats::Stats;
+use harness::workload::{repeat, Workload, WorkloadCfg};
+use harness::BenchQueue;
+
+/// Parsed benchmark options.
+#[derive(Clone, Debug)]
+pub struct BenchOpts {
+    /// Thread ladder.
+    pub threads: Vec<usize>,
+    /// Operations per thread per run.
+    pub ops: u64,
+    /// Repetitions per point.
+    pub reps: usize,
+    /// Random delay bound (spin hints); used by the memory test.
+    pub delay: u32,
+    /// Pin worker threads.
+    pub pin: bool,
+}
+
+impl BenchOpts {
+    /// Reads options from the environment; `full_ladder` is the paper's
+    /// ladder for the figure being reproduced.
+    pub fn from_env(full_ladder: &[usize]) -> Self {
+        let ops = std::env::var("WCQ_BENCH_OPS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(100_000);
+        let reps = std::env::var("WCQ_BENCH_REPS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(3);
+        let pin = std::env::var("WCQ_BENCH_PIN").map(|v| v == "1").unwrap_or(false);
+        let threads = match std::env::var("WCQ_BENCH_THREADS") {
+            Ok(s) => s
+                .split(',')
+                .filter_map(|t| t.trim().parse().ok())
+                .collect(),
+            Err(_) => {
+                let cores = std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1);
+                let cap = (cores * 4).max(8);
+                full_ladder
+                    .iter()
+                    .copied()
+                    .filter(|&t| t <= cap)
+                    .collect()
+            }
+        };
+        BenchOpts {
+            threads,
+            ops,
+            reps,
+            delay: 0,
+            pin,
+        }
+    }
+}
+
+/// The paper's x86-64 thread ladder (Figs. 10, 11).
+pub const LADDER_X86: &[usize] = &[1, 2, 4, 8, 18, 36, 72, 144];
+/// The paper's PowerPC thread ladder (Fig. 12).
+pub const LADDER_PPC: &[usize] = &[1, 2, 4, 8, 16, 32, 64];
+
+/// Queues included in a series.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QueueSet {
+    /// All eight contenders (x86 figures).
+    Full,
+    /// Without LCRQ (PowerPC figures: LCRQ requires true CAS2).
+    NoLcrq,
+}
+
+/// Names in the paper's legend order.
+pub fn queue_names(set: QueueSet) -> Vec<&'static str> {
+    let mut v = vec![
+        "FAA", "wCQ", "YMC (bug)", "CCQueue", "SCQ", "CRTurn", "MSQueue",
+    ];
+    if set == QueueSet::Full {
+        v.push("LCRQ");
+    }
+    v
+}
+
+fn spec_for(threads: usize) -> QueueSpec {
+    QueueSpec {
+        max_threads: threads + 1, // +1 for the prefill handle
+        ring_order: 16,           // the paper's 2^16-entry rings
+        cfg: wcq::WcqConfig::default(),
+    }
+}
+
+/// Measures one queue at one thread count; returns Mops/s statistics.
+fn measure<Q: BenchQueue>(q: &Q, wl: Workload, threads: usize, opts: &BenchOpts) -> Stats {
+    let cfg = WorkloadCfg {
+        threads,
+        ops_per_thread: opts.ops,
+        prefill: 1024,
+        max_delay_spins: opts.delay,
+        seed: 0x5eed_0000 + threads as u64,
+        pin: opts.pin,
+    };
+    Stats::from_samples(&repeat(q, wl, &cfg, opts.reps))
+}
+
+/// One figure cell: throughput statistics plus the peak-memory census.
+#[derive(Clone, Copy, Debug)]
+pub struct Cell {
+    /// Throughput stats (Mops/s).
+    pub tput: Stats,
+    /// Peak bytes attributed to the queue during the run (memory panel).
+    pub mem_bytes: usize,
+}
+
+/// Runs workload `wl` across the ladder for every queue in `set`.
+///
+/// When `census` is true the counting allocator's high-water mark is
+/// sampled around each run (Fig. 10a); figure binaries that use it must
+/// install [`harness::alloc::CountingAlloc`] as the global allocator.
+pub fn run_figure(wl: Workload, set: QueueSet, opts: &BenchOpts, census: bool) -> Series {
+    let names = queue_names(set);
+    let mut rows = Vec::new();
+    for &threads in &opts.threads {
+        let spec = spec_for(threads);
+        let mut cells = Vec::new();
+        for &name in &names {
+            let cell = run_one(name, &spec, wl, threads, opts, census);
+            cells.push(cell);
+            eprintln!(
+                "  [{wl:?}] threads={threads:<4} {name:<10} {:>8.3} Mops/s (cov {:.4}) mem {} MB",
+                cell.tput.mean,
+                cell.tput.cov,
+                harness::stats::fmt_mb(cell.mem_bytes)
+            );
+        }
+        rows.push((threads, cells));
+    }
+    Series {
+        names: names.iter().map(|s| s.to_string()).collect(),
+        rows,
+    }
+}
+
+fn run_one(
+    name: &str,
+    spec: &QueueSpec,
+    wl: Workload,
+    threads: usize,
+    opts: &BenchOpts,
+    census: bool,
+) -> Cell {
+    // Build → measure → drop inside one scope so the census brackets the
+    // queue's whole lifetime.
+    let before = harness::alloc::live_bytes();
+    if census {
+        harness::alloc::reset_peak();
+    }
+    let tput = match name {
+        "FAA" => measure(&FaaBench::new(spec), wl, threads, opts),
+        "wCQ" => measure(&WcqBench::new(spec), wl, threads, opts),
+        "YMC (bug)" => measure(&YmcBench::new(spec), wl, threads, opts),
+        "CCQueue" => measure(&CcBench::new(spec), wl, threads, opts),
+        "SCQ" => measure(&ScqBench::new(spec), wl, threads, opts),
+        "CRTurn" => measure(&CrTurnBench::new(spec), wl, threads, opts),
+        "MSQueue" => measure(&MsBench::new(spec), wl, threads, opts),
+        "LCRQ" => measure(&LcrqBench::new(spec), wl, threads, opts),
+        other => panic!("unknown queue {other}"),
+    };
+    let mem = if census {
+        harness::alloc::peak_bytes().saturating_sub(before)
+    } else {
+        0
+    };
+    Cell {
+        tput,
+        mem_bytes: mem,
+    }
+}
+
+/// A complete figure panel: one row per thread count.
+pub struct Series {
+    /// Queue display names (column headers).
+    pub names: Vec<String>,
+    /// `(threads, cells)` rows.
+    pub rows: Vec<(usize, Vec<Cell>)>,
+}
+
+impl Series {
+    /// Prints the throughput panel as an aligned table plus CSV.
+    pub fn print_tput(&self, title: &str) {
+        println!("\n== {title} (Mops/s, mean of reps) ==");
+        print!("{:>8}", "threads");
+        for n in &self.names {
+            print!("{n:>12}");
+        }
+        println!();
+        for (t, cells) in &self.rows {
+            print!("{t:>8}");
+            for c in cells {
+                print!("{:>12.3}", c.tput.mean);
+            }
+            println!();
+        }
+        println!("-- CSV --");
+        println!("threads,{}", self.names.join(","));
+        for (t, cells) in &self.rows {
+            let vals: Vec<String> = cells.iter().map(|c| format!("{:.4}", c.tput.mean)).collect();
+            println!("{t},{}", vals.join(","));
+        }
+    }
+
+    /// Prints the memory panel (Fig. 10a) as an aligned table plus CSV.
+    pub fn print_mem(&self, title: &str) {
+        println!("\n== {title} (MB, peak during run) ==");
+        print!("{:>8}", "threads");
+        for n in &self.names {
+            print!("{n:>12}");
+        }
+        println!();
+        for (t, cells) in &self.rows {
+            print!("{t:>8}");
+            for c in cells {
+                print!("{:>12}", harness::stats::fmt_mb(c.mem_bytes));
+            }
+            println!();
+        }
+        println!("-- CSV --");
+        println!("threads,{}", self.names.join(","));
+        for (t, cells) in &self.rows {
+            let vals: Vec<String> = cells.iter().map(|c| c.mem_bytes.to_string()).collect();
+            println!("{t},{}", vals.join(","));
+        }
+    }
+}
+
+/// Prints the environment header every figure binary emits.
+pub fn print_env_banner(figure: &str) {
+    println!("# {figure}");
+    println!("# dwcas backend: {} (hardware CAS2: {})", dwcas::BACKEND, dwcas::HARDWARE_CAS2);
+    println!(
+        "# cores: {}",
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    );
+    println!(
+        "# knobs: WCQ_BENCH_OPS / WCQ_BENCH_REPS / WCQ_BENCH_THREADS / WCQ_BENCH_PIN (see bench crate docs)"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladders_match_paper() {
+        assert_eq!(LADDER_X86, &[1, 2, 4, 8, 18, 36, 72, 144]);
+        assert_eq!(LADDER_PPC, &[1, 2, 4, 8, 16, 32, 64]);
+    }
+
+    #[test]
+    fn queue_sets() {
+        assert!(queue_names(QueueSet::Full).contains(&"LCRQ"));
+        assert!(!queue_names(QueueSet::NoLcrq).contains(&"LCRQ"));
+        assert_eq!(queue_names(QueueSet::Full).len(), 8);
+    }
+
+    #[test]
+    fn tiny_series_runs_end_to_end() {
+        // Smoke-test the full pipeline with microscopic sizes.
+        let opts = BenchOpts {
+            threads: vec![1, 2],
+            ops: 2_000,
+            reps: 1,
+            delay: 0,
+            pin: false,
+        };
+        let s = run_figure(Workload::Pairwise, QueueSet::NoLcrq, &opts, false);
+        assert_eq!(s.rows.len(), 2);
+        assert_eq!(s.rows[0].1.len(), 7);
+        for (_, cells) in &s.rows {
+            for c in cells {
+                assert!(c.tput.mean > 0.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,510 @@
+//! SCQ — the lock-free Scalable Circular Queue (Nikolaev, DISC '19).
+//!
+//! This is the substrate wCQ extends (paper §2, Fig. 3) and one of the
+//! evaluated baselines. [`ScqRing`] is the *index* queue: a bounded MPMC
+//! queue of integers in `0..n` that is livelock-free thanks to the
+//! *threshold* mechanism. [`ScqQueue`] composes two rings (`aq` of allocated
+//! indices, `fq` of free indices) with a data array to store arbitrary
+//! values (Fig. 2's indirection scheme).
+//!
+//! Progress: operation-wise lock-free — at least one enqueuer and one
+//! dequeuer complete in a bounded number of steps. Memory usage is fixed at
+//! construction time.
+
+use crate::pack::{pack_s, unpack_s, RingLayout, SEntry};
+use crate::WcqConfig;
+use crossbeam_utils::CachePadded;
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering::SeqCst};
+
+/// Lock-free bounded MPMC queue of indices in `0..n` (`n = 2^order`).
+///
+/// The ring never checks for fullness on enqueue: callers must uphold the
+/// index-queue discipline (at most `n` *distinct live* indices circulate; an
+/// index is enqueued at most once until dequeued). [`ScqQueue`] enforces this
+/// automatically; direct users of `ScqRing` must do so themselves, otherwise
+/// `enqueue` may spin indefinitely (no memory unsafety results).
+pub struct ScqRing {
+    layout: RingLayout,
+    head: CachePadded<AtomicU64>,
+    tail: CachePadded<AtomicU64>,
+    threshold: CachePadded<AtomicI64>,
+    entries: Box<[AtomicU64]>,
+    max_catchup: u32,
+}
+
+impl ScqRing {
+    /// Creates an empty ring with `n = 2^order` usable entries.
+    pub fn new_empty(order: u32, cfg: &WcqConfig) -> Self {
+        let layout = RingLayout::new(order, 3, cfg.remap);
+        let init = pack_s(
+            &layout,
+            SEntry {
+                cycle: 0,
+                is_safe: true,
+                index: layout.bot(),
+            },
+        );
+        let entries = (0..layout.ring_size)
+            .map(|_| AtomicU64::new(init))
+            .collect();
+        ScqRing {
+            layout,
+            // Head = Tail = 2n: operations start at cycle 1 so that cycle-0
+            // initialization entries always compare as stale.
+            head: CachePadded::new(AtomicU64::new(layout.ring_size)),
+            tail: CachePadded::new(AtomicU64::new(layout.ring_size)),
+            threshold: CachePadded::new(AtomicI64::new(-1)),
+            entries,
+            max_catchup: cfg.max_catchup,
+        }
+    }
+
+    /// Creates a ring pre-filled with the indices `0..n` (in order). Used for
+    /// the free-index queue `fq` of a freshly constructed data queue.
+    pub fn new_full(order: u32, cfg: &WcqConfig) -> Self {
+        let ring = Self::new_empty(order, cfg);
+        let l = &ring.layout;
+        let n = l.n();
+        // Tickets 2n .. 3n hold indices 0..n at cycle 1.
+        for i in 0..n {
+            let ticket = l.ring_size + i;
+            ring.entries[l.slot(ticket)].store(
+                pack_s(
+                    l,
+                    SEntry {
+                        cycle: l.cycle(ticket),
+                        is_safe: true,
+                        index: i,
+                    },
+                ),
+                SeqCst,
+            );
+        }
+        ring.tail.store(l.ring_size + n, SeqCst);
+        ring.threshold.store(l.threshold_reset(), SeqCst);
+        ring
+    }
+
+    /// Usable capacity `n`.
+    #[inline]
+    pub fn capacity(&self) -> u64 {
+        self.layout.n()
+    }
+
+    /// The ring geometry (exposed for tests and diagnostics).
+    #[inline]
+    pub fn layout(&self) -> &RingLayout {
+        &self.layout
+    }
+
+    /// One fast-path enqueue attempt (Fig. 3, `try_enq`). `Err(t)` returns
+    /// the wasted ticket so callers can retry (or, in wCQ, seed a help
+    /// request).
+    #[inline]
+    fn try_enq(&self, index: u64) -> Result<(), u64> {
+        let l = &self.layout;
+        let t = self.tail.fetch_add(1, SeqCst);
+        let j = l.slot(t);
+        let cyc = l.cycle(t);
+        loop {
+            let word = self.entries[j].load(SeqCst);
+            let e = unpack_s(l, word);
+            if e.cycle < cyc
+                && (e.index == l.bot() || e.index == l.botc())
+                && (e.is_safe || self.head.load(SeqCst) <= t)
+            {
+                let new = pack_s(
+                    l,
+                    SEntry {
+                        cycle: cyc,
+                        is_safe: true,
+                        index,
+                    },
+                );
+                if self.entries[j]
+                    .compare_exchange(word, new, SeqCst, SeqCst)
+                    .is_err()
+                {
+                    continue; // entry changed under us: re-inspect same slot
+                }
+                if self.threshold.load(SeqCst) != l.threshold_reset() {
+                    self.threshold.store(l.threshold_reset(), SeqCst);
+                }
+                return Ok(());
+            }
+            return Err(t);
+        }
+    }
+
+    /// One fast-path dequeue attempt (Fig. 3, `try_deq`).
+    /// `Ok(Some(i))` = got index, `Ok(None)` = definitively empty,
+    /// `Err(h)` = retry with a new ticket.
+    #[inline]
+    fn try_deq(&self) -> Result<Option<u64>, u64> {
+        let l = &self.layout;
+        let h = self.head.fetch_add(1, SeqCst);
+        let j = l.slot(h);
+        let cyc = l.cycle(h);
+        loop {
+            let word = self.entries[j].load(SeqCst);
+            let e = unpack_s(l, word);
+            if e.cycle == cyc {
+                // Consume: atomically OR ⊥c into the index field.
+                debug_assert!(e.index != l.bot() && e.index != l.botc());
+                self.entries[j].fetch_or(l.botc(), SeqCst);
+                return Ok(Some(e.index));
+            }
+            // Prepare the invalidation for a stale slot.
+            let new = if e.index == l.bot() || e.index == l.botc() {
+                // Nothing stored: advance the slot to our cycle so the late
+                // enqueuer of this ticket must skip it.
+                pack_s(
+                    l,
+                    SEntry {
+                        cycle: cyc,
+                        is_safe: e.is_safe,
+                        index: l.bot(),
+                    },
+                )
+            } else {
+                // Occupied by an older cycle: mark unsafe, keep the value.
+                pack_s(
+                    l,
+                    SEntry {
+                        cycle: e.cycle,
+                        is_safe: false,
+                        index: e.index,
+                    },
+                )
+            };
+            if e.cycle < cyc
+                && self.entries[j]
+                    .compare_exchange(word, new, SeqCst, SeqCst)
+                    .is_err()
+            {
+                continue; // slot changed: re-inspect
+            }
+            // Possibly empty: compare against Tail and the threshold.
+            let t = self.tail.load(SeqCst);
+            if t <= h + 1 {
+                self.catchup(t, h + 1);
+                self.threshold.fetch_sub(1, SeqCst);
+                return Ok(None);
+            }
+            if self.threshold.fetch_sub(1, SeqCst) <= 0 {
+                return Ok(None);
+            }
+            return Err(h);
+        }
+    }
+
+    /// Bounded `catchup` (Fig. 3): drag `Tail` forward to `Head` after an
+    /// empty dequeue so future enqueuers do not chase a huge gap. Purely a
+    /// contention optimization; wCQ bounds it explicitly and we reuse the
+    /// bounded form here.
+    fn catchup(&self, mut tail: u64, mut head: u64) {
+        for _ in 0..self.max_catchup {
+            if self
+                .tail
+                .compare_exchange(tail, head, SeqCst, SeqCst)
+                .is_ok()
+            {
+                break;
+            }
+            head = self.head.load(SeqCst);
+            tail = self.tail.load(SeqCst);
+            if tail >= head {
+                break;
+            }
+        }
+    }
+
+    /// Enqueues an index (spins on fast-path attempts; lock-free).
+    ///
+    /// See the type-level docs for the index-queue discipline that makes
+    /// this total (no full check is needed when at most `n` live indices
+    /// circulate).
+    #[inline]
+    pub fn enqueue(&self, index: u64) {
+        debug_assert!(index < self.layout.n());
+        while self.try_enq(index).is_err() {}
+    }
+
+    /// Dequeues an index; `None` means empty.
+    #[inline]
+    pub fn dequeue(&self) -> Option<u64> {
+        if self.threshold.load(SeqCst) < 0 {
+            return None; // fast empty check
+        }
+        loop {
+            match self.try_deq() {
+                Ok(r) => return r,
+                Err(_) => continue,
+            }
+        }
+    }
+
+    /// Current threshold value (diagnostics / tests).
+    pub fn threshold(&self) -> i64 {
+        self.threshold.load(SeqCst)
+    }
+}
+
+/// Lock-free bounded MPMC queue of `T` values, built from two [`ScqRing`]s
+/// and a data array (the paper's Fig. 2 indirection).
+///
+/// Capacity is `2^order` elements and all memory is allocated at
+/// construction: SCQ's headline property is exactly this bounded footprint.
+pub struct ScqQueue<T> {
+    aq: ScqRing,
+    fq: ScqRing,
+    data: Box<[UnsafeCell<MaybeUninit<T>>]>,
+}
+
+// SAFETY: slots are transferred between threads with the index acting as an
+// exclusive token: a slot is written by exactly one enqueuer between its
+// dequeue from `fq` and its enqueue into `aq`, and read by exactly one
+// dequeuer between its dequeue from `aq` and its re-enqueue into `fq`. The
+// ring operations provide the necessary happens-before edges (SeqCst RMWs).
+unsafe impl<T: Send> Send for ScqQueue<T> {}
+unsafe impl<T: Send> Sync for ScqQueue<T> {}
+
+impl<T> ScqQueue<T> {
+    /// Creates a queue with capacity `2^order`.
+    pub fn new(order: u32) -> Self {
+        Self::with_config(order, &WcqConfig::default())
+    }
+
+    /// Creates a queue with explicit tuning knobs (remap/catchup ablations).
+    pub fn with_config(order: u32, cfg: &WcqConfig) -> Self {
+        let n = 1usize << order;
+        ScqQueue {
+            aq: ScqRing::new_empty(order, cfg),
+            fq: ScqRing::new_full(order, cfg),
+            data: (0..n)
+                .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+                .collect(),
+        }
+    }
+
+    /// Capacity in elements.
+    pub fn capacity(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Attempts to enqueue; returns `Err(v)` when the queue is full.
+    pub fn enqueue(&self, v: T) -> Result<(), T> {
+        let Some(i) = self.fq.dequeue() else {
+            return Err(v); // no free slot: full
+        };
+        // SAFETY: index `i` was dequeued from `fq`, granting exclusive write
+        // access to `data[i]` until it is published through `aq`.
+        unsafe { (*self.data[i as usize].get()).write(v) };
+        self.aq.enqueue(i);
+        Ok(())
+    }
+
+    /// Attempts to dequeue; `None` when empty.
+    pub fn dequeue(&self) -> Option<T> {
+        let i = self.aq.dequeue()?;
+        // SAFETY: index `i` was dequeued from `aq`; the matching enqueuer
+        // initialized the slot before publishing `i`.
+        let v = unsafe { (*self.data[i as usize].get()).assume_init_read() };
+        self.fq.enqueue(i);
+        Some(v)
+    }
+}
+
+impl<T> Drop for ScqQueue<T> {
+    fn drop(&mut self) {
+        // Drain remaining elements so their destructors run.
+        while self.dequeue().is_some() {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+
+    #[test]
+    fn ring_starts_empty() {
+        let r = ScqRing::new_empty(4, &WcqConfig::default());
+        assert_eq!(r.dequeue(), None);
+        assert_eq!(r.threshold(), -1);
+    }
+
+    #[test]
+    fn ring_full_init_yields_all_indices_in_order() {
+        let r = ScqRing::new_full(4, &WcqConfig::default());
+        let got: Vec<u64> = std::iter::from_fn(|| r.dequeue()).collect();
+        assert_eq!(got, (0..16).collect::<Vec<_>>());
+        assert_eq!(r.dequeue(), None);
+    }
+
+    #[test]
+    fn ring_fifo_single_thread() {
+        let r = ScqRing::new_empty(5, &WcqConfig::default());
+        for i in 0..32 {
+            r.enqueue(i);
+        }
+        for i in 0..32 {
+            assert_eq!(r.dequeue(), Some(i));
+        }
+        assert_eq!(r.dequeue(), None);
+    }
+
+    #[test]
+    fn ring_wraps_many_cycles() {
+        let r = ScqRing::new_empty(2, &WcqConfig::default());
+        for round in 0..1000u64 {
+            for i in 0..4 {
+                r.enqueue((i + round) % 4);
+            }
+            for i in 0..4 {
+                assert_eq!(r.dequeue(), Some((i + round) % 4));
+            }
+            assert_eq!(r.dequeue(), None);
+        }
+    }
+
+    #[test]
+    fn threshold_goes_negative_when_drained() {
+        let r = ScqRing::new_empty(3, &WcqConfig::default());
+        r.enqueue(1);
+        assert!(r.threshold() == r.layout().threshold_reset());
+        assert_eq!(r.dequeue(), Some(1));
+        // Repeated empty dequeues decay the threshold below zero, enabling
+        // the O(1) empty fast path.
+        for _ in 0..(r.layout().threshold_reset() + 2) {
+            assert_eq!(r.dequeue(), None);
+        }
+        assert!(r.threshold() < 0);
+    }
+
+    #[test]
+    fn queue_full_and_empty_semantics() {
+        let q: ScqQueue<u64> = ScqQueue::new(3);
+        for i in 0..8 {
+            assert!(q.enqueue(i).is_ok());
+        }
+        assert_eq!(q.enqueue(99), Err(99), "9th element must report full");
+        for i in 0..8 {
+            assert_eq!(q.dequeue(), Some(i));
+        }
+        assert_eq!(q.dequeue(), None);
+        // Reusable after drain.
+        assert!(q.enqueue(42).is_ok());
+        assert_eq!(q.dequeue(), Some(42));
+    }
+
+    #[test]
+    fn queue_drops_remaining_elements() {
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        struct D;
+        impl Drop for D {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, SeqCst);
+            }
+        }
+        {
+            let q: ScqQueue<D> = ScqQueue::new(3);
+            for _ in 0..5 {
+                assert!(q.enqueue(D).is_ok());
+            }
+            let _ = q.dequeue(); // 1 drop here
+        }
+        assert_eq!(DROPS.load(SeqCst), 5);
+    }
+
+    #[test]
+    fn queue_mpmc_exact_delivery() {
+        let q: Arc<ScqQueue<u64>> = Arc::new(ScqQueue::new(8));
+        let producers = 4u64;
+        let per = 5_000u64;
+        let mut handles = Vec::new();
+        for p in 0..producers {
+            let q = Arc::clone(&q);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..per {
+                    let v = p << 32 | i;
+                    loop {
+                        if q.enqueue(v).is_ok() {
+                            break;
+                        }
+                        std::hint::spin_loop();
+                    }
+                }
+            }));
+        }
+        let consumed = Arc::new(std::sync::Mutex::new(Vec::new()));
+        let done = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let mut chandles = Vec::new();
+        for _ in 0..3 {
+            let q = Arc::clone(&q);
+            let consumed = Arc::clone(&consumed);
+            let done = Arc::clone(&done);
+            chandles.push(std::thread::spawn(move || {
+                let mut local = Vec::new();
+                loop {
+                    match q.dequeue() {
+                        Some(v) => local.push(v),
+                        None if done.load(SeqCst) => break,
+                        None => std::thread::yield_now(),
+                    }
+                }
+                consumed.lock().unwrap().extend(local);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        done.store(true, SeqCst);
+        for h in chandles {
+            h.join().unwrap();
+        }
+        let got = consumed.lock().unwrap();
+        assert_eq!(got.len() as u64, producers * per);
+        let set: HashSet<u64> = got.iter().copied().collect();
+        assert_eq!(set.len() as u64, producers * per, "duplicate delivery");
+    }
+
+    #[test]
+    fn queue_per_producer_fifo() {
+        let q: Arc<ScqQueue<u64>> = Arc::new(ScqQueue::new(6));
+        let producers = 3u64;
+        let per = 3_000u64;
+        let mut handles = Vec::new();
+        for p in 0..producers {
+            let q = Arc::clone(&q);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..per {
+                    while q.enqueue(p << 32 | i).is_err() {
+                        std::thread::yield_now();
+                    }
+                }
+            }));
+        }
+        let q2 = Arc::clone(&q);
+        let consumer = std::thread::spawn(move || {
+            let mut last = vec![-1i64; producers as usize];
+            let mut count = 0;
+            while count < producers * per {
+                if let Some(v) = q2.dequeue() {
+                    let (p, i) = ((v >> 32) as usize, (v & 0xffff_ffff) as i64);
+                    assert!(i > last[p], "per-producer order violated");
+                    last[p] = i;
+                    count += 1;
+                }
+            }
+        });
+        for h in handles {
+            h.join().unwrap();
+        }
+        consumer.join().unwrap();
+    }
+}

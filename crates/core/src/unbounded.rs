@@ -1,0 +1,441 @@
+//! Unbounded queues: a lock-free outer list of bounded rings
+//! (paper §7 / Appendix A).
+//!
+//! LCRQ and LSCQ obtain unbounded capacity by linking ring buffers through
+//! a Michael & Scott list; the wCQ paper sketches the same construction
+//! with wCQ rings (and, for full wait-freedom, a CRTurn outer layer — the
+//! outer layer here is the Michael & Scott list, as in LSCQ; operations on
+//! it are rare, so its cost is dominated by the ring operations, §6).
+//!
+//! ## Ring hand-off protocol
+//!
+//! A ring is *closed* when an enqueuer finds it full; closing is sticky.
+//! The subtle part is when a dequeuer may abandon a drained ring: an insert
+//! that started before the close may still be in flight. We make the
+//! hand-off safe with an in-flight counter:
+//!
+//! * enqueue: `inflight += 1`; bounce if closed; insert; `inflight -= 1`
+//!   (the decrement happens only after the element is *published*).
+//! * dequeue: advance past a ring only after observing, in order,
+//!   `closed == true`, then `inflight == 0`, then an empty dequeue.
+//!   Post-close arrivals may flicker the counter but can never insert, so
+//!   `closed ∧ inflight = 0` implies every started insert into the ring is
+//!   already visible, making the final empty check conclusive. Elements can
+//!   therefore never be stranded in an abandoned ring.
+//!
+//! Real-time order is preserved: an insert into ring `k+1` that does not
+//! overlap an insert into ring `k` can only start after ring `k` was
+//! closed, and dequeuers drain ring `k` completely first.
+
+use crate::{ScqQueue, WcqConfig, WcqQueue};
+use std::ptr;
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, AtomicUsize, Ordering::SeqCst};
+
+/// A bounded MPMC ring usable as the node payload of the unbounded list.
+pub trait InnerRing<T>: Sized + Send + Sync {
+    /// Builds a ring with `2^order` slots for up to `max_threads` threads.
+    fn build(order: u32, max_threads: usize, cfg: &WcqConfig) -> Self;
+    /// Enqueue under thread id `tid`; `Err(v)` when full.
+    fn ring_enqueue(&self, tid: usize, v: T) -> Result<(), T>;
+    /// Dequeue under thread id `tid`.
+    fn ring_dequeue(&self, tid: usize) -> Option<T>;
+}
+
+impl<T: Send> InnerRing<T> for ScqQueue<T> {
+    fn build(order: u32, _max_threads: usize, cfg: &WcqConfig) -> Self {
+        ScqQueue::with_config(order, cfg)
+    }
+    fn ring_enqueue(&self, _tid: usize, v: T) -> Result<(), T> {
+        self.enqueue(v)
+    }
+    fn ring_dequeue(&self, _tid: usize) -> Option<T> {
+        self.dequeue()
+    }
+}
+
+/// The wCQ inner ring drives [`WcqQueue`] through its raw thread-id API;
+/// the unbounded queue's handle layer guarantees tid exclusivity across
+/// *all* rings, which is exactly the raw API's contract.
+pub struct WcqInner<T>(WcqQueue<T>);
+
+impl<T: Send> InnerRing<T> for WcqInner<T> {
+    fn build(order: u32, max_threads: usize, cfg: &WcqConfig) -> Self {
+        WcqInner(WcqQueue::with_config(order, max_threads, cfg))
+    }
+    fn ring_enqueue(&self, tid: usize, v: T) -> Result<(), T> {
+        // SAFETY: tids are handed out exclusively by `Unbounded::register`.
+        unsafe { self.0.enqueue_raw(tid, v) }
+    }
+    fn ring_dequeue(&self, tid: usize) -> Option<T> {
+        // SAFETY: as above.
+        unsafe { self.0.dequeue_raw(tid) }
+    }
+}
+
+struct RingNode<T, R: InnerRing<T>> {
+    ring: R,
+    closed: AtomicBool,
+    inflight: AtomicUsize,
+    next: AtomicPtr<RingNode<T, R>>,
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T, R: InnerRing<T>> RingNode<T, R> {
+    fn boxed(order: u32, max_threads: usize, cfg: &WcqConfig) -> *mut Self {
+        Box::into_raw(Box::new(RingNode {
+            ring: R::build(order, max_threads, cfg),
+            closed: AtomicBool::new(false),
+            inflight: AtomicUsize::new(0),
+            next: AtomicPtr::new(ptr::null_mut()),
+            _marker: std::marker::PhantomData,
+        }))
+    }
+
+    /// Enqueue with the close protocol; `Err(v)` = ring closed (caller must
+    /// move to the successor ring).
+    fn enqueue(&self, tid: usize, v: T) -> Result<(), T> {
+        self.inflight.fetch_add(1, SeqCst);
+        if self.closed.load(SeqCst) {
+            self.inflight.fetch_sub(1, SeqCst);
+            return Err(v);
+        }
+        let r = self.ring.ring_enqueue(tid, v);
+        if r.is_err() {
+            // Full: close so no later enqueue starts, then bounce.
+            self.closed.store(true, SeqCst);
+        }
+        self.inflight.fetch_sub(1, SeqCst);
+        r
+    }
+
+    /// `true` when it is safe to abandon this ring (see module docs).
+    fn drained(&self) -> bool {
+        self.closed.load(SeqCst) && self.inflight.load(SeqCst) == 0
+    }
+}
+
+/// Lock-free unbounded MPMC queue built from rings of `2^order` slots.
+///
+/// `Unbounded<T, ScqQueue<T>>` is LSCQ; `Unbounded<T, WcqInner<T>>` uses
+/// wait-free rings (the outer list stays lock-free; see module docs).
+pub struct Unbounded<T, R: InnerRing<T>> {
+    head: AtomicPtr<RingNode<T, R>>,
+    tail: AtomicPtr<RingNode<T, R>>,
+    order: u32,
+    cfg: WcqConfig,
+    max_threads: usize,
+    slots: Box<[AtomicBool]>,
+    /// Rings abandoned by dequeuers. Freed when provably unreachable (no
+    /// operation in flight — see [`Unbounded::collect`]).
+    retired: std::sync::Mutex<Vec<*mut RingNode<T, R>>>,
+    ops_active: AtomicU64,
+}
+
+// SAFETY: ring nodes are shared via atomics; retired list is mutex-guarded;
+// values are only handed between threads through the rings' own protocols.
+unsafe impl<T: Send, R: InnerRing<T>> Send for Unbounded<T, R> {}
+unsafe impl<T: Send, R: InnerRing<T>> Sync for Unbounded<T, R> {}
+
+/// Unbounded queue over lock-free SCQ rings (LSCQ).
+pub type UnboundedScq<T> = Unbounded<T, ScqQueue<T>>;
+/// Unbounded queue over wait-free wCQ rings (the paper's Appendix A shape
+/// with a lock-free outer list).
+pub type UnboundedWcq<T> = Unbounded<T, WcqInner<T>>;
+
+impl<T: Send, R: InnerRing<T>> Unbounded<T, R> {
+    /// Creates a queue whose rings hold `2^order` elements each.
+    pub fn new(order: u32, max_threads: usize) -> Self {
+        Self::with_config(order, max_threads, &WcqConfig::default())
+    }
+
+    /// Creates a queue with explicit ring tuning.
+    pub fn with_config(order: u32, max_threads: usize, cfg: &WcqConfig) -> Self {
+        let first = RingNode::<T, R>::boxed(order, max_threads, cfg);
+        Unbounded {
+            head: AtomicPtr::new(first),
+            tail: AtomicPtr::new(first),
+            order,
+            cfg: *cfg,
+            max_threads,
+            slots: (0..max_threads).map(|_| AtomicBool::new(false)).collect(),
+            retired: std::sync::Mutex::new(Vec::new()),
+            ops_active: AtomicU64::new(0),
+        }
+    }
+
+    /// Registers the calling thread.
+    pub fn register(&self) -> Option<UnboundedHandle<'_, T, R>> {
+        for (tid, s) in self.slots.iter().enumerate() {
+            if s.compare_exchange(false, true, SeqCst, SeqCst).is_ok() {
+                return Some(UnboundedHandle { q: self, tid });
+            }
+        }
+        None
+    }
+
+    fn enqueue_tid(&self, tid: usize, mut v: T) {
+        self.ops_active.fetch_add(1, SeqCst);
+        loop {
+            let ltail = self.tail.load(SeqCst);
+            // SAFETY: ring nodes are only freed when no operation is active
+            // (`ops_active` gate in `collect`), so `ltail` stays valid for
+            // the duration of this op.
+            let node = unsafe { &*ltail };
+            let next = node.next.load(SeqCst);
+            if !next.is_null() {
+                let _ = self.tail.compare_exchange(ltail, next, SeqCst, SeqCst);
+                continue;
+            }
+            match node.enqueue(tid, v) {
+                Ok(()) => break,
+                Err(back) => v = back,
+            }
+            // Ring closed: append a successor seeded with v.
+            let fresh = RingNode::<T, R>::boxed(self.order, self.max_threads, &self.cfg);
+            // SAFETY: we own `fresh` until it is linked.
+            let seeded = unsafe { (*fresh).enqueue(tid, v).is_ok() };
+            debug_assert!(seeded, "fresh ring cannot be full");
+            if node
+                .next
+                .compare_exchange(ptr::null_mut(), fresh, SeqCst, SeqCst)
+                .is_ok()
+            {
+                let _ = self.tail.compare_exchange(ltail, fresh, SeqCst, SeqCst);
+                break;
+            }
+            // Lost the race: take the value back out of our unpublished
+            // ring and retry on the winner's ring.
+            // SAFETY: `fresh` never became visible to other threads.
+            let boxed = unsafe { Box::from_raw(fresh) };
+            v = boxed
+                .ring
+                .ring_dequeue(tid)
+                .expect("unpublished ring holds exactly our element");
+            drop(boxed);
+        }
+        self.ops_active.fetch_sub(1, SeqCst);
+    }
+
+    fn dequeue_tid(&self, tid: usize) -> Option<T> {
+        self.ops_active.fetch_add(1, SeqCst);
+        let result = loop {
+            let lhead = self.head.load(SeqCst);
+            // SAFETY: see enqueue_tid.
+            let node = unsafe { &*lhead };
+            if let Some(v) = node.ring.ring_dequeue(tid) {
+                break Some(v);
+            }
+            let next = node.next.load(SeqCst);
+            if next.is_null() {
+                break None; // genuinely empty
+            }
+            // A successor exists. Re-drain unless the hand-off conditions
+            // hold (closed, no in-flight inserts, and still empty).
+            if !node.drained() {
+                std::hint::spin_loop();
+                continue;
+            }
+            if let Some(v) = node.ring.ring_dequeue(tid) {
+                break Some(v);
+            }
+            if self
+                .head
+                .compare_exchange(lhead, next, SeqCst, SeqCst)
+                .is_ok()
+            {
+                self.retired.lock().unwrap().push(lhead);
+            }
+        };
+        self.ops_active.fetch_sub(1, SeqCst);
+        self.collect();
+        result
+    }
+
+    /// Frees retired rings when no operation is in flight. Coarse but
+    /// sufficient: ring turnover happens once per `2^order` inserts —
+    /// exactly the paper's argument for why outer-layer costs are noise.
+    fn collect(&self) {
+        let drained: Vec<_> = {
+            let Ok(mut r) = self.retired.try_lock() else {
+                return;
+            };
+            if r.is_empty() || self.ops_active.load(SeqCst) != 0 {
+                return;
+            }
+            r.drain(..).collect()
+        };
+        for p in drained {
+            // SAFETY: head moved past `p` (unreachable from the list) and no
+            // operation was active while we held the lock and drained, so no
+            // thread still holds a reference into it.
+            unsafe { drop(Box::from_raw(p)) };
+        }
+    }
+}
+
+impl<T, R: InnerRing<T>> Drop for Unbounded<T, R> {
+    fn drop(&mut self) {
+        for p in self.retired.lock().unwrap().drain(..) {
+            // SAFETY: exclusive access in drop.
+            unsafe { drop(Box::from_raw(p)) };
+        }
+        let mut p = *self.head.get_mut();
+        while !p.is_null() {
+            // SAFETY: exclusive access in drop.
+            let boxed = unsafe { Box::from_raw(p) };
+            p = boxed.next.load(SeqCst);
+        }
+    }
+}
+
+/// Per-thread handle to an [`Unbounded`] queue.
+pub struct UnboundedHandle<'q, T, R: InnerRing<T>> {
+    q: &'q Unbounded<T, R>,
+    tid: usize,
+}
+
+impl<T: Send, R: InnerRing<T>> UnboundedHandle<'_, T, R> {
+    /// Enqueues `v`; never fails (capacity grows by appending rings).
+    pub fn enqueue(&mut self, v: T) {
+        self.q.enqueue_tid(self.tid, v)
+    }
+
+    /// Dequeues; `None` when empty.
+    pub fn dequeue(&mut self) -> Option<T> {
+        self.q.dequeue_tid(self.tid)
+    }
+}
+
+impl<T, R: InnerRing<T>> Drop for UnboundedHandle<'_, T, R> {
+    fn drop(&mut self) {
+        self.q.slots[self.tid].store(false, SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool as Flag;
+    use std::sync::{Arc, Mutex};
+
+    fn fifo_single<R: InnerRing<u64>>() {
+        let q: Unbounded<u64, R> = Unbounded::new(3, 2); // 8-slot rings
+        let mut h = q.register().unwrap();
+        assert_eq!(h.dequeue(), None);
+        for i in 0..100 {
+            h.enqueue(i); // forces many ring transitions
+        }
+        for i in 0..100 {
+            assert_eq!(h.dequeue(), Some(i), "element {i}");
+        }
+        assert_eq!(h.dequeue(), None);
+    }
+
+    #[test]
+    fn fifo_across_rings_scq() {
+        fifo_single::<ScqQueue<u64>>();
+    }
+
+    #[test]
+    fn fifo_across_rings_wcq() {
+        fifo_single::<WcqInner<u64>>();
+    }
+
+    #[test]
+    fn interleaved_growth_and_drain() {
+        let q: UnboundedWcq<u64> = Unbounded::new(2, 2);
+        let mut h = q.register().unwrap();
+        let mut next_out = 0u64;
+        for i in 0..2000u64 {
+            h.enqueue(i);
+            if i % 5 != 0 {
+                assert_eq!(h.dequeue(), Some(next_out));
+                next_out += 1;
+            }
+        }
+        while let Some(v) = h.dequeue() {
+            assert_eq!(v, next_out);
+            next_out += 1;
+        }
+        assert_eq!(next_out, 2000);
+    }
+
+    fn mpmc<R: InnerRing<u64> + 'static>() {
+        let q: Arc<Unbounded<u64, R>> = Arc::new(Unbounded::new(4, 8));
+        let done = Arc::new(Flag::new(false));
+        let sink = Arc::new(Mutex::new(Vec::new()));
+        let producers: Vec<_> = (0..3u64)
+            .map(|p| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    let mut h = q.register().unwrap();
+                    for i in 0..4000 {
+                        h.enqueue(p << 32 | i);
+                    }
+                })
+            })
+            .collect();
+        let consumers: Vec<_> = (0..3)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                let done = Arc::clone(&done);
+                let sink = Arc::clone(&sink);
+                std::thread::spawn(move || {
+                    let mut h = q.register().unwrap();
+                    let mut local = Vec::new();
+                    loop {
+                        match h.dequeue() {
+                            Some(v) => local.push(v),
+                            None if done.load(SeqCst) => break,
+                            None => std::thread::yield_now(),
+                        }
+                    }
+                    sink.lock().unwrap().extend(local);
+                })
+            })
+            .collect();
+        for p in producers {
+            p.join().unwrap();
+        }
+        done.store(true, SeqCst);
+        for c in consumers {
+            c.join().unwrap();
+        }
+        let got = sink.lock().unwrap();
+        assert_eq!(got.len(), 12_000);
+        let set: std::collections::HashSet<_> = got.iter().collect();
+        assert_eq!(set.len(), 12_000);
+    }
+
+    #[test]
+    fn mpmc_exact_delivery_scq_rings() {
+        mpmc::<ScqQueue<u64>>();
+    }
+
+    #[test]
+    fn mpmc_exact_delivery_wcq_rings() {
+        mpmc::<WcqInner<u64>>();
+    }
+
+    #[test]
+    fn values_with_destructors_are_not_leaked() {
+        static DROPS: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+        struct D(#[allow(dead_code)] u64);
+        impl Drop for D {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, SeqCst);
+            }
+        }
+        {
+            let q: UnboundedScq<D> = Unbounded::new(2, 1);
+            let mut h = q.register().unwrap();
+            for i in 0..50 {
+                h.enqueue(D(i));
+            }
+            for _ in 0..10 {
+                drop(h.dequeue());
+            }
+        }
+        assert_eq!(DROPS.load(SeqCst), 50);
+    }
+}

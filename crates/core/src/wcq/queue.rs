@@ -1,0 +1,259 @@
+//! The safe, typed wait-free queue: two [`WcqRing`]s plus a data array
+//! (the paper's Fig. 2 indirection), with per-thread handles enforcing the
+//! thread-id discipline the rings require.
+
+use crate::wcq::ring::WcqRing;
+use crate::WcqConfig;
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicBool, Ordering::SeqCst};
+
+/// Wait-free bounded MPMC queue of `T` values.
+///
+/// * Capacity `2^order` elements, all memory allocated at construction —
+///   the paper's headline "bounded memory usage" property.
+/// * Every operation completes in a bounded number of steps for **every**
+///   thread (wait-freedom), provided the platform has hardware double-width
+///   CAS ([`dwcas::HARDWARE_CAS2`]).
+///
+/// Threads interact through [`WcqHandle`]s obtained from [`Self::register`];
+/// a handle pins one of the `max_threads` helping records.
+///
+/// # Example
+/// ```
+/// use wcq::WcqQueue;
+/// let q: WcqQueue<u64> = WcqQueue::new(4, 2); // 16 slots, 2 threads
+/// let mut h = q.register().unwrap();
+/// assert!(h.enqueue(7).is_ok());
+/// assert_eq!(h.dequeue(), Some(7));
+/// assert_eq!(h.dequeue(), None);
+/// ```
+pub struct WcqQueue<T> {
+    aq: WcqRing,
+    fq: WcqRing,
+    data: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    slots: Box<[AtomicBool]>,
+}
+
+// SAFETY: identical argument to `ScqQueue` — ring indices are exclusive slot
+// tokens, handed between threads through SeqCst ring operations.
+unsafe impl<T: Send> Send for WcqQueue<T> {}
+unsafe impl<T: Send> Sync for WcqQueue<T> {}
+
+impl<T> WcqQueue<T> {
+    /// Creates a queue with capacity `2^order` for up to `max_threads`
+    /// concurrently registered threads (`max_threads <= 2^order`, the
+    /// paper's `k <= n` assumption).
+    pub fn new(order: u32, max_threads: usize) -> Self {
+        Self::with_config(order, max_threads, &WcqConfig::default())
+    }
+
+    /// Creates a queue with explicit tuning knobs (patience, help delay,
+    /// catch-up bound, cache remapping) — used by tests and the ablation
+    /// benches.
+    pub fn with_config(order: u32, max_threads: usize, cfg: &WcqConfig) -> Self {
+        let n = 1usize << order;
+        WcqQueue {
+            aq: WcqRing::new_empty(order, max_threads, cfg),
+            fq: WcqRing::new_full(order, max_threads, cfg),
+            data: (0..n)
+                .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+                .collect(),
+            slots: (0..max_threads).map(|_| AtomicBool::new(false)).collect(),
+        }
+    }
+
+    /// Capacity in elements.
+    pub fn capacity(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Maximum number of simultaneously registered threads.
+    pub fn max_threads(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Registers the calling thread, returning a handle bound to a free
+    /// thread slot, or `None` if all `max_threads` slots are taken.
+    pub fn register(&self) -> Option<WcqHandle<'_, T>> {
+        for (tid, slot) in self.slots.iter().enumerate() {
+            if slot
+                .compare_exchange(false, true, SeqCst, SeqCst)
+                .is_ok()
+            {
+                return Some(WcqHandle { q: self, tid });
+            }
+        }
+        None
+    }
+
+    /// `true` while no elements are observable (threshold fast check on
+    /// `aq`). Like any concurrent size probe this is advisory only.
+    pub fn is_empty_hint(&self) -> bool {
+        self.aq.threshold() < 0
+    }
+
+    /// Raw enqueue under an explicit thread id, bypassing the handle layer.
+    ///
+    /// # Safety
+    /// `tid < max_threads`, and no other thread may use the same `tid` on
+    /// this queue concurrently (the helping records and data slots assume an
+    /// exclusive driver per id). Used by the unbounded list-of-rings, whose
+    /// own handle layer provides the exclusivity across every ring.
+    pub unsafe fn enqueue_raw(&self, tid: usize, v: T) -> Result<(), T> {
+        self.enqueue_tid(tid, v)
+    }
+
+    /// Raw dequeue under an explicit thread id.
+    ///
+    /// # Safety
+    /// Same contract as [`Self::enqueue_raw`].
+    pub unsafe fn dequeue_raw(&self, tid: usize) -> Option<T> {
+        self.dequeue_tid(tid)
+    }
+
+    fn enqueue_tid(&self, tid: usize, v: T) -> Result<(), T> {
+        let Some(i) = self.fq.dequeue(tid) else {
+            return Err(v); // no free slot: full
+        };
+        // SAFETY: `i` came from `fq`, granting exclusive access to `data[i]`
+        // until it is published through `aq`.
+        unsafe { (*self.data[i as usize].get()).write(v) };
+        self.aq.enqueue(tid, i);
+        Ok(())
+    }
+
+    fn dequeue_tid(&self, tid: usize) -> Option<T> {
+        let i = self.aq.dequeue(tid)?;
+        // SAFETY: `i` came from `aq`; the matching enqueuer initialized the
+        // slot before publishing it.
+        let v = unsafe { (*self.data[i as usize].get()).assume_init_read() };
+        self.fq.enqueue(tid, i);
+        Some(v)
+    }
+}
+
+impl<T> Drop for WcqQueue<T> {
+    fn drop(&mut self) {
+        // Drain so remaining elements are dropped. tid 0 is safe here: we
+        // hold `&mut self`, no other thread can be active.
+        while self.dequeue_tid(0).is_some() {}
+    }
+}
+
+/// A per-thread handle to a [`WcqQueue`].
+///
+/// Handles are `Send` but deliberately not `Sync`/`Clone`, and their methods
+/// take `&mut self`: exactly one thread can drive a given thread record at a
+/// time, which is the precondition of the helping protocol. Dropping the
+/// handle frees its slot for another thread.
+pub struct WcqHandle<'q, T> {
+    q: &'q WcqQueue<T>,
+    tid: usize,
+}
+
+impl<'q, T> WcqHandle<'q, T> {
+    /// Wait-free enqueue. `Err(v)` returns the value when the queue is full.
+    #[inline]
+    pub fn enqueue(&mut self, v: T) -> Result<(), T> {
+        self.q.enqueue_tid(self.tid, v)
+    }
+
+    /// Wait-free dequeue; `None` when empty.
+    #[inline]
+    pub fn dequeue(&mut self) -> Option<T> {
+        self.q.dequeue_tid(self.tid)
+    }
+
+    /// The thread slot this handle occupies (diagnostics).
+    pub fn tid(&self) -> usize {
+        self.tid
+    }
+
+    /// The queue this handle belongs to.
+    pub fn queue(&self) -> &'q WcqQueue<T> {
+        self.q
+    }
+}
+
+impl<T> Drop for WcqHandle<'_, T> {
+    fn drop(&mut self) {
+        self.q.slots[self.tid].store(false, SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn register_exhaustion_and_reuse() {
+        let q: WcqQueue<u32> = WcqQueue::new(4, 2);
+        let h1 = q.register().unwrap();
+        let h2 = q.register().unwrap();
+        assert!(q.register().is_none());
+        assert_ne!(h1.tid(), h2.tid());
+        drop(h1);
+        let h3 = q.register().unwrap();
+        assert_eq!(h3.tid(), 0, "slot 0 freed and reused");
+        drop(h2);
+        drop(h3);
+    }
+
+    #[test]
+    fn fifo_single_thread() {
+        let q: WcqQueue<u64> = WcqQueue::new(5, 1);
+        let mut h = q.register().unwrap();
+        for i in 0..32 {
+            assert!(h.enqueue(i).is_ok());
+        }
+        assert_eq!(h.enqueue(100), Err(100), "full at capacity");
+        for i in 0..32 {
+            assert_eq!(h.dequeue(), Some(i));
+        }
+        assert_eq!(h.dequeue(), None);
+    }
+
+    #[test]
+    fn wrap_many_cycles() {
+        let q: WcqQueue<u64> = WcqQueue::new(2, 1);
+        let mut h = q.register().unwrap();
+        for round in 0..2000u64 {
+            assert!(h.enqueue(round).is_ok());
+            assert!(h.enqueue(round + 1).is_ok());
+            assert_eq!(h.dequeue(), Some(round));
+            assert_eq!(h.dequeue(), Some(round + 1));
+            assert_eq!(h.dequeue(), None);
+        }
+    }
+
+    #[test]
+    fn drops_remaining() {
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        struct D;
+        impl Drop for D {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, SeqCst);
+            }
+        }
+        {
+            let q: WcqQueue<D> = WcqQueue::new(3, 1);
+            let mut h = q.register().unwrap();
+            for _ in 0..6 {
+                assert!(h.enqueue(D).is_ok());
+            }
+            drop(h.dequeue()); // 1
+        }
+        assert_eq!(DROPS.load(SeqCst), 6);
+    }
+
+    #[test]
+    fn empty_hint_tracks_state() {
+        let q: WcqQueue<u8> = WcqQueue::new(3, 1);
+        let mut h = q.register().unwrap();
+        assert!(q.is_empty_hint());
+        h.enqueue(1).unwrap();
+        assert!(!q.is_empty_hint());
+    }
+}

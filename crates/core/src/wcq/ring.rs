@@ -1,0 +1,852 @@
+//! The wait-free circular queue ring (paper §3, Figs. 4–7).
+//!
+//! [`WcqRing`] is a bounded MPMC queue of *indices* in `0..n`. Its fast path
+//! is SCQ (identical structure, plus the `Enq` bit and the 16-byte entry
+//! pair); after `MAX_PATIENCE` failed fast attempts an operation publishes a
+//! help request in its thread record and enters the slow path, where all
+//! cooperative threads (the helpee plus any helpers) replay the same
+//! sequence of tickets via [`slow_faa`](WcqRing) until one of them succeeds
+//! and sets `FIN`.
+//!
+//! Comments reference figure/line numbers of the SPAA '22 paper.
+
+use crate::pack::{enq_bit, pack_w, unpack_w, RingLayout, WEntry};
+use crate::wcq::record::{cnt_of, tag_from_seq, tag_of, ThreadRec, CNT_MASK, FIN, INC};
+use crate::WcqConfig;
+use crossbeam_utils::CachePadded;
+use dwcas::AtomicPair;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering::Relaxed, Ordering::SeqCst};
+
+/// Outcome of a dequeue on an index ring.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Deq {
+    /// An index was dequeued.
+    Index(u64),
+    /// The queue was observed empty.
+    Empty,
+}
+
+/// Wait-free bounded MPMC queue of indices in `0..n` (`n = 2^order`).
+///
+/// Like [`crate::scq::ScqRing`], the ring relies on the index-queue
+/// discipline (at most `n` distinct live indices, each enqueued at most once
+/// until dequeued); [`crate::WcqQueue`] enforces it. Violating the
+/// discipline can make `enqueue` loop (no memory unsafety).
+///
+/// Every operation takes the caller's thread id `tid < max_threads`; each
+/// `tid` must be used by at most one thread at a time (the safe handle layer
+/// guarantees this).
+pub struct WcqRing {
+    layout: RingLayout,
+    cfg: WcqConfig,
+    /// Global tail: `{cnt, phase2-ptr}` pair. Fast path F&As the counter
+    /// half; the slow path CAS2-es the whole pair (Fig. 7).
+    tail: CachePadded<AtomicPair>,
+    /// Global head, same shape as `tail`.
+    head: CachePadded<AtomicPair>,
+    threshold: CachePadded<AtomicI64>,
+    /// Entry pairs: `lo` = value word `{Cycle, IsSafe, Enq, Index}`,
+    /// `hi` = `Note` (an `i64` cycle, `-1` = none).
+    entries: Box<[AtomicPair]>,
+    /// One helping record per registered thread.
+    records: Box<[ThreadRec]>,
+}
+
+const NOTE_NONE: u64 = (-1i64) as u64;
+
+impl WcqRing {
+    /// Creates an empty ring with `n = 2^order` usable entries and room for
+    /// `max_threads` concurrently registered threads.
+    pub fn new_empty(order: u32, max_threads: usize, cfg: &WcqConfig) -> Self {
+        assert!(max_threads >= 1, "need at least one thread slot");
+        assert!(
+            (max_threads as u64) <= (1u64 << order),
+            "paper assumption k <= n violated: {max_threads} threads, n = {}",
+            1u64 << order
+        );
+        let layout = RingLayout::new(order, 2, cfg.remap);
+        let init_val = pack_w(
+            &layout,
+            WEntry {
+                cycle: 0,
+                is_safe: true,
+                enq: true,
+                index: layout.bot(),
+            },
+        );
+        let entries = (0..layout.ring_size)
+            .map(|_| AtomicPair::new(init_val, NOTE_NONE))
+            .collect();
+        let records = (0..max_threads)
+            .map(|i| ThreadRec::new(cfg.help_delay as u64, ((i + 1) % max_threads) as u64))
+            .collect();
+        WcqRing {
+            layout,
+            cfg: *cfg,
+            tail: CachePadded::new(AtomicPair::new(layout.ring_size, 0)),
+            head: CachePadded::new(AtomicPair::new(layout.ring_size, 0)),
+            threshold: CachePadded::new(AtomicI64::new(-1)),
+            entries,
+            records,
+        }
+    }
+
+    /// Creates a ring pre-filled with indices `0..n` (for `fq`).
+    pub fn new_full(order: u32, max_threads: usize, cfg: &WcqConfig) -> Self {
+        let ring = Self::new_empty(order, max_threads, cfg);
+        let l = &ring.layout;
+        let n = l.n();
+        for i in 0..n {
+            let ticket = l.ring_size + i;
+            let v = pack_w(
+                l,
+                WEntry {
+                    cycle: l.cycle(ticket),
+                    is_safe: true,
+                    enq: true,
+                    index: i,
+                },
+            );
+            // Single-threaded init: plain CAS2 from the known init value.
+            let cur = ring.entries[l.slot(ticket)].load2();
+            let ok = ring.entries[l.slot(ticket)].compare_exchange2(cur, (v, NOTE_NONE));
+            debug_assert!(ok);
+        }
+        ring.tail.fetch_add_lo(n);
+        ring.threshold.store(l.threshold_reset(), SeqCst);
+        ring
+    }
+
+    /// Usable capacity `n`.
+    #[inline]
+    pub fn capacity(&self) -> u64 {
+        self.layout.n()
+    }
+
+    /// Number of thread slots.
+    #[inline]
+    pub fn max_threads(&self) -> usize {
+        self.records.len()
+    }
+
+    /// The ring geometry (tests/diagnostics).
+    #[inline]
+    pub fn layout(&self) -> &RingLayout {
+        &self.layout
+    }
+
+    /// Current threshold (tests/diagnostics).
+    pub fn threshold(&self) -> i64 {
+        self.threshold.load(SeqCst)
+    }
+
+    // =====================================================================
+    // Fast path (Fig. 3 structure with wCQ's entry pairs, Fig. 5 consume)
+    // =====================================================================
+
+    /// One fast-path enqueue attempt. `Err(t)` carries the burned ticket.
+    #[inline]
+    fn try_enq(&self, index: u64) -> Result<(), u64> {
+        let l = &self.layout;
+        let t = self.tail.fetch_add_lo(1) & CNT_MASK;
+        let j = l.slot(t);
+        let cyc = l.cycle(t);
+        loop {
+            let word = self.entries[j].load_lo(); // value word only
+            let e = unpack_w(l, word);
+            if e.cycle < cyc
+                && (e.index == l.bot() || e.index == l.botc())
+                && (e.is_safe || self.head.load_lo() <= t)
+            {
+                // Fast path inserts in one step: Enq = 1 (Thm. 5.9).
+                let new = pack_w(
+                    l,
+                    WEntry {
+                        cycle: cyc,
+                        is_safe: true,
+                        enq: true,
+                        index,
+                    },
+                );
+                if !self.entries[j].compare_exchange_lo(word, new) {
+                    continue;
+                }
+                if self.threshold.load(SeqCst) != l.threshold_reset() {
+                    self.threshold.store(l.threshold_reset(), SeqCst);
+                }
+                return Ok(());
+            }
+            return Err(t);
+        }
+    }
+
+    /// One fast-path dequeue attempt.
+    #[inline]
+    fn try_deq(&self) -> Result<Deq, u64> {
+        let l = &self.layout;
+        let h = self.head.fetch_add_lo(1) & CNT_MASK;
+        let j = l.slot(h);
+        let cyc = l.cycle(h);
+        loop {
+            let word = self.entries[j].load_lo();
+            let e = unpack_w(l, word);
+            if e.cycle == cyc {
+                debug_assert!(
+                    e.index != l.bot() && e.index != l.botc(),
+                    "ticket {h} matched an unproduced slot"
+                );
+                self.consume(h, j, word);
+                return Ok(Deq::Index(e.index));
+            }
+            let new = if e.index == l.bot() || e.index == l.botc() {
+                pack_w(
+                    l,
+                    WEntry {
+                        cycle: cyc,
+                        is_safe: e.is_safe,
+                        enq: true,
+                        index: l.bot(),
+                    },
+                )
+            } else {
+                pack_w(
+                    l,
+                    WEntry {
+                        cycle: e.cycle,
+                        is_safe: false,
+                        enq: e.enq,
+                        index: e.index,
+                    },
+                )
+            };
+            if e.cycle < cyc && !self.entries[j].compare_exchange_lo(word, new) {
+                continue;
+            }
+            let t = self.tail.load_lo();
+            if t <= h + 1 {
+                self.catchup(t, h + 1);
+                self.threshold.fetch_sub(1, SeqCst);
+                return Ok(Deq::Empty);
+            }
+            if self.threshold.fetch_sub(1, SeqCst) <= 0 {
+                return Ok(Deq::Empty);
+            }
+            return Err(h);
+        }
+    }
+
+    /// Consume an entry (Fig. 5 lines 1–3): finalize a pending slow-path
+    /// enqueue if `Enq = 0`, then OR `{Enq=1, Index=⊥c}` into the value.
+    #[inline]
+    fn consume(&self, h: u64, j: usize, value_word: u64) {
+        if value_word & enq_bit(&self.layout) == 0 {
+            self.finalize_request(h);
+        }
+        self.entries[j].fetch_or_lo(enq_bit(&self.layout) | self.layout.botc());
+    }
+
+    /// Finds the enqueuer whose pending slow-path request produced ticket
+    /// `h` and sets its `FIN` flag (Fig. 5 lines 4–11). At most one record
+    /// can match: tickets are unique.
+    fn finalize_request(&self, h: u64) {
+        for rec in self.records.iter() {
+            let lv = rec.local_tail.load(SeqCst);
+            if lv & (FIN | INC) == 0 && cnt_of(lv) == h {
+                let _ = rec
+                    .local_tail
+                    .compare_exchange(lv, lv | FIN, SeqCst, SeqCst);
+                return;
+            }
+        }
+    }
+
+    /// Bounded tail catch-up (§3.2 "Bounding catchup").
+    fn catchup(&self, mut tail: u64, mut head: u64) {
+        for _ in 0..self.cfg.max_catchup {
+            if self.tail.compare_exchange_lo(tail, head) {
+                break;
+            }
+            head = self.head.load_lo();
+            tail = self.tail.load_lo();
+            if tail >= head {
+                break;
+            }
+        }
+    }
+
+    // =====================================================================
+    // Helping (Fig. 6)
+    // =====================================================================
+
+    /// Periodically scan one peer for a pending request (Fig. 6 lines 1–12).
+    #[inline]
+    fn help_threads(&self, tid: usize) {
+        let rec = &self.records[tid];
+        let nc = rec.next_check.load(Relaxed);
+        if nc != 0 {
+            rec.next_check.store(nc - 1, Relaxed);
+            return;
+        }
+        rec.next_check.store(self.cfg.help_delay as u64, Relaxed);
+        let t = rec.next_tid.load(Relaxed) as usize % self.records.len();
+        let thr = &self.records[t];
+        if t != tid && thr.pending.load(SeqCst) == 1 {
+            if thr.enqueue.load(SeqCst) == 1 {
+                self.help_enqueue(rec, thr);
+            } else {
+                self.help_dequeue(rec, thr);
+            }
+        }
+        rec.next_tid
+            .store(((t + 1) % self.records.len()) as u64, Relaxed);
+    }
+
+    /// Fig. 6 lines 13–19. `me` is the helper's own record (owner of the
+    /// phase-2 area used inside `slow_faa`); `thr` is the helpee.
+    #[cold]
+    fn help_enqueue(&self, me: &ThreadRec, thr: &ThreadRec) {
+        let seq = thr.seq2.load(SeqCst);
+        let tag = tag_from_seq(seq);
+        let idx = thr.index.load(SeqCst);
+        let init = thr.init_tail.load(SeqCst);
+        if thr.enqueue.load(SeqCst) == 1 && thr.seq1.load(SeqCst) == seq && tag_of(init) == tag {
+            self.enqueue_slow(me, init, idx, thr, tag);
+        }
+    }
+
+    /// Fig. 6 lines 20–25.
+    #[cold]
+    fn help_dequeue(&self, me: &ThreadRec, thr: &ThreadRec) {
+        let seq = thr.seq2.load(SeqCst);
+        let tag = tag_from_seq(seq);
+        let init = thr.init_head.load(SeqCst);
+        if thr.enqueue.load(SeqCst) == 0 && thr.seq1.load(SeqCst) == seq && tag_of(init) == tag {
+            self.dequeue_slow(me, init, thr, tag);
+        }
+    }
+
+    // =====================================================================
+    // Slow path (Fig. 7)
+    // =====================================================================
+
+    /// `load_global_help_phase2` (Fig. 7 lines 77–88): load the global pair,
+    /// completing any pending phase-2 request found in its pointer half.
+    ///
+    /// Returns the global counter, or `None` if our request finished
+    /// (`FIN`, or — reproduction hardening — the record moved to a newer
+    /// request, i.e. a tag mismatch).
+    fn load_global_help_phase2(
+        &self,
+        global: &AtomicPair,
+        mylocal: &AtomicU64,
+        tag: u64,
+    ) -> Option<u64> {
+        loop {
+            let lv = mylocal.load(SeqCst);
+            if lv & FIN != 0 || tag_of(lv) != tag {
+                return None; // the outer loop exits (line 79)
+            }
+            let (gcnt, gptr) = global.load2();
+            if gptr == 0 {
+                return Some(gcnt); // no help request (line 82)
+            }
+            // SAFETY: `gptr` was published by `slow_faa` on this ring and is
+            // the address of a `ThreadRec` inside `self.records`, which lives
+            // as long as `self`. Contents may be stale; the seqlock guards.
+            let ph = unsafe { &*(gptr as usize as *const ThreadRec) };
+            if let Some((local_addr, cnt)) = ph.read_phase2() {
+                // Help complete phase 2: clear INC on the requester's local.
+                // Fails harmlessly if `local` already advanced (line 86).
+                // SAFETY: `local_addr` is the address of a `localTail`/
+                // `localHead` atomic inside `self.records`.
+                let local = unsafe { &*(local_addr as *const AtomicU64) };
+                let _ = local.compare_exchange(cnt | INC, cnt, SeqCst, SeqCst);
+            }
+            // Clear the pointer; monotonic counters prevent ABA (line 87).
+            if global.compare_exchange2((gcnt, gptr), (gcnt, 0)) {
+                return Some(gcnt);
+            }
+        }
+    }
+
+    /// `slow_F&A` (Fig. 7 lines 21–37): advance this request's `local` word
+    /// to the next ticket, incrementing the global counter exactly once per
+    /// ticket across all cooperative threads.
+    ///
+    /// * `my_rec` — the **calling** thread's record (owns the phase-2 area).
+    /// * `local` — the helpee's `localTail`/`localHead` word.
+    /// * `v` — in/out: the last tagged local value this thread processed;
+    ///   on `true` it holds the tagged ticket to probe next.
+    /// * `dec_threshold` — dequeue side: decrement the threshold once per
+    ///   ticket (Lemma 5.6).
+    ///
+    /// Returns `false` when the request has completed (`FIN`/tag change).
+    fn slow_faa(
+        &self,
+        my_rec: &ThreadRec,
+        global: &AtomicPair,
+        local: &AtomicU64,
+        v: &mut u64,
+        tag: u64,
+        dec_threshold: bool,
+    ) -> bool {
+        loop {
+            let cnt_opt = self.load_global_help_phase2(global, local, tag);
+            let gcnt: u64;
+            match cnt_opt {
+                Some(c)
+                    if local
+                        .compare_exchange(*v, tag | c | INC, SeqCst, SeqCst)
+                        .is_ok() =>
+                {
+                    // Phase 1 complete (line 30).
+                    debug_assert!(c & !CNT_MASK == 0, "ticket counter overflow");
+                    *v = tag | c | INC;
+                    gcnt = c;
+                }
+                _ => {
+                    // Someone else advanced the request — resynchronize
+                    // (lines 26–29).
+                    let lv = local.load(SeqCst);
+                    *v = lv;
+                    if lv & FIN != 0 || tag_of(lv) != tag {
+                        return false;
+                    }
+                    if lv & INC == 0 {
+                        return true; // ticket already fully allocated
+                    }
+                    gcnt = cnt_of(lv);
+                }
+            }
+            // Publish the phase-2 request and try to perform the global
+            // increment for ticket `gcnt` (lines 31–32).
+            my_rec.prepare_phase2(local as *const AtomicU64 as usize, tag | gcnt);
+            if global.compare_exchange2((gcnt, 0), (gcnt + 1, my_rec as *const ThreadRec as u64)) {
+                if dec_threshold {
+                    // Exactly once per head change (Lemma 5.6, line 33).
+                    self.threshold.fetch_sub(1, SeqCst);
+                }
+                // Phase 2: clear INC, then retract the help pointer
+                // (lines 34–36). Both CASes may fail if already helped.
+                let _ = local.compare_exchange(tag | gcnt | INC, tag | gcnt, SeqCst, SeqCst);
+                let _ = global.compare_exchange2(
+                    (gcnt + 1, my_rec as *const ThreadRec as u64),
+                    (gcnt + 1, 0),
+                );
+                *v = tag | gcnt;
+                return true;
+            }
+            // Global moved (or a phase-2 pointer appeared): loop and retry.
+        }
+    }
+
+    /// `try_enq_slow` (Fig. 7 lines 1–20). `t` is the untagged ticket.
+    ///
+    /// Returns `true` when the request's element is (already) produced for
+    /// this ticket, `false` when the ticket must be abandoned.
+    fn try_enq_slow(&self, t: u64, index: u64, helpee: &ThreadRec, tag: u64) -> bool {
+        let l = &self.layout;
+        let j = l.slot(t);
+        let cyc = l.cycle(t);
+        loop {
+            let (val, note) = self.entries[j].load2();
+            let e = unpack_w(l, val);
+            if e.cycle < cyc && (note as i64) < cyc as i64 {
+                if !(e.is_safe || self.head.load_lo() <= t)
+                    || (e.index != l.bot() && e.index != l.botc())
+                {
+                    // Slot unusable: advance Note so every cooperative
+                    // thread skips it consistently (lines 7–10).
+                    if !self.entries[j].compare_exchange2((val, note), (val, cyc)) {
+                        continue;
+                    }
+                    return false;
+                }
+                // Produce the entry two-step: Enq = 0 first (lines 11–13).
+                let produced = pack_w(
+                    l,
+                    WEntry {
+                        cycle: cyc,
+                        is_safe: true,
+                        enq: false,
+                        index,
+                    },
+                );
+                if !self.entries[j].compare_exchange2((val, note), (produced, note)) {
+                    continue;
+                }
+                // Finalize the help request (line 14); if we win, flip
+                // Enq to 1 (lines 15–17). Losing means a dequeuer already
+                // consumed the entry and finalized for us.
+                if helpee
+                    .local_tail
+                    .compare_exchange(tag | t, tag | t | FIN, SeqCst, SeqCst)
+                    .is_ok()
+                {
+                    let _ = self.entries[j]
+                        .compare_exchange2((produced, note), (produced | enq_bit(l), note));
+                }
+                // An element entered the queue: reset the threshold
+                // unconditionally (DESIGN.md §3.3).
+                if self.threshold.load(SeqCst) != l.threshold_reset() {
+                    self.threshold.store(l.threshold_reset(), SeqCst);
+                }
+                return true;
+            }
+            // Lines 19–20, with the ⊥-disambiguation: the slot holds our
+            // cycle. It is our group's production (a real index, possibly
+            // already consumed to ⊥c) — success — unless a dequeuer of the
+            // same ticket beat the whole group and wrote `{cyc, ⊥}`, in
+            // which case the ticket is lost and we must move on.
+            return e.cycle == cyc && e.index != l.bot();
+        }
+    }
+
+    /// `try_deq_slow` (Fig. 7 lines 43–69). `h` is the untagged ticket.
+    fn try_deq_slow(&self, h: u64, helpee: &ThreadRec, tag: u64) -> bool {
+        let l = &self.layout;
+        let j = l.slot(h);
+        let cyc = l.cycle(h);
+        loop {
+            let (val, note) = self.entries[j].load2();
+            let e = unpack_w(l, val);
+            // Ready, or already consumed by the owner (⊥c): success and
+            // terminate all helpers (lines 47–49).
+            if e.cycle == cyc && e.index != l.bot() {
+                let _ = helpee
+                    .local_head
+                    .compare_exchange(tag | h, tag | h | FIN, SeqCst, SeqCst);
+                return true;
+            }
+            let mut new_val = pack_w(
+                l,
+                WEntry {
+                    cycle: cyc,
+                    is_safe: e.is_safe,
+                    enq: true,
+                    index: l.bot(),
+                },
+            );
+            if e.index != l.bot() && e.index != l.botc() {
+                if e.cycle < cyc && (note as i64) < cyc as i64 {
+                    // Avert late cooperative dequeuers (lines 53–57), then
+                    // re-inspect (the paper re-reads via the failing CAS2).
+                    if self.entries[j].compare_exchange2((val, note), (val, cyc)) {
+                        continue;
+                    }
+                    continue;
+                }
+                new_val = pack_w(
+                    l,
+                    WEntry {
+                        cycle: e.cycle,
+                        is_safe: false,
+                        enq: e.enq,
+                        index: e.index,
+                    },
+                );
+            }
+            if e.cycle < cyc && !self.entries[j].compare_exchange2((val, note), (new_val, note)) {
+                continue;
+            }
+            // Empty check (lines 63–68). The threshold was already
+            // decremented for this ticket inside `slow_faa`.
+            let t = self.tail.load_lo();
+            if t <= h + 1 {
+                self.catchup(t, h + 1);
+                if self.threshold.load(SeqCst) < 0 {
+                    let _ = helpee
+                        .local_head
+                        .compare_exchange(tag | h, tag | h | FIN, SeqCst, SeqCst);
+                    return true; // empty result
+                }
+            }
+            return false;
+        }
+    }
+
+    /// `enqueue_slow` (Fig. 7 lines 70–72). `me` owns the phase-2 area.
+    fn enqueue_slow(&self, me: &ThreadRec, v0: u64, index: u64, helpee: &ThreadRec, tag: u64) {
+        let mut v = v0;
+        while self.slow_faa(me, &self.tail, &helpee.local_tail, &mut v, tag, false) {
+            if self.try_enq_slow(cnt_of(v), index, helpee, tag) {
+                break;
+            }
+        }
+    }
+
+    /// `dequeue_slow` (Fig. 7 lines 73–76). `me` owns the phase-2 area.
+    fn dequeue_slow(&self, me: &ThreadRec, v0: u64, helpee: &ThreadRec, tag: u64) {
+        let mut v = v0;
+        while self.slow_faa(me, &self.head, &helpee.local_head, &mut v, tag, true) {
+            if self.try_deq_slow(cnt_of(v), helpee, tag) {
+                break;
+            }
+        }
+    }
+
+    // =====================================================================
+    // Public operations (Fig. 5)
+    // =====================================================================
+
+    /// Wait-free enqueue of `index` under thread id `tid`.
+    pub fn enqueue(&self, tid: usize, index: u64) {
+        debug_assert!(index < self.layout.n());
+        self.help_threads(tid);
+        // == fast path (SCQ) ==
+        let mut tail = 0;
+        for attempt in 0..self.cfg.max_patience_enq.max(1) {
+            match self.try_enq(index) {
+                Ok(()) => return,
+                Err(t) => tail = t,
+            }
+            let _ = attempt;
+        }
+        // == slow path (wCQ) ==
+        let rec = &self.records[tid];
+        let seq = rec.seq1.load(Relaxed);
+        let tag = tag_from_seq(seq);
+        rec.local_tail.store(tag | tail, SeqCst);
+        rec.init_tail.store(tag | tail, SeqCst);
+        rec.index.store(index, SeqCst);
+        rec.enqueue.store(1, SeqCst);
+        rec.seq2.store(seq, SeqCst);
+        rec.pending.store(1, SeqCst);
+        self.enqueue_slow(rec, tag | tail, index, rec, tag);
+        rec.pending.store(0, SeqCst);
+        rec.seq1.store(seq.wrapping_add(1), SeqCst);
+    }
+
+    /// Wait-free dequeue under thread id `tid`.
+    pub fn dequeue(&self, tid: usize) -> Option<u64> {
+        let l = &self.layout;
+        if self.threshold.load(SeqCst) < 0 {
+            return None; // O(1) empty fast path (Fig. 5 lines 30–31)
+        }
+        self.help_threads(tid);
+        // == fast path (SCQ) ==
+        let mut head = 0;
+        for _ in 0..self.cfg.max_patience_deq.max(1) {
+            match self.try_deq() {
+                Ok(Deq::Index(i)) => return Some(i),
+                Ok(Deq::Empty) => return None,
+                Err(h) => head = h,
+            }
+        }
+        // == slow path (wCQ) ==
+        let rec = &self.records[tid];
+        let seq = rec.seq1.load(Relaxed);
+        let tag = tag_from_seq(seq);
+        rec.local_head.store(tag | head, SeqCst);
+        rec.init_head.store(tag | head, SeqCst);
+        rec.enqueue.store(0, SeqCst);
+        rec.seq2.store(seq, SeqCst);
+        rec.pending.store(1, SeqCst);
+        self.dequeue_slow(rec, tag | head, rec, tag);
+        rec.pending.store(0, SeqCst);
+        rec.seq1.store(seq.wrapping_add(1), SeqCst);
+        // Gather the slow-path result (Fig. 5 lines 48–54).
+        let h = cnt_of(rec.local_head.load(SeqCst));
+        let j = l.slot(h);
+        let (val, _note) = self.entries[j].load2();
+        let e = unpack_w(l, val);
+        if e.cycle == l.cycle(h) && e.index != l.bot() {
+            debug_assert!(
+                e.index != l.botc(),
+                "slow-path dequeue result consumed by someone else"
+            );
+            self.consume(h, j, val);
+            return Some(e.index);
+        }
+        None
+    }
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+    use std::sync::{Arc, Mutex};
+
+    fn cfg_default() -> WcqConfig {
+        WcqConfig::default()
+    }
+
+    #[test]
+    fn starts_empty() {
+        let r = WcqRing::new_empty(4, 2, &cfg_default());
+        assert_eq!(r.dequeue(0), None);
+        assert_eq!(r.threshold(), -1);
+    }
+
+    #[test]
+    fn full_init_yields_indices_in_order() {
+        let r = WcqRing::new_full(4, 2, &cfg_default());
+        let got: Vec<u64> = std::iter::from_fn(|| r.dequeue(0)).collect();
+        assert_eq!(got, (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fifo_single_thread() {
+        let r = WcqRing::new_empty(5, 1, &cfg_default());
+        for i in 0..32 {
+            r.enqueue(0, i);
+        }
+        for i in 0..32 {
+            assert_eq!(r.dequeue(0), Some(i));
+        }
+        assert_eq!(r.dequeue(0), None);
+    }
+
+    #[test]
+    fn wraps_many_cycles() {
+        let r = WcqRing::new_empty(2, 1, &cfg_default());
+        for round in 0..3000u64 {
+            r.enqueue(0, round % 4);
+            r.enqueue(0, (round + 1) % 4);
+            assert_eq!(r.dequeue(0), Some(round % 4));
+            assert_eq!(r.dequeue(0), Some((round + 1) % 4));
+            assert_eq!(r.dequeue(0), None);
+        }
+    }
+
+    #[test]
+    fn single_thread_forced_slow_path_still_fifo() {
+        // patience = 1 forces the slow path whenever the single fast attempt
+        // fails; with one thread the fast attempt mostly succeeds, but the
+        // config also exercises help_delay = 0 bookkeeping on every op.
+        let r = WcqRing::new_empty(3, 1, &WcqConfig::stress());
+        for round in 0..500u64 {
+            for i in 0..8 {
+                r.enqueue(0, (i + round) % 8);
+            }
+            for i in 0..8 {
+                assert_eq!(r.dequeue(0), Some((i + round) % 8));
+            }
+            assert_eq!(r.dequeue(0), None);
+        }
+    }
+
+    fn mpmc_exact_delivery(cfg: WcqConfig, order: u32, threads: usize, per: u64) {
+        // Index-queue discipline: we model a data queue by circulating
+        // indices through two rings, like WcqQueue does, and check that the
+        // multiset of delivered (producer, seq) pairs is exact.
+        let q = Arc::new(crate::WcqQueue::<u64>::with_config(
+            order,
+            threads * 2,
+            &cfg,
+        ));
+        let done = Arc::new(AtomicBool::new(false));
+        let sink = Arc::new(Mutex::new(Vec::new()));
+        let mut producers = Vec::new();
+        for p in 0..threads as u64 {
+            let q = Arc::clone(&q);
+            producers.push(std::thread::spawn(move || {
+                let mut h = q.register().expect("producer slot");
+                for i in 0..per {
+                    let mut v = p << 32 | i;
+                    loop {
+                        match h.enqueue(v) {
+                            Ok(()) => break,
+                            Err(back) => {
+                                v = back;
+                                std::thread::yield_now();
+                            }
+                        }
+                    }
+                }
+            }));
+        }
+        let mut consumers = Vec::new();
+        for _ in 0..threads {
+            let q = Arc::clone(&q);
+            let done = Arc::clone(&done);
+            let sink = Arc::clone(&sink);
+            consumers.push(std::thread::spawn(move || {
+                let mut h = q.register().expect("consumer slot");
+                let mut local = Vec::new();
+                loop {
+                    match h.dequeue() {
+                        Some(v) => local.push(v),
+                        None if done.load(SeqCst) => break,
+                        None => std::thread::yield_now(),
+                    }
+                }
+                sink.lock().unwrap().extend(local);
+            }));
+        }
+        for h in producers {
+            h.join().unwrap();
+        }
+        done.store(true, SeqCst);
+        for h in consumers {
+            h.join().unwrap();
+        }
+        let got = sink.lock().unwrap();
+        let expect = threads as u64 * per;
+        assert_eq!(got.len() as u64, expect, "lost or duplicated elements");
+        let set: std::collections::HashSet<u64> = got.iter().copied().collect();
+        assert_eq!(set.len() as u64, expect, "duplicate delivery");
+    }
+
+    #[test]
+    fn mpmc_default_config() {
+        mpmc_exact_delivery(WcqConfig::default(), 6, 4, 4_000);
+    }
+
+    #[test]
+    fn mpmc_forced_slow_path() {
+        // Tiny patience + help every op: the slow path and helping machinery
+        // run constantly. Small ring maximizes contention and wrap-around.
+        mpmc_exact_delivery(WcqConfig::stress(), 4, 4, 2_000);
+    }
+
+    #[test]
+    fn mpmc_tiny_ring_heavy_wrap() {
+        let cfg = WcqConfig {
+            max_patience_enq: 2,
+            max_patience_deq: 2,
+            help_delay: 1,
+            max_catchup: 2,
+            remap: true,
+        };
+        mpmc_exact_delivery(cfg, 3, 4, 1_500);
+    }
+
+    #[test]
+    fn stalled_helpee_is_completed_by_helpers() {
+        // A thread publishes an enqueue help request and then "stalls"
+        // (we simulate by driving only other threads). Helpers must finish
+        // its insertion. We approximate the stall by using a queue whose
+        // patience is exhausted instantly and verifying global progress.
+        let cfg = WcqConfig::stress();
+        let r = Arc::new(WcqRing::new_empty(4, 3, &cfg));
+        // Fill half the ring from thread 0.
+        for i in 0..8 {
+            r.enqueue(0, i);
+        }
+        // Two other threads hammer dequeue+enqueue; all elements keep
+        // circulating; nothing is lost even with constant slow paths.
+        let mut hs = Vec::new();
+        for tid in 1..3 {
+            let r = Arc::clone(&r);
+            hs.push(std::thread::spawn(move || {
+                let mut seen = 0u64;
+                while seen < 20_000 {
+                    if let Some(i) = r.dequeue(tid) {
+                        r.enqueue(tid, i);
+                        seen += 1;
+                    }
+                }
+            }));
+        }
+        for h in hs {
+            h.join().unwrap();
+        }
+        // Exactly 8 distinct indices still inside.
+        let mut drained: Vec<u64> = std::iter::from_fn(|| r.dequeue(0)).collect();
+        drained.sort_unstable();
+        assert_eq!(drained, (0..8).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,184 @@
+//! Reference models and MPMC checkers used by the integration tests.
+//!
+//! Two levels of checking:
+//!
+//! * [`SeqModel`] — a plain `VecDeque` oracle for *sequential* equivalence
+//!   (driven by proptest over arbitrary op strings).
+//! * [`DeliveryLog`] / [`check_delivery`] — for concurrent runs: verifies
+//!   exact-multiset delivery (no loss, no duplication) and per-producer
+//!   FIFO order, the two properties every linearizable MPMC queue must
+//!   satisfy and that catch essentially all real bugs in queue algorithms.
+
+use std::collections::{HashMap, VecDeque};
+
+/// Sequential queue oracle.
+#[derive(Default, Debug)]
+pub struct SeqModel {
+    inner: VecDeque<u64>,
+    capacity: Option<usize>,
+}
+
+impl SeqModel {
+    /// Unbounded oracle.
+    pub fn unbounded() -> Self {
+        SeqModel {
+            inner: VecDeque::new(),
+            capacity: None,
+        }
+    }
+
+    /// Bounded oracle with `capacity` slots.
+    pub fn bounded(capacity: usize) -> Self {
+        SeqModel {
+            inner: VecDeque::new(),
+            capacity: Some(capacity),
+        }
+    }
+
+    /// Enqueue; `false` when the bounded oracle is full.
+    pub fn enqueue(&mut self, v: u64) -> bool {
+        if let Some(cap) = self.capacity {
+            if self.inner.len() >= cap {
+                return false;
+            }
+        }
+        self.inner.push_back(v);
+        true
+    }
+
+    /// Dequeue; `None` when empty.
+    pub fn dequeue(&mut self) -> Option<u64> {
+        self.inner.pop_front()
+    }
+
+    /// Current length.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+}
+
+/// Everything consumers observed in a concurrent run.
+#[derive(Default, Debug)]
+pub struct DeliveryLog {
+    /// All dequeued values, in per-consumer order (consumer id, value).
+    pub consumed: Vec<(usize, u64)>,
+    /// Values each producer enqueued, in order.
+    pub produced: Vec<Vec<u64>>,
+}
+
+/// Encodes `(producer, seq)` the way all tests tag values.
+pub fn tag(producer: usize, seq: u64) -> u64 {
+    (producer as u64) << 32 | (seq & 0xffff_ffff)
+}
+
+/// Decodes a tagged value.
+pub fn untag(v: u64) -> (usize, u64) {
+    ((v >> 32) as usize, v & 0xffff_ffff)
+}
+
+/// Verifies exact-multiset delivery and per-producer FIFO order.
+/// Panics with a diagnostic on the first violation.
+pub fn check_delivery(log: &DeliveryLog) {
+    // Exact multiset.
+    let mut expected: HashMap<u64, usize> = HashMap::new();
+    for vals in &log.produced {
+        for &v in vals {
+            *expected.entry(v).or_default() += 1;
+        }
+    }
+    for &(_, v) in &log.consumed {
+        match expected.get_mut(&v) {
+            Some(c) if *c > 0 => *c -= 1,
+            _ => panic!("value {v:#x} dequeued but never produced (or duplicated)"),
+        }
+    }
+    let missing: usize = expected.values().sum();
+    assert_eq!(missing, 0, "{missing} produced values were never dequeued");
+
+    // Per-producer FIFO: within each consumer's local order, sequence
+    // numbers from one producer must increase (single-consumer projection
+    // of linearizability for FIFO queues).
+    let mut per_consumer_last: HashMap<(usize, usize), u64> = HashMap::new();
+    for &(cons, v) in &log.consumed {
+        let (p, s) = untag(v);
+        if let Some(&last) = per_consumer_last.get(&(cons, p)) {
+            assert!(
+                s > last,
+                "consumer {cons} saw producer {p} out of order: {s} after {last}"
+            );
+        }
+        per_consumer_last.insert((cons, p), s);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_bounded_semantics() {
+        let mut m = SeqModel::bounded(2);
+        assert!(m.enqueue(1));
+        assert!(m.enqueue(2));
+        assert!(!m.enqueue(3), "full");
+        assert_eq!(m.dequeue(), Some(1));
+        assert!(m.enqueue(3));
+        assert_eq!(m.dequeue(), Some(2));
+        assert_eq!(m.dequeue(), Some(3));
+        assert_eq!(m.dequeue(), None);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn tag_roundtrip() {
+        for p in [0usize, 1, 77, 4095] {
+            for s in [0u64, 1, 0xffff_fffe] {
+                assert_eq!(untag(tag(p, s)), (p, s));
+            }
+        }
+    }
+
+    #[test]
+    fn delivery_ok() {
+        let log = DeliveryLog {
+            produced: vec![vec![tag(0, 0), tag(0, 1)], vec![tag(1, 0)]],
+            consumed: vec![(0, tag(0, 0)), (1, tag(1, 0)), (0, tag(0, 1))],
+        };
+        check_delivery(&log);
+    }
+
+    #[test]
+    #[should_panic(expected = "never dequeued")]
+    fn delivery_detects_loss() {
+        let log = DeliveryLog {
+            produced: vec![vec![tag(0, 0), tag(0, 1)]],
+            consumed: vec![(0, tag(0, 0))],
+        };
+        check_delivery(&log);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicated")]
+    fn delivery_detects_duplication() {
+        let log = DeliveryLog {
+            produced: vec![vec![tag(0, 0)]],
+            consumed: vec![(0, tag(0, 0)), (1, tag(0, 0))],
+        };
+        check_delivery(&log);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of order")]
+    fn delivery_detects_reordering() {
+        let log = DeliveryLog {
+            produced: vec![vec![tag(0, 0), tag(0, 1)]],
+            consumed: vec![(0, tag(0, 1)), (0, tag(0, 0))],
+        };
+        check_delivery(&log);
+    }
+}

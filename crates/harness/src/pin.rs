@@ -1,0 +1,70 @@
+//! Best-effort thread pinning.
+//!
+//! The paper pins nothing explicitly but runs on dedicated multi-socket
+//! hardware; on shared/virtualized runners pinning reduces variance. This
+//! is a measurement aid only — queue crates never depend on it.
+
+/// Pins the calling thread to `core % available_parallelism`. Silently does
+/// nothing if the platform call fails (e.g., restricted containers).
+pub fn pin_to_core(core: usize) {
+    #[cfg(target_os = "linux")]
+    {
+        let ncpu = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let target = core % ncpu;
+        // SAFETY: cpu_set_t is a plain bitset; FFI call with valid pointers.
+        unsafe {
+            let mut set: libc::cpu_set_t = std::mem::zeroed();
+            libc::CPU_SET(target, &mut set);
+            let _ = libc::sched_setaffinity(
+                0,
+                std::mem::size_of::<libc::cpu_set_t>(),
+                &set as *const libc::cpu_set_t,
+            );
+        }
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        let _ = core;
+    }
+}
+
+/// Resident-set size of the current process in bytes (Linux), or `None`.
+/// Complements the allocator census with an OS-level view.
+pub fn rss_bytes() -> Option<usize> {
+    #[cfg(target_os = "linux")]
+    {
+        let statm = std::fs::read_to_string("/proc/self/statm").ok()?;
+        let pages: usize = statm.split_whitespace().nth(1)?.parse().ok()?;
+        // SAFETY: trivial libc call.
+        let page = unsafe { libc::sysconf(libc::_SC_PAGESIZE) };
+        if page <= 0 {
+            return None;
+        }
+        Some(pages * page as usize)
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pin_does_not_crash() {
+        pin_to_core(0);
+        pin_to_core(999); // wraps modulo cpu count
+    }
+
+    #[test]
+    fn rss_is_plausible_on_linux() {
+        if cfg!(target_os = "linux") {
+            let rss = rss_bytes().expect("statm readable");
+            assert!(rss > 100 * 1024, "rss {rss} too small to be real");
+        }
+    }
+}

@@ -1,0 +1,388 @@
+//! Uniform benchmarking interface over all evaluated queues.
+//!
+//! Every queue exposes per-thread handles (hazard pointers, combining nodes,
+//! helping records, …), so the trait hands out a handle per worker thread
+//! (GAT) and the drivers are monomorphized per queue — no virtual dispatch
+//! on the hot path, as the perf guide prescribes.
+
+use baselines::{CcQueue, CrTurnQueue, FaaQueue, Lcrq, MsQueue, YmcQueue};
+use wcq::{ScqQueue, WcqConfig, WcqQueue};
+
+/// A queue that can run the paper's workloads.
+pub trait BenchQueue: Sync {
+    /// Per-thread access handle.
+    type Handle<'a>: QueueHandle + Send
+    where
+        Self: 'a;
+    /// Display name used in the figure tables.
+    fn name(&self) -> &'static str;
+    /// Registers the calling thread.
+    fn handle(&self) -> Self::Handle<'_>;
+}
+
+/// Per-thread operations.
+pub trait QueueHandle {
+    /// Enqueue; `false` when a bounded queue is full.
+    fn enqueue(&mut self, v: u64) -> bool;
+    /// Dequeue; `None` when empty.
+    fn dequeue(&mut self) -> Option<u64>;
+}
+
+/// Queue construction parameters shared by the figure harness.
+#[derive(Clone, Copy, Debug)]
+pub struct QueueSpec {
+    /// Maximum worker threads that will touch the queue.
+    pub max_threads: usize,
+    /// Ring order for the bounded rings (wCQ/SCQ use `2^order`; the paper's
+    /// evaluation uses 2^16).
+    pub ring_order: u32,
+    /// Tuning knobs for wCQ/SCQ.
+    pub cfg: WcqConfig,
+}
+
+impl Default for QueueSpec {
+    fn default() -> Self {
+        QueueSpec {
+            max_threads: 8,
+            ring_order: 16,
+            cfg: WcqConfig::default(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------- wCQ -----
+
+/// Adapter: the paper's wCQ (wait-free, bounded).
+pub struct WcqBench(pub WcqQueue<u64>);
+
+impl WcqBench {
+    /// Builds from a [`QueueSpec`].
+    pub fn new(spec: &QueueSpec) -> Self {
+        WcqBench(WcqQueue::with_config(
+            spec.ring_order,
+            spec.max_threads,
+            &spec.cfg,
+        ))
+    }
+}
+
+impl BenchQueue for WcqBench {
+    type Handle<'a> = wcq::WcqHandle<'a, u64>;
+    fn name(&self) -> &'static str {
+        "wCQ"
+    }
+    fn handle(&self) -> Self::Handle<'_> {
+        self.0.register().expect("wCQ thread slots exhausted")
+    }
+}
+
+impl QueueHandle for wcq::WcqHandle<'_, u64> {
+    #[inline]
+    fn enqueue(&mut self, v: u64) -> bool {
+        WcqHandleExt::enqueue(self, v)
+    }
+    #[inline]
+    fn dequeue(&mut self) -> Option<u64> {
+        WcqHandleExt::dequeue(self)
+    }
+}
+
+// Helper to disambiguate from the trait method names.
+trait WcqHandleExt {
+    fn enqueue(&mut self, v: u64) -> bool;
+    fn dequeue(&mut self) -> Option<u64>;
+}
+impl WcqHandleExt for wcq::WcqHandle<'_, u64> {
+    #[inline]
+    fn enqueue(&mut self, v: u64) -> bool {
+        wcq::WcqHandle::enqueue(self, v).is_ok()
+    }
+    #[inline]
+    fn dequeue(&mut self) -> Option<u64> {
+        wcq::WcqHandle::dequeue(self)
+    }
+}
+
+// ---------------------------------------------------------------- SCQ -----
+
+/// Adapter: SCQ (lock-free, bounded) — the substrate baseline.
+pub struct ScqBench(pub ScqQueue<u64>);
+
+impl ScqBench {
+    /// Builds from a [`QueueSpec`].
+    pub fn new(spec: &QueueSpec) -> Self {
+        ScqBench(ScqQueue::with_config(spec.ring_order, &spec.cfg))
+    }
+}
+
+/// SCQ needs no per-thread state; the handle is a shared reference.
+pub struct ScqHandle<'a>(&'a ScqQueue<u64>);
+
+impl BenchQueue for ScqBench {
+    type Handle<'a> = ScqHandle<'a>;
+    fn name(&self) -> &'static str {
+        "SCQ"
+    }
+    fn handle(&self) -> Self::Handle<'_> {
+        ScqHandle(&self.0)
+    }
+}
+
+impl QueueHandle for ScqHandle<'_> {
+    #[inline]
+    fn enqueue(&mut self, v: u64) -> bool {
+        self.0.enqueue(v).is_ok()
+    }
+    #[inline]
+    fn dequeue(&mut self) -> Option<u64> {
+        self.0.dequeue()
+    }
+}
+
+// ---------------------------------------------------------------- FAA -----
+
+/// Adapter: the F&A upper-bound pseudo-queue.
+pub struct FaaBench(pub FaaQueue);
+
+impl FaaBench {
+    /// Builds from a [`QueueSpec`].
+    pub fn new(_spec: &QueueSpec) -> Self {
+        FaaBench(FaaQueue::new())
+    }
+}
+
+/// Shared-reference handle (FAA keeps no thread state).
+pub struct FaaHandle<'a>(&'a FaaQueue);
+
+impl BenchQueue for FaaBench {
+    type Handle<'a> = FaaHandle<'a>;
+    fn name(&self) -> &'static str {
+        "FAA"
+    }
+    fn handle(&self) -> Self::Handle<'_> {
+        FaaHandle(&self.0)
+    }
+}
+
+impl QueueHandle for FaaHandle<'_> {
+    #[inline]
+    fn enqueue(&mut self, v: u64) -> bool {
+        self.0.enqueue(v);
+        true
+    }
+    #[inline]
+    fn dequeue(&mut self) -> Option<u64> {
+        self.0.dequeue()
+    }
+}
+
+// ------------------------------------------------------------ MSQueue -----
+
+/// Adapter: Michael & Scott queue.
+pub struct MsBench(pub MsQueue);
+
+impl MsBench {
+    /// Builds from a [`QueueSpec`].
+    pub fn new(spec: &QueueSpec) -> Self {
+        MsBench(MsQueue::new(spec.max_threads))
+    }
+}
+
+impl BenchQueue for MsBench {
+    type Handle<'a> = baselines::msqueue::MsHandle<'a>;
+    fn name(&self) -> &'static str {
+        "MSQueue"
+    }
+    fn handle(&self) -> Self::Handle<'_> {
+        self.0.register().expect("MSQueue slots exhausted")
+    }
+}
+
+impl QueueHandle for baselines::msqueue::MsHandle<'_> {
+    #[inline]
+    fn enqueue(&mut self, v: u64) -> bool {
+        baselines::msqueue::MsHandle::enqueue(self, v);
+        true
+    }
+    #[inline]
+    fn dequeue(&mut self) -> Option<u64> {
+        baselines::msqueue::MsHandle::dequeue(self)
+    }
+}
+
+// -------------------------------------------------------------- LCRQ ------
+
+/// Adapter: LCRQ.
+pub struct LcrqBench(pub Lcrq);
+
+impl LcrqBench {
+    /// Builds from a [`QueueSpec`] (ring order 12, the paper's default).
+    pub fn new(spec: &QueueSpec) -> Self {
+        LcrqBench(Lcrq::with_ring_order(spec.max_threads, 12))
+    }
+}
+
+impl BenchQueue for LcrqBench {
+    type Handle<'a> = baselines::lcrq::LcrqHandle<'a>;
+    fn name(&self) -> &'static str {
+        "LCRQ"
+    }
+    fn handle(&self) -> Self::Handle<'_> {
+        self.0.register().expect("LCRQ slots exhausted")
+    }
+}
+
+impl QueueHandle for baselines::lcrq::LcrqHandle<'_> {
+    #[inline]
+    fn enqueue(&mut self, v: u64) -> bool {
+        baselines::lcrq::LcrqHandle::enqueue(self, v);
+        true
+    }
+    #[inline]
+    fn dequeue(&mut self) -> Option<u64> {
+        baselines::lcrq::LcrqHandle::dequeue(self)
+    }
+}
+
+// --------------------------------------------------------------- YMC ------
+
+/// Adapter: YMC (see DESIGN.md §3.4 for scope).
+pub struct YmcBench(pub YmcQueue);
+
+impl YmcBench {
+    /// Builds from a [`QueueSpec`].
+    pub fn new(spec: &QueueSpec) -> Self {
+        YmcBench(YmcQueue::new(spec.max_threads))
+    }
+}
+
+impl BenchQueue for YmcBench {
+    type Handle<'a> = baselines::ymc::YmcHandle<'a>;
+    fn name(&self) -> &'static str {
+        "YMC (bug)"
+    }
+    fn handle(&self) -> Self::Handle<'_> {
+        self.0.register().expect("YMC slots exhausted")
+    }
+}
+
+impl QueueHandle for baselines::ymc::YmcHandle<'_> {
+    #[inline]
+    fn enqueue(&mut self, v: u64) -> bool {
+        baselines::ymc::YmcHandle::enqueue(self, v);
+        true
+    }
+    #[inline]
+    fn dequeue(&mut self) -> Option<u64> {
+        baselines::ymc::YmcHandle::dequeue(self)
+    }
+}
+
+// ------------------------------------------------------------- CRTurn -----
+
+/// Adapter: CRTurn.
+pub struct CrTurnBench(pub CrTurnQueue);
+
+impl CrTurnBench {
+    /// Builds from a [`QueueSpec`].
+    pub fn new(spec: &QueueSpec) -> Self {
+        CrTurnBench(CrTurnQueue::new(spec.max_threads))
+    }
+}
+
+impl BenchQueue for CrTurnBench {
+    type Handle<'a> = baselines::crturn::CrTurnHandle<'a>;
+    fn name(&self) -> &'static str {
+        "CRTurn"
+    }
+    fn handle(&self) -> Self::Handle<'_> {
+        self.0.register().expect("CRTurn slots exhausted")
+    }
+}
+
+impl QueueHandle for baselines::crturn::CrTurnHandle<'_> {
+    #[inline]
+    fn enqueue(&mut self, v: u64) -> bool {
+        baselines::crturn::CrTurnHandle::enqueue(self, v);
+        true
+    }
+    #[inline]
+    fn dequeue(&mut self) -> Option<u64> {
+        baselines::crturn::CrTurnHandle::dequeue(self)
+    }
+}
+
+// ------------------------------------------------------------ CCQueue -----
+
+/// Adapter: CC-Synch combining queue.
+pub struct CcBench(pub CcQueue);
+
+impl CcBench {
+    /// Builds from a [`QueueSpec`].
+    pub fn new(_spec: &QueueSpec) -> Self {
+        CcBench(CcQueue::new())
+    }
+}
+
+impl BenchQueue for CcBench {
+    type Handle<'a> = baselines::ccqueue::CcHandle<'a>;
+    fn name(&self) -> &'static str {
+        "CCQueue"
+    }
+    fn handle(&self) -> Self::Handle<'_> {
+        self.0.register()
+    }
+}
+
+impl QueueHandle for baselines::ccqueue::CcHandle<'_> {
+    #[inline]
+    fn enqueue(&mut self, v: u64) -> bool {
+        baselines::ccqueue::CcHandle::enqueue(self, v);
+        true
+    }
+    #[inline]
+    fn dequeue(&mut self) -> Option<u64> {
+        baselines::ccqueue::CcHandle::dequeue(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<Q: BenchQueue>(q: &Q) {
+        let mut h = q.handle();
+        assert!(h.enqueue(41));
+        assert!(h.enqueue(42));
+        assert_eq!(h.dequeue(), Some(41));
+        assert_eq!(h.dequeue(), Some(42));
+    }
+
+    #[test]
+    fn all_adapters_roundtrip() {
+        let spec = QueueSpec {
+            max_threads: 2,
+            ring_order: 6,
+            cfg: WcqConfig::default(),
+        };
+        roundtrip(&WcqBench::new(&spec));
+        roundtrip(&ScqBench::new(&spec));
+        roundtrip(&MsBench::new(&spec));
+        roundtrip(&LcrqBench::new(&spec));
+        roundtrip(&YmcBench::new(&spec));
+        roundtrip(&CrTurnBench::new(&spec));
+        roundtrip(&CcBench::new(&spec));
+        // FAA is not a real queue; it only counts.
+        let f = FaaBench::new(&spec);
+        let mut h = f.handle();
+        assert!(h.enqueue(1));
+        assert!(h.dequeue().is_some());
+    }
+
+    #[test]
+    fn names_are_paper_labels() {
+        let spec = QueueSpec::default();
+        assert_eq!(WcqBench::new(&spec).name(), "wCQ");
+        assert_eq!(YmcBench::new(&spec).name(), "YMC (bug)");
+    }
+}

@@ -1,0 +1,91 @@
+//! Summary statistics for repeated benchmark runs.
+//!
+//! The paper measures each point 10 times and reports a coefficient of
+//! variation below 0.01; [`Stats`] reproduces that bookkeeping.
+
+/// Mean / standard deviation / coefficient of variation of a sample set.
+#[derive(Clone, Copy, Debug)]
+pub struct Stats {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (n−1 denominator).
+    pub stddev: f64,
+    /// Coefficient of variation `stddev / mean` (0 when mean is 0).
+    pub cov: f64,
+    /// Number of samples.
+    pub n: usize,
+}
+
+impl Stats {
+    /// Computes statistics over `samples`.
+    pub fn from_samples(samples: &[f64]) -> Stats {
+        let n = samples.len();
+        if n == 0 {
+            return Stats {
+                mean: 0.0,
+                stddev: 0.0,
+                cov: 0.0,
+                n,
+            };
+        }
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let stddev = if n > 1 {
+            (samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / (n - 1) as f64).sqrt()
+        } else {
+            0.0
+        };
+        let cov = if mean.abs() > f64::EPSILON {
+            stddev / mean
+        } else {
+            0.0
+        };
+        Stats {
+            mean,
+            stddev,
+            cov,
+            n,
+        }
+    }
+}
+
+/// Formats a byte count like the paper's memory axis (MB).
+pub fn fmt_mb(bytes: usize) -> String {
+    format!("{:.2}", bytes as f64 / (1024.0 * 1024.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_single() {
+        let s = Stats::from_samples(&[]);
+        assert_eq!(s.n, 0);
+        let s = Stats::from_samples(&[5.0]);
+        assert_eq!(s.mean, 5.0);
+        assert_eq!(s.stddev, 0.0);
+        assert_eq!(s.cov, 0.0);
+    }
+
+    #[test]
+    fn known_values() {
+        let s = Stats::from_samples(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        // Sample stddev of this classic set is ~2.138.
+        assert!((s.stddev - 2.1380899).abs() < 1e-6);
+        assert!((s.cov - 2.1380899 / 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cov_of_identical_samples_is_zero() {
+        let s = Stats::from_samples(&[3.0; 10]);
+        assert_eq!(s.stddev, 0.0);
+        assert_eq!(s.cov, 0.0);
+    }
+
+    #[test]
+    fn mb_formatting() {
+        assert_eq!(fmt_mb(1024 * 1024), "1.00");
+        assert_eq!(fmt_mb(1536 * 1024), "1.50");
+    }
+}

@@ -1,0 +1,364 @@
+//! # hazard — hazard-pointer safe memory reclamation
+//!
+//! A small, self-contained hazard-pointer (HP) implementation in the style
+//! of Michael (2004), used by the linked-list baseline queues of the wCQ
+//! evaluation (MSQueue, LCRQ, CRTurn) and by the unbounded list-of-rings
+//! queues. The paper's evaluation uses "hazard pointers elsewhere" for
+//! exactly these queues (§6).
+//!
+//! Design:
+//! * A [`Domain`] owns `max_threads × HP_PER_THREAD` hazard slots.
+//! * Each participating thread acquires a [`HpHandle`]; protecting a pointer
+//!   publishes it in one of the thread's slots, retiring pushes it on a
+//!   thread-local list that is scanned (and freed) once it grows past a
+//!   threshold.
+//! * Dropping a handle hands any still-protected retirees to the domain's
+//!   orphan list; they are freed by later scans or when the domain drops.
+//!
+//! All pointer reclamation is `unsafe` at the retire site (the caller
+//! asserts the pointer is unlinked); everything else is safe.
+
+#![warn(missing_docs)]
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicUsize, Ordering::SeqCst};
+use std::sync::Mutex;
+
+/// Hazard slots per thread. MSQueue needs 2, LCRQ 2, CRTurn 3; 4 gives
+/// headroom for composed structures.
+pub const HP_PER_THREAD: usize = 4;
+
+#[repr(align(128))]
+struct Slot {
+    active: AtomicBool,
+    hp: [AtomicUsize; HP_PER_THREAD],
+}
+
+struct Retired {
+    ptr: *mut u8,
+    drop_fn: unsafe fn(*mut u8),
+}
+
+// SAFETY: a retired pointer is unlinked (caller contract) and owned by the
+// retire list; moving it across threads is sound.
+unsafe impl Send for Retired {}
+
+/// A reclamation domain: a fixed set of hazard slots plus an orphan list.
+pub struct Domain {
+    slots: Box<[Slot]>,
+    orphans: Mutex<Vec<Retired>>,
+    /// Free-threshold: scan when a thread's retire list exceeds this.
+    scan_threshold: usize,
+}
+
+impl Domain {
+    /// Creates a domain for up to `max_threads` concurrent handles.
+    pub fn new(max_threads: usize) -> Self {
+        assert!(max_threads >= 1);
+        let slots = (0..max_threads)
+            .map(|_| Slot {
+                active: AtomicBool::new(false),
+                hp: Default::default(),
+            })
+            .collect::<Box<[Slot]>>();
+        Domain {
+            scan_threshold: (2 * max_threads * HP_PER_THREAD).max(64),
+            slots,
+            orphans: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Acquires a per-thread handle, or `None` if all slots are taken.
+    pub fn register(&self) -> Option<HpHandle<'_>> {
+        for (idx, s) in self.slots.iter().enumerate() {
+            if s.active
+                .compare_exchange(false, true, SeqCst, SeqCst)
+                .is_ok()
+            {
+                return Some(HpHandle {
+                    domain: self,
+                    idx,
+                    retired: Vec::new(),
+                });
+            }
+        }
+        None
+    }
+
+    /// Collects every currently published hazard pointer.
+    fn collect_hazards(&self) -> HashSet<usize> {
+        let mut set = HashSet::new();
+        for s in self.slots.iter() {
+            for hp in &s.hp {
+                let p = hp.load(SeqCst);
+                if p != 0 {
+                    set.insert(p);
+                }
+            }
+        }
+        set
+    }
+
+    fn scan_list(&self, list: &mut Vec<Retired>) {
+        // Also adopt orphans so nothing is stranded by departed threads.
+        if let Ok(mut orphans) = self.orphans.try_lock() {
+            list.append(&mut *orphans);
+        }
+        let hazards = self.collect_hazards();
+        let mut keep = Vec::with_capacity(list.len());
+        for r in list.drain(..) {
+            if hazards.contains(&(r.ptr as usize)) {
+                keep.push(r);
+            } else {
+                // SAFETY: unlinked (retire contract) and unprotected now.
+                unsafe { (r.drop_fn)(r.ptr) };
+            }
+        }
+        *list = keep;
+    }
+}
+
+impl Drop for Domain {
+    fn drop(&mut self) {
+        // No handles can be alive (they borrow the domain), so every orphan
+        // is reclaimable.
+        let orphans = std::mem::take(&mut *self.orphans.lock().unwrap());
+        for r in orphans {
+            // SAFETY: no readers remain.
+            unsafe { (r.drop_fn)(r.ptr) };
+        }
+    }
+}
+
+/// Per-thread hazard-pointer handle.
+pub struct HpHandle<'d> {
+    domain: &'d Domain,
+    idx: usize,
+    retired: Vec<Retired>,
+}
+
+impl<'d> HpHandle<'d> {
+    /// Protects the pointer currently stored in `src` under hazard slot
+    /// `slot`, re-validating until the published hazard matches the source
+    /// (the standard protect loop). Returns the protected raw pointer.
+    #[inline]
+    pub fn protect<T>(&self, slot: usize, src: &AtomicPtr<T>) -> *mut T {
+        let cell = &self.domain.slots[self.idx].hp[slot];
+        let mut p = src.load(SeqCst);
+        loop {
+            cell.store(p as usize, SeqCst);
+            let q = src.load(SeqCst);
+            if q == p {
+                return p;
+            }
+            p = q;
+        }
+    }
+
+    /// Publishes `ptr` in hazard slot `slot` without validation. Callers
+    /// must re-validate the source themselves afterwards.
+    #[inline]
+    pub fn set<T>(&self, slot: usize, ptr: *mut T) {
+        self.domain.slots[self.idx].hp[slot].store(ptr as usize, SeqCst);
+    }
+
+    /// Clears one hazard slot.
+    #[inline]
+    pub fn clear_slot(&self, slot: usize) {
+        self.domain.slots[self.idx].hp[slot].store(0, SeqCst);
+    }
+
+    /// Clears all of this thread's hazard slots.
+    #[inline]
+    pub fn clear(&self) {
+        for hp in &self.domain.slots[self.idx].hp {
+            hp.store(0, SeqCst);
+        }
+    }
+
+    /// Retires `ptr` for deferred reclamation.
+    ///
+    /// # Safety
+    /// `ptr` must have been allocated via `Box<T>`, be fully unlinked from
+    /// the shared structure (no new references can be created), and must not
+    /// be retired twice.
+    pub unsafe fn retire<T>(&mut self, ptr: *mut T) {
+        unsafe fn drop_box<T>(p: *mut u8) {
+            // SAFETY: `p` originated from Box<T> per retire contract.
+            drop(unsafe { Box::from_raw(p as *mut T) });
+        }
+        self.retired.push(Retired {
+            ptr: ptr as *mut u8,
+            drop_fn: drop_box::<T>,
+        });
+        if self.retired.len() >= self.domain.scan_threshold {
+            self.domain.scan_list(&mut self.retired);
+        }
+    }
+
+    /// Forces a scan of this thread's retire list (tests/teardown).
+    pub fn flush(&mut self) {
+        self.domain.scan_list(&mut self.retired);
+    }
+
+    /// Number of not-yet-reclaimed retirees held by this handle (tests).
+    pub fn pending(&self) -> usize {
+        self.retired.len()
+    }
+}
+
+impl Drop for HpHandle<'_> {
+    fn drop(&mut self) {
+        self.clear();
+        self.domain.scan_list(&mut self.retired);
+        if !self.retired.is_empty() {
+            self.domain
+                .orphans
+                .lock()
+                .unwrap()
+                .append(&mut self.retired);
+        }
+        self.domain.slots[self.idx].active.store(false, SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize as Counter;
+    use std::sync::Arc;
+
+    static LIVE: Counter = Counter::new(0);
+
+    struct Tracked(#[allow(dead_code)] u64);
+    impl Tracked {
+        fn boxed(v: u64) -> *mut Tracked {
+            LIVE.fetch_add(1, SeqCst);
+            Box::into_raw(Box::new(Tracked(v)))
+        }
+    }
+    impl Drop for Tracked {
+        fn drop(&mut self) {
+            LIVE.fetch_sub(1, SeqCst);
+        }
+    }
+
+    #[test]
+    fn register_exhaustion() {
+        let d = Domain::new(2);
+        let h1 = d.register().unwrap();
+        let _h2 = d.register().unwrap();
+        assert!(d.register().is_none());
+        drop(h1);
+        assert!(d.register().is_some());
+    }
+
+    #[test]
+    fn protect_tracks_moving_source() {
+        let d = Domain::new(1);
+        let h = d.register().unwrap();
+        let a = Box::into_raw(Box::new(5u64));
+        let b = Box::into_raw(Box::new(6u64));
+        let src = AtomicPtr::new(a);
+        assert_eq!(h.protect(0, &src), a);
+        src.store(b, SeqCst);
+        assert_eq!(h.protect(0, &src), b);
+        unsafe {
+            drop(Box::from_raw(a));
+            drop(Box::from_raw(b));
+        }
+    }
+
+    #[test]
+    fn protected_pointer_survives_scan() {
+        let d = Domain::new(2);
+        let mut h1 = d.register().unwrap();
+        let h2 = d.register().unwrap();
+        let p = Tracked::boxed(1);
+        let src = AtomicPtr::new(p);
+        let got = h2.protect(0, &src);
+        assert_eq!(got, p);
+        // SAFETY: we "unlink" p (conceptually) and retire it.
+        unsafe { h1.retire(p) };
+        h1.flush();
+        assert_eq!(LIVE.load(SeqCst), 1, "protected node must not be freed");
+        h2.clear();
+        h1.flush();
+        assert_eq!(LIVE.load(SeqCst), 0, "unprotected node is reclaimed");
+    }
+
+    #[test]
+    fn orphans_reclaimed_on_domain_drop() {
+        {
+            let d = Domain::new(2);
+            let mut h1 = d.register().unwrap();
+            let h2 = d.register().unwrap();
+            let p = Tracked::boxed(2);
+            let src = AtomicPtr::new(p);
+            h2.protect(1, &src);
+            unsafe { h1.retire(p) };
+            drop(h1); // p still protected by h2 → goes to orphans
+            assert_eq!(LIVE.load(SeqCst), 1);
+            drop(h2);
+        } // domain drop reclaims orphans
+        assert_eq!(LIVE.load(SeqCst), 0);
+    }
+
+    #[test]
+    fn threshold_scan_reclaims_bulk() {
+        let d = Domain::new(1);
+        let mut h = d.register().unwrap();
+        for i in 0..200 {
+            let p = Tracked::boxed(i);
+            unsafe { h.retire(p) };
+        }
+        h.flush();
+        assert_eq!(LIVE.load(SeqCst), 0);
+        assert_eq!(h.pending(), 0);
+    }
+
+    #[test]
+    fn concurrent_protect_retire_stress() {
+        let d = Arc::new(Domain::new(4));
+        let src = Arc::new(AtomicPtr::new(Tracked::boxed(0)));
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut readers = Vec::new();
+        for _ in 0..2 {
+            let d = Arc::clone(&d);
+            let src = Arc::clone(&src);
+            let stop = Arc::clone(&stop);
+            readers.push(std::thread::spawn(move || {
+                let h = d.register().unwrap();
+                while !stop.load(SeqCst) {
+                    let p = h.protect(0, &src);
+                    // Read through the protected pointer; UB detectable
+                    // under ASan/Miri if reclamation raced.
+                    let _v = unsafe { &(*p).0 };
+                    h.clear_slot(0);
+                }
+            }));
+        }
+        {
+            let d = Arc::clone(&d);
+            let src = Arc::clone(&src);
+            let writer = std::thread::spawn(move || {
+                let mut h = d.register().unwrap();
+                for i in 1..2000 {
+                    let fresh = Tracked::boxed(i);
+                    let old = src.swap(fresh, SeqCst);
+                    unsafe { h.retire(old) };
+                }
+                h.flush();
+            });
+            writer.join().unwrap();
+        }
+        stop.store(true, SeqCst);
+        for r in readers {
+            r.join().unwrap();
+        }
+        // Last node still linked.
+        assert_eq!(LIVE.load(SeqCst), 1);
+        unsafe { drop(Box::from_raw(src.load(SeqCst))) };
+        assert_eq!(LIVE.load(SeqCst), 0);
+    }
+}

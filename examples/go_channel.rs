@@ -1,0 +1,151 @@
+//! A Go-style buffered channel on top of wCQ.
+//!
+//! ```text
+//! cargo run --release --example go_channel
+//! ```
+//!
+//! The paper's introduction motivates wCQ with language runtimes: "Go needs
+//! a queue for its buffered channel implementation". This example builds a
+//! minimal `chan T`-alike — bounded buffer, blocking send/recv, close
+//! semantics — where the buffer is a wait-free `WcqQueue`, so a preempted
+//! peer can never wedge the queue itself; only the channel layer's honest
+//! blocking remains.
+//!
+//! A three-stage pipeline (generator → worker pool → sink) moves a million
+//! items through two channels.
+
+use std::sync::atomic::{AtomicBool, Ordering::SeqCst};
+use wcq::WcqQueue;
+
+/// A bounded, closable MPMC channel. `send` blocks while full, `recv`
+/// blocks while empty-and-open (both yield-based — the queue underneath
+/// never blocks).
+struct Channel<T> {
+    buf: WcqQueue<T>,
+    closed: AtomicBool,
+}
+
+impl<T: Send> Channel<T> {
+    fn new(order: u32, max_threads: usize) -> Self {
+        Channel {
+            buf: WcqQueue::new(order, max_threads),
+            closed: AtomicBool::new(false),
+        }
+    }
+
+    fn sender(&self) -> Sender<'_, T> {
+        Sender {
+            ch: self,
+            h: self.buf.register().expect("thread slot"),
+        }
+    }
+
+    fn receiver(&self) -> Receiver<'_, T> {
+        Receiver {
+            ch: self,
+            h: self.buf.register().expect("thread slot"),
+        }
+    }
+
+    fn close(&self) {
+        self.closed.store(true, SeqCst);
+    }
+}
+
+struct Sender<'c, T> {
+    ch: &'c Channel<T>,
+    h: wcq::WcqHandle<'c, T>,
+}
+
+impl<T: Send> Sender<'_, T> {
+    /// Blocks (yielding) while the buffer is full.
+    fn send(&mut self, v: T) {
+        let mut v = v;
+        loop {
+            assert!(!self.ch.closed.load(SeqCst), "send on closed channel");
+            match self.h.enqueue(v) {
+                Ok(()) => return,
+                Err(back) => {
+                    v = back;
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+}
+
+struct Receiver<'c, T> {
+    ch: &'c Channel<T>,
+    h: wcq::WcqHandle<'c, T>,
+}
+
+impl<T: Send> Receiver<'_, T> {
+    /// Blocks (yielding) while empty; returns `None` once the channel is
+    /// closed *and* drained — Go's `v, ok := <-ch`.
+    fn recv(&mut self) -> Option<T> {
+        loop {
+            if let Some(v) = self.h.dequeue() {
+                return Some(v);
+            }
+            if self.ch.closed.load(SeqCst) {
+                // Drain race: check once more after observing the close.
+                return self.h.dequeue();
+            }
+            std::thread::yield_now();
+        }
+    }
+}
+
+fn main() {
+    const ITEMS: u64 = 1_000_000;
+    const WORKERS: usize = 3;
+
+    let stage1: Channel<u64> = Channel::new(9, 1 + WORKERS); // generator → workers
+    let stage2: Channel<u64> = Channel::new(9, 1 + WORKERS); // workers → sink
+
+    let t0 = std::time::Instant::now();
+    let (sum, count) = std::thread::scope(|s| {
+        let generator = s.spawn(|| {
+            let mut tx = stage1.sender();
+            for i in 0..ITEMS {
+                tx.send(i);
+            }
+            stage1.close();
+        });
+        let workers: Vec<_> = (0..WORKERS)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut rx = stage1.receiver();
+                    let mut tx = stage2.sender();
+                    let mut n = 0u64;
+                    while let Some(v) = rx.recv() {
+                        tx.send(v % 97); // stand-in for real work
+                        n += 1;
+                    }
+                    n
+                })
+            })
+            .collect();
+        let sink = s.spawn(|| {
+            let mut rx = stage2.receiver();
+            let mut sum = 0u64;
+            let mut count = 0u64;
+            while let Some(v) = rx.recv() {
+                sum += v;
+                count += 1;
+            }
+            (sum, count)
+        });
+        generator.join().unwrap();
+        let forwarded: u64 = workers.into_iter().map(|w| w.join().unwrap()).sum();
+        assert_eq!(forwarded, ITEMS, "workers must forward every item");
+        stage2.close();
+        sink.join().unwrap()
+    });
+
+    println!(
+        "pipeline moved {count} items through 2 channels x {WORKERS} workers in {:?} (checksum {sum})",
+        t0.elapsed()
+    );
+    assert_eq!(count, ITEMS);
+}

@@ -1,0 +1,79 @@
+//! Quickstart: the wait-free bounded MPMC queue in a few dozen lines.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Demonstrates:
+//! * building a `WcqQueue` (capacity 2^10, 8 thread slots),
+//! * per-thread handles (`register`),
+//! * full/empty backpressure via the `Result`/`Option` returns,
+//! * that every operation is wait-free: no unbounded loops are hidden in
+//!   the queue — the retry policy below is entirely the application's.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::SeqCst};
+use wcq::WcqQueue;
+
+fn main() {
+    const PRODUCERS: usize = 3;
+    const CONSUMERS: usize = 3;
+    const PER_PRODUCER: u64 = 100_000;
+
+    // 2^10 = 1024 slots; every participating thread needs a slot.
+    let q: WcqQueue<u64> = WcqQueue::new(10, PRODUCERS + CONSUMERS);
+    println!(
+        "wCQ quickstart: capacity {} elements, {} thread slots, CAS2 backend: {}",
+        q.capacity(),
+        q.max_threads(),
+        dwcas::BACKEND
+    );
+
+    let received = AtomicU64::new(0);
+    let done = AtomicBool::new(false);
+
+    std::thread::scope(|s| {
+        let mut producers = Vec::new();
+        for p in 0..PRODUCERS as u64 {
+            let q = &q;
+            producers.push(s.spawn(move || {
+                let mut h = q.register().expect("a free thread slot");
+                for i in 0..PER_PRODUCER {
+                    let mut v = p << 32 | i;
+                    // The queue is bounded: `Err` is backpressure, and how
+                    // to wait is the caller's choice (here: yield).
+                    while let Err(back) = h.enqueue(v) {
+                        v = back;
+                        std::thread::yield_now();
+                    }
+                }
+            }));
+        }
+        for _ in 0..CONSUMERS {
+            let q = &q;
+            let received = &received;
+            let done = &done;
+            s.spawn(move || {
+                let mut h = q.register().expect("a free thread slot");
+                let mut local = 0u64;
+                loop {
+                    match h.dequeue() {
+                        Some(_) => local += 1,
+                        None if done.load(SeqCst) => break,
+                        None => std::thread::yield_now(),
+                    }
+                }
+                received.fetch_add(local, SeqCst);
+            });
+        }
+        for p in producers {
+            p.join().unwrap();
+        }
+        done.store(true, SeqCst);
+    });
+
+    let total = received.load(SeqCst);
+    assert_eq!(total, PRODUCERS as u64 * PER_PRODUCER);
+    println!(
+        "delivered {total} elements exactly once across {PRODUCERS} producers / {CONSUMERS} consumers"
+    );
+}

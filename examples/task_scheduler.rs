@@ -1,0 +1,163 @@
+//! A work-distribution scheduler on the *unbounded* wCQ (Appendix A) —
+//! with dispatch-latency percentiles.
+//!
+//! ```text
+//! cargo run --release --example task_scheduler
+//! ```
+//!
+//! Wait-freedom's selling point (§1) is bounded per-operation work: "lack
+//! of starvation and reduced tail latency". This example runs a fork/join
+//! style workload (tasks spawn subtasks) over `UnboundedWcq` and reports
+//! the p50/p99/p99.9/max dispatch latencies observed by the workers, then
+//! repeats the run on the lock-free Michael&Scott baseline for contrast.
+
+use baselines::MsQueue;
+use std::sync::atomic::{AtomicU64, Ordering::SeqCst};
+use std::time::Instant;
+use wcq::unbounded::UnboundedWcq;
+
+#[derive(Clone, Copy)]
+struct Task {
+    /// Remaining fan-out: a task with `fanout > 0` spawns two children.
+    fanout: u32,
+    /// Nanosecond timestamp when the task was enqueued (dispatch latency =
+    /// dequeue time − this).
+    born_ns: u64,
+}
+
+fn now_ns(epoch: Instant) -> u64 {
+    epoch.elapsed().as_nanos() as u64
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx]
+}
+
+fn report(label: &str, mut lat: Vec<u64>, executed: u64, wall: std::time::Duration) {
+    lat.sort_unstable();
+    println!(
+        "{label:22} tasks {executed:>8}  wall {wall:>10.2?}  dispatch p50 {:>6}ns  p99 {:>7}ns  p99.9 {:>8}ns  max {:>9}ns",
+        percentile(&lat, 0.50),
+        percentile(&lat, 0.99),
+        percentile(&lat, 0.999),
+        lat.last().copied().unwrap_or(0),
+    );
+}
+
+fn run_wcq(workers: usize, roots: u32, depth: u32) {
+    let q: UnboundedWcq<Task> = UnboundedWcq::new(10, workers + 1);
+    let epoch = Instant::now();
+    {
+        let mut h = q.register().unwrap();
+        for _ in 0..roots {
+            h.enqueue(Task {
+                fanout: depth,
+                born_ns: now_ns(epoch),
+            });
+        }
+    }
+    let executed = AtomicU64::new(0);
+    let expected = roots as u64 * ((1u64 << (depth + 1)) - 1);
+    let t0 = Instant::now();
+    let lat: Vec<u64> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let q = &q;
+                let executed = &executed;
+                s.spawn(move || {
+                    let mut h = q.register().unwrap();
+                    let mut lat = Vec::new();
+                    while executed.load(SeqCst) < expected {
+                        let Some(task) = h.dequeue() else {
+                            std::hint::spin_loop();
+                            continue;
+                        };
+                        lat.push(now_ns(epoch).saturating_sub(task.born_ns));
+                        if task.fanout > 0 {
+                            for _ in 0..2 {
+                                h.enqueue(Task {
+                                    fanout: task.fanout - 1,
+                                    born_ns: now_ns(epoch),
+                                });
+                            }
+                        }
+                        executed.fetch_add(1, SeqCst);
+                    }
+                    lat
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect()
+    });
+    report("UnboundedWcq", lat, executed.load(SeqCst), t0.elapsed());
+}
+
+fn run_ms(workers: usize, roots: u32, depth: u32) {
+    // MSQueue carries u64; pack (fanout, born_ns) into one word
+    // (fanout in the top 8 bits, latency clock truncated to 56 bits).
+    let q = MsQueue::new(workers + 1);
+    let epoch = Instant::now();
+    let pack = |f: u32, t: u64| ((f as u64) << 56) | (t & ((1 << 56) - 1));
+    {
+        let mut h = q.register().unwrap();
+        for _ in 0..roots {
+            h.enqueue(pack(depth, now_ns(epoch)));
+        }
+    }
+    let executed = AtomicU64::new(0);
+    let expected = roots as u64 * ((1u64 << (depth + 1)) - 1);
+    let t0 = Instant::now();
+    let lat: Vec<u64> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let q = &q;
+                let executed = &executed;
+                s.spawn(move || {
+                    let mut h = q.register().unwrap();
+                    let mut lat = Vec::new();
+                    while executed.load(SeqCst) < expected {
+                        let Some(word) = h.dequeue() else {
+                            std::hint::spin_loop();
+                            continue;
+                        };
+                        let (fanout, born) = ((word >> 56) as u32, word & ((1 << 56) - 1));
+                        lat.push(now_ns(epoch).saturating_sub(born));
+                        if fanout > 0 {
+                            for _ in 0..2 {
+                                h.enqueue(pack(fanout - 1, now_ns(epoch)));
+                            }
+                        }
+                        executed.fetch_add(1, SeqCst);
+                    }
+                    lat
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect()
+    });
+    report("MSQueue (lock-free)", lat, executed.load(SeqCst), t0.elapsed());
+}
+
+fn main() {
+    let workers = 4;
+    let (roots, depth) = (64, 9); // 64 trees of 2^10 - 1 tasks each
+    println!(
+        "fork/join over {} workers, {} root tasks, depth {} (≈ {} tasks total)",
+        workers,
+        roots,
+        depth,
+        roots as u64 * ((1u64 << (depth + 1)) - 1)
+    );
+    run_wcq(workers, roots, depth);
+    run_ms(workers, roots, depth);
+}

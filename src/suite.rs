@@ -1,0 +1,36 @@
+//! Umbrella crate for the wCQ reproduction workspace.
+//!
+//! This crate exists to host the runnable examples (`examples/`) and the
+//! cross-crate integration tests (`tests/`); the actual functionality lives
+//! in the member crates:
+//!
+//! * [`wcq`] — wCQ, SCQ, and the unbounded list-of-rings queues.
+//! * [`dwcas`] — the double-width CAS substrate.
+//! * [`hazard`] — hazard-pointer reclamation.
+//! * [`baselines`] — MSQueue, LCRQ, YMC, CRTurn, CCQueue, FAA.
+//! * [`harness`] — workloads, statistics, checkers.
+
+pub use baselines;
+pub use dwcas;
+pub use harness;
+pub use hazard;
+pub use wcq;
+
+/// Returns a one-line summary of the build (used by examples and smoke
+/// tests to report what they are running on).
+pub fn build_info() -> String {
+    format!(
+        "wcq-suite {} | dwcas backend {} (hardware CAS2: {})",
+        env!("CARGO_PKG_VERSION"),
+        dwcas::BACKEND,
+        dwcas::HARDWARE_CAS2
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn build_info_mentions_backend() {
+        assert!(super::build_info().contains("dwcas backend"));
+    }
+}

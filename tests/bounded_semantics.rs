@@ -1,0 +1,148 @@
+//! Bounded-queue contract tests: capacity, full/empty reporting, value
+//! fidelity with owned types, and Drop behaviour — for both wCQ and SCQ
+//! data queues.
+
+use std::sync::atomic::{AtomicUsize, Ordering::SeqCst};
+use wcq::{ScqQueue, WcqQueue};
+
+#[test]
+fn wcq_capacity_is_exact() {
+    for order in 1..8u32 {
+        let q: WcqQueue<u64> = WcqQueue::new(order, 1);
+        let mut h = q.register().unwrap();
+        let cap = 1u64 << order;
+        for i in 0..cap {
+            assert!(h.enqueue(i).is_ok(), "order {order}: slot {i} must fit");
+        }
+        assert_eq!(h.enqueue(cap).unwrap_err(), cap, "order {order}: overflow");
+        for i in 0..cap {
+            assert_eq!(h.dequeue(), Some(i));
+        }
+        assert_eq!(h.dequeue(), None);
+    }
+}
+
+#[test]
+fn scq_capacity_is_exact() {
+    for order in 1..8u32 {
+        let q: ScqQueue<u64> = ScqQueue::new(order);
+        let cap = 1u64 << order;
+        for i in 0..cap {
+            assert!(q.enqueue(i).is_ok());
+        }
+        assert!(q.enqueue(cap).is_err());
+        for i in 0..cap {
+            assert_eq!(q.dequeue(), Some(i));
+        }
+        assert_eq!(q.dequeue(), None);
+    }
+}
+
+#[test]
+fn owned_values_round_trip_unscathed() {
+    let q: WcqQueue<String> = WcqQueue::new(4, 1);
+    let mut h = q.register().unwrap();
+    for i in 0..16 {
+        h.enqueue(format!("value-{i:04}")).unwrap();
+    }
+    for i in 0..16 {
+        assert_eq!(h.dequeue().as_deref(), Some(format!("value-{i:04}").as_str()));
+    }
+}
+
+#[test]
+fn boxed_values_have_stable_addresses() {
+    // Indirection must move the Box (pointer), not the pointee.
+    let q: WcqQueue<Box<u64>> = WcqQueue::new(3, 1);
+    let mut h = q.register().unwrap();
+    let b = Box::new(42u64);
+    let addr = &*b as *const u64 as usize;
+    h.enqueue(b).unwrap();
+    let back = h.dequeue().unwrap();
+    assert_eq!(*back, 42);
+    assert_eq!(&*back as *const u64 as usize, addr);
+}
+
+struct CountedDrop(&'static AtomicUsize);
+impl Drop for CountedDrop {
+    fn drop(&mut self) {
+        self.0.fetch_add(1, SeqCst);
+    }
+}
+
+#[test]
+fn no_double_drop_under_churn() {
+    static DROPS: AtomicUsize = AtomicUsize::new(0);
+    static CREATED: AtomicUsize = AtomicUsize::new(0);
+    {
+        let q: WcqQueue<CountedDrop> = WcqQueue::new(3, 4);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    let mut h = q.register().unwrap();
+                    for _ in 0..2_000 {
+                        CREATED.fetch_add(1, SeqCst);
+                        match h.enqueue(CountedDrop(&DROPS)) {
+                            Ok(()) => {}
+                            Err(v) => drop(v),
+                        }
+                        if let Some(v) = h.dequeue() {
+                            drop(v);
+                        }
+                    }
+                });
+            }
+        });
+    } // queue drop drains the rest
+    assert_eq!(
+        DROPS.load(SeqCst),
+        CREATED.load(SeqCst),
+        "every created value must drop exactly once"
+    );
+}
+
+#[test]
+fn zero_sized_types_work() {
+    let q: WcqQueue<()> = WcqQueue::new(3, 1);
+    let mut h = q.register().unwrap();
+    for _ in 0..8 {
+        h.enqueue(()).unwrap();
+    }
+    assert!(h.enqueue(()).is_err());
+    for _ in 0..8 {
+        assert_eq!(h.dequeue(), Some(()));
+    }
+    assert_eq!(h.dequeue(), None);
+}
+
+#[test]
+fn large_values_round_trip() {
+    #[derive(Clone, PartialEq, Debug)]
+    struct Big([u64; 32]);
+    let q: WcqQueue<Big> = WcqQueue::new(2, 1);
+    let mut h = q.register().unwrap();
+    let mk = |seed: u64| Big(std::array::from_fn(|i| seed.wrapping_mul(i as u64 + 1)));
+    for round in 0..100 {
+        for s in 0..4 {
+            h.enqueue(mk(round * 4 + s)).unwrap();
+        }
+        for s in 0..4 {
+            assert_eq!(h.dequeue(), Some(mk(round * 4 + s)));
+        }
+    }
+}
+
+#[test]
+fn is_empty_hint_is_advisory_but_correct_when_quiescent() {
+    let q: WcqQueue<u8> = WcqQueue::new(4, 1);
+    assert!(q.is_empty_hint());
+    let mut h = q.register().unwrap();
+    h.enqueue(1).unwrap();
+    assert!(!q.is_empty_hint());
+    h.dequeue().unwrap();
+    // After enough empty dequeues the threshold decays again.
+    for _ in 0..(3 * 16 + 2) {
+        assert_eq!(h.dequeue(), None);
+    }
+    assert!(q.is_empty_hint());
+}

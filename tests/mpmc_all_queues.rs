@@ -1,0 +1,139 @@
+//! Cross-crate MPMC correctness: every queue in the evaluation must deliver
+//! the exact multiset of produced values with per-producer FIFO order,
+//! under producer/consumer parallelism (heavily preempted on small hosts,
+//! which widens race windows).
+
+use harness::model::{check_delivery, tag, DeliveryLog};
+use harness::queues::{
+    BenchQueue, CcBench, CrTurnBench, LcrqBench, MsBench, QueueHandle, QueueSpec, ScqBench,
+    WcqBench, YmcBench,
+};
+use std::sync::atomic::{AtomicBool, Ordering::SeqCst};
+use std::sync::Mutex;
+
+fn spec(threads: usize, order: u32) -> QueueSpec {
+    QueueSpec {
+        max_threads: threads,
+        ring_order: order,
+        cfg: wcq::WcqConfig::default(),
+    }
+}
+
+fn mpmc_check<Q: BenchQueue>(q: &Q, producers: usize, consumers: usize, per: u64) {
+    let done = AtomicBool::new(false);
+    let log = Mutex::new(DeliveryLog::default());
+    std::thread::scope(|s| {
+        let mut phandles = Vec::new();
+        for p in 0..producers {
+            let q = &q;
+            phandles.push(s.spawn(move || {
+                let mut h = q.handle();
+                let mut sent = Vec::with_capacity(per as usize);
+                for i in 0..per {
+                    let v = tag(p, i);
+                    while !h.enqueue(v) {
+                        std::thread::yield_now(); // bounded queue full
+                    }
+                    sent.push(v);
+                }
+                sent
+            }));
+        }
+        let mut chandles = Vec::new();
+        for c in 0..consumers {
+            let q = &q;
+            let done = &done;
+            chandles.push(s.spawn(move || {
+                let mut h = q.handle();
+                let mut got = Vec::new();
+                loop {
+                    match h.dequeue() {
+                        Some(v) => got.push((c, v)),
+                        None if done.load(SeqCst) => break,
+                        None => std::thread::yield_now(),
+                    }
+                }
+                got
+            }));
+        }
+        for ph in phandles {
+            log.lock().unwrap().produced.push(ph.join().unwrap());
+        }
+        done.store(true, SeqCst);
+        for ch in chandles {
+            log.lock().unwrap().consumed.extend(ch.join().unwrap());
+        }
+    });
+    check_delivery(&log.lock().unwrap());
+}
+
+const PER: u64 = 6_000;
+
+#[test]
+fn wcq_delivers_exactly() {
+    let s = spec(6, 8);
+    mpmc_check(&WcqBench::new(&s), 3, 3, PER);
+}
+
+#[test]
+fn wcq_small_ring_delivers_exactly() {
+    // Tiny ring: constant wrap-around and full/empty boundary churn.
+    let s = spec(8, 4);
+    mpmc_check(&WcqBench::new(&s), 4, 4, 3_000);
+}
+
+#[test]
+fn wcq_stress_config_delivers_exactly() {
+    let s = QueueSpec {
+        max_threads: 8,
+        ring_order: 5,
+        cfg: wcq::WcqConfig::stress(),
+    };
+    mpmc_check(&WcqBench::new(&s), 4, 4, 2_000);
+}
+
+#[test]
+fn scq_delivers_exactly() {
+    let s = spec(6, 8);
+    mpmc_check(&ScqBench::new(&s), 3, 3, PER);
+}
+
+#[test]
+fn lcrq_delivers_exactly() {
+    let s = spec(6, 8);
+    mpmc_check(&LcrqBench::new(&s), 3, 3, PER);
+}
+
+#[test]
+fn ymc_delivers_exactly() {
+    let s = spec(6, 8);
+    mpmc_check(&YmcBench::new(&s), 3, 3, PER);
+}
+
+#[test]
+fn msqueue_delivers_exactly() {
+    let s = spec(6, 8);
+    mpmc_check(&MsBench::new(&s), 3, 3, PER);
+}
+
+#[test]
+fn ccqueue_delivers_exactly() {
+    let s = spec(6, 8);
+    mpmc_check(&CcBench::new(&s), 3, 3, PER);
+}
+
+#[test]
+fn crturn_delivers_exactly() {
+    let s = spec(6, 8);
+    mpmc_check(&CrTurnBench::new(&s), 3, 3, PER);
+}
+
+#[test]
+fn asymmetric_producer_consumer_ratios() {
+    // 1:N and N:1 shapes hit different contention patterns (Head-only vs
+    // Tail-only hot spots).
+    let s = spec(8, 7);
+    mpmc_check(&WcqBench::new(&s), 1, 5, 10_000);
+    let s = spec(8, 7);
+    mpmc_check(&WcqBench::new(&s), 5, 1, 4_000);
+}

@@ -1,0 +1,184 @@
+//! Property tests: every queue, driven single-threaded by an arbitrary
+//! operation string, must agree exactly with the `VecDeque` oracle.
+//! This pins down the *sequential* semantics (FIFO order, full/empty
+//! behaviour, value fidelity) that the concurrent tests build upon.
+
+use harness::model::SeqModel;
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Enq(u64),
+    Deq,
+}
+
+fn ops(max_len: usize) -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0u64..1_000_000).prop_map(Op::Enq),
+            Just(Op::Deq),
+        ],
+        0..max_len,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn wcq_matches_model(ops in ops(400), order in 2u32..7) {
+        let q: wcq::WcqQueue<u64> = wcq::WcqQueue::new(order, 1);
+        let mut h = q.register().unwrap();
+        let mut model = SeqModel::bounded(1 << order);
+        for op in ops {
+            match op {
+                Op::Enq(v) => {
+                    let got = h.enqueue(v).is_ok();
+                    let want = model.enqueue(v);
+                    prop_assert_eq!(got, want, "enqueue({}) full-disagreement", v);
+                }
+                Op::Deq => {
+                    prop_assert_eq!(h.dequeue(), model.dequeue());
+                }
+            }
+        }
+        // Drain both to the end.
+        loop {
+            let (a, b) = (h.dequeue(), model.dequeue());
+            prop_assert_eq!(a, b);
+            if a.is_none() { break; }
+        }
+    }
+
+    #[test]
+    fn wcq_stress_config_matches_model(ops in ops(300), order in 2u32..5) {
+        let q: wcq::WcqQueue<u64> =
+            wcq::WcqQueue::with_config(order, 1, &wcq::WcqConfig::stress());
+        let mut h = q.register().unwrap();
+        let mut model = SeqModel::bounded(1 << order);
+        for op in ops {
+            match op {
+                Op::Enq(v) => {
+                    prop_assert_eq!(h.enqueue(v).is_ok(), model.enqueue(v));
+                }
+                Op::Deq => {
+                    prop_assert_eq!(h.dequeue(), model.dequeue());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scq_matches_model(ops in ops(400), order in 2u32..7) {
+        let q: wcq::ScqQueue<u64> = wcq::ScqQueue::new(order);
+        let mut model = SeqModel::bounded(1 << order);
+        for op in ops {
+            match op {
+                Op::Enq(v) => {
+                    prop_assert_eq!(q.enqueue(v).is_ok(), model.enqueue(v));
+                }
+                Op::Deq => {
+                    prop_assert_eq!(q.dequeue(), model.dequeue());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unbounded_wcq_matches_model(ops in ops(400), order in 1u32..4) {
+        // Tiny rings force constant ring hand-offs even sequentially.
+        let q: wcq::unbounded::UnboundedWcq<u64> =
+            wcq::unbounded::Unbounded::new(order, 1);
+        let mut h = q.register().unwrap();
+        let mut model = SeqModel::unbounded();
+        for op in ops {
+            match op {
+                Op::Enq(v) => {
+                    h.enqueue(v);
+                    model.enqueue(v);
+                }
+                Op::Deq => {
+                    prop_assert_eq!(h.dequeue(), model.dequeue());
+                }
+            }
+        }
+        loop {
+            let (a, b) = (h.dequeue(), model.dequeue());
+            prop_assert_eq!(a, b);
+            if a.is_none() { break; }
+        }
+    }
+
+    #[test]
+    fn unbounded_scq_matches_model(ops in ops(400), order in 1u32..4) {
+        let q: wcq::unbounded::UnboundedScq<u64> =
+            wcq::unbounded::Unbounded::new(order, 1);
+        let mut h = q.register().unwrap();
+        let mut model = SeqModel::unbounded();
+        for op in ops {
+            match op {
+                Op::Enq(v) => {
+                    h.enqueue(v);
+                    model.enqueue(v);
+                }
+                Op::Deq => {
+                    prop_assert_eq!(h.dequeue(), model.dequeue());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lcrq_matches_model_unbounded(ops in ops(300)) {
+        let q = baselines::Lcrq::with_ring_order(1, 3); // 8-cell rings
+        let mut h = q.register().unwrap();
+        let mut model = SeqModel::unbounded();
+        for op in ops {
+            match op {
+                Op::Enq(v) => {
+                    h.enqueue(v);
+                    model.enqueue(v);
+                }
+                Op::Deq => {
+                    prop_assert_eq!(h.dequeue(), model.dequeue());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ymc_matches_model_unbounded(ops in ops(300)) {
+        let q = baselines::YmcQueue::new(1);
+        let mut h = q.register().unwrap();
+        let mut model = SeqModel::unbounded();
+        for op in ops {
+            match op {
+                Op::Enq(v) => {
+                    h.enqueue(v);
+                    model.enqueue(v);
+                }
+                Op::Deq => {
+                    prop_assert_eq!(h.dequeue(), model.dequeue());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn crturn_matches_model_unbounded(ops in ops(300)) {
+        let q = baselines::CrTurnQueue::new(2);
+        let mut h = q.register().unwrap();
+        let mut model = SeqModel::unbounded();
+        for op in ops {
+            match op {
+                Op::Enq(v) => {
+                    h.enqueue(v);
+                    model.enqueue(v);
+                }
+                Op::Deq => {
+                    prop_assert_eq!(h.dequeue(), model.dequeue());
+                }
+            }
+        }
+    }
+}

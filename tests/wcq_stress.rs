@@ -1,0 +1,242 @@
+//! wCQ-specific stress scenarios: the slow path, helping, record reuse and
+//! the threshold machinery, all driven far harder than production settings
+//! would (patience 1, help every op, tiny rings, oversubscribed threads).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::SeqCst};
+use std::sync::Arc;
+use wcq::{WcqConfig, WcqQueue, WcqRing};
+
+/// Elements circulate through a tiny ring under a stress config: every
+/// contended op takes the slow path, exercising `slow_F&A`, phase-2 helping,
+/// `Note` averting and `FIN` termination continuously.
+#[test]
+fn slow_path_circulation_preserves_multiset() {
+    let cfg = WcqConfig::stress();
+    let ring = Arc::new(WcqRing::new_empty(4, 6, &cfg));
+    for i in 0..12 {
+        ring.enqueue(0, i);
+    }
+    let mut handles = Vec::new();
+    for tid in 0..6 {
+        let ring = Arc::clone(&ring);
+        handles.push(std::thread::spawn(move || {
+            let mut moves = 0u64;
+            while moves < 30_000 {
+                if let Some(i) = ring.dequeue(tid) {
+                    ring.enqueue(tid, i);
+                    moves += 1;
+                }
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    let mut drained: Vec<u64> = std::iter::from_fn(|| ring.dequeue(0)).collect();
+    drained.sort_unstable();
+    assert_eq!(drained, (0..12).collect::<Vec<_>>());
+}
+
+/// Oversubscription: 4× more threads than cores on any host, with yields
+/// injected to force preemption inside operations ("sleepy" workload).
+#[test]
+fn sleepy_threads_with_forced_slow_paths() {
+    let cfg = WcqConfig {
+        max_patience_enq: 2,
+        max_patience_deq: 2,
+        help_delay: 1,
+        max_catchup: 4,
+        remap: true,
+    };
+    let q = Arc::new(WcqQueue::<u64>::with_config(5, 12, &cfg));
+    let produced = Arc::new(AtomicU64::new(0));
+    let consumed = Arc::new(AtomicU64::new(0));
+    let done = Arc::new(AtomicBool::new(false));
+    const TOTAL: u64 = 40_000;
+    let mut handles = Vec::new();
+    for t in 0..6u64 {
+        let q = Arc::clone(&q);
+        let produced = Arc::clone(&produced);
+        handles.push(std::thread::spawn(move || {
+            let mut h = q.register().unwrap();
+            let mut rng = t.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+            loop {
+                let n = produced.fetch_add(1, SeqCst);
+                if n >= TOTAL {
+                    break;
+                }
+                let mut v = n;
+                loop {
+                    match h.enqueue(v) {
+                        Ok(()) => break,
+                        Err(b) => {
+                            v = b;
+                            std::thread::yield_now();
+                        }
+                    }
+                }
+                // Random short stalls widen the helper/straggler windows.
+                rng ^= rng << 13;
+                rng ^= rng >> 7;
+                rng ^= rng << 17;
+                if rng % 64 == 0 {
+                    std::thread::yield_now();
+                }
+            }
+        }));
+    }
+    for _ in 0..6 {
+        let q = Arc::clone(&q);
+        let consumed = Arc::clone(&consumed);
+        let done = Arc::clone(&done);
+        handles.push(std::thread::spawn(move || {
+            let mut h = q.register().unwrap();
+            loop {
+                match h.dequeue() {
+                    Some(_) => {
+                        consumed.fetch_add(1, SeqCst);
+                    }
+                    None if done.load(SeqCst) => break,
+                    None => std::thread::yield_now(),
+                }
+            }
+        }));
+    }
+    // Wait until producers are done, then signal consumers.
+    while produced.load(SeqCst) < TOTAL + 6 {
+        std::thread::yield_now();
+    }
+    done.store(true, SeqCst);
+    for h in handles {
+        h.join().unwrap();
+    }
+    // Final drain from the main thread.
+    let mut h = q.register().unwrap();
+    while h.dequeue().is_some() {
+        consumed.fetch_add(1, SeqCst);
+    }
+    assert_eq!(consumed.load(SeqCst), TOTAL);
+}
+
+/// Handle churn: registering and dropping handles reuses thread records
+/// (and their tags); in-flight helpers from previous owners must never
+/// corrupt new requests.
+#[test]
+fn record_reuse_through_handle_churn() {
+    let cfg = WcqConfig::stress();
+    let q = Arc::new(WcqQueue::<u64>::with_config(4, 4, &cfg));
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut handles = Vec::new();
+    // Two stable threads keep elements moving (and keep helping).
+    for _ in 0..2 {
+        let q = Arc::clone(&q);
+        let stop = Arc::clone(&stop);
+        handles.push(std::thread::spawn(move || {
+            let mut h = q.register().unwrap();
+            let mut v = 0u64;
+            while !stop.load(SeqCst) {
+                if h.enqueue(v).is_ok() {
+                    v += 1;
+                }
+                let _ = h.dequeue();
+            }
+            // Drain whatever this handle can see.
+            while h.dequeue().is_some() {}
+        }));
+    }
+    // Two churning threads register, do a couple of ops, drop, repeat —
+    // cycling the same record slots through many request tags.
+    for _ in 0..2 {
+        let q = Arc::clone(&q);
+        let stop = Arc::clone(&stop);
+        handles.push(std::thread::spawn(move || {
+            let mut rounds = 0u64;
+            while !stop.load(SeqCst) {
+                if let Some(mut h) = q.register() {
+                    let _ = h.enqueue(999);
+                    let _ = h.dequeue();
+                    rounds += 1;
+                }
+                if rounds > 4_000 {
+                    break;
+                }
+            }
+        }));
+    }
+    std::thread::sleep(std::time::Duration::from_millis(1500));
+    stop.store(true, SeqCst);
+    for h in handles {
+        h.join().unwrap();
+    }
+}
+
+/// The threshold must make empty dequeues O(1) after decay: time a burst of
+/// empty dequeues and assert the fast-path flag (threshold < 0) engaged.
+#[test]
+fn empty_dequeue_fast_path_engages() {
+    let ring = WcqRing::new_empty(8, 2, &WcqConfig::default());
+    // Decay the threshold.
+    for _ in 0..(3 * 256 + 4) {
+        assert_eq!(ring.dequeue(0), None);
+    }
+    assert!(ring.threshold() < 0, "threshold must decay on empty queue");
+    // Now each dequeue is a single load.
+    for _ in 0..100_000 {
+        assert_eq!(ring.dequeue(0), None);
+    }
+    // An enqueue resets the threshold.
+    ring.enqueue(0, 7);
+    assert_eq!(ring.threshold(), ring.layout().threshold_reset());
+    assert_eq!(ring.dequeue(0), Some(7));
+}
+
+/// Alternating full/empty boundary churn on the data queue: the fq/aq pair
+/// must never lose a slot even when both rings sit at their boundaries.
+#[test]
+fn full_empty_boundary_churn() {
+    let q = WcqQueue::<u64>::new(3, 2); // 8 slots
+    let mut h = q.register().unwrap();
+    for round in 0..3_000u64 {
+        // Fill to capacity.
+        for i in 0..8 {
+            assert!(h.enqueue(round * 8 + i).is_ok(), "round {round} slot {i}");
+        }
+        assert!(h.enqueue(u64::MAX).is_err(), "must be full");
+        // Drain fully.
+        for i in 0..8 {
+            assert_eq!(h.dequeue(), Some(round * 8 + i));
+        }
+        assert_eq!(h.dequeue(), None, "must be empty");
+    }
+}
+
+/// Two queues sharing threads: helping state is per-queue and must not
+/// bleed across instances.
+#[test]
+fn two_queues_do_not_interfere() {
+    let cfg = WcqConfig::stress();
+    let a = Arc::new(WcqQueue::<u64>::with_config(4, 4, &cfg));
+    let b = Arc::new(WcqQueue::<u64>::with_config(4, 4, &cfg));
+    let mut handles = Vec::new();
+    for t in 0..4u64 {
+        let a = Arc::clone(&a);
+        let b = Arc::clone(&b);
+        handles.push(std::thread::spawn(move || {
+            let mut ha = a.register().unwrap();
+            let mut hb = b.register().unwrap();
+            for i in 0..8_000u64 {
+                let v = t << 32 | i;
+                if ha.enqueue(v).is_ok() {
+                    if let Some(x) = ha.dequeue() {
+                        // Relay a→b
+                        let _ = hb.enqueue(x);
+                    }
+                }
+                let _ = hb.dequeue();
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+}
