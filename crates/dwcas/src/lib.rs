@@ -146,6 +146,8 @@ impl AtomicPair {
         imp::compare_exchange_lo(self, current, new)
     }
 
+    // Only the x86 backend reinterprets the pair as a single u128.
+    #[cfg(all(target_arch = "x86_64", not(feature = "force-portable")))]
     #[inline]
     pub(crate) fn as_u128_ptr(&self) -> *mut u128 {
         self as *const Self as *mut u128

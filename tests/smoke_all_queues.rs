@@ -1,0 +1,148 @@
+//! Cross-queue smoke test: round-trip N tagged items through **every**
+//! queue exposed by `harness::queues` on 4 threads and assert no value is
+//! lost or duplicated. This is the cheap always-on companion to the deeper
+//! producer/consumer splits in `mpmc_all_queues.rs`: every thread here both
+//! produces and consumes, so it also exercises the full/empty boundary of
+//! the bounded rings without ever deadlocking on a full queue.
+
+use harness::model::{check_delivery, tag, DeliveryLog};
+use harness::queues::{
+    BenchQueue, CcBench, CrTurnBench, FaaBench, LcrqBench, MsBench, QueueHandle, QueueSpec,
+    ScqBench, WcqBench, YmcBench,
+};
+use std::sync::{Barrier, Mutex};
+
+const THREADS: usize = 4;
+const PER: u64 = 2_000;
+
+fn spec() -> QueueSpec {
+    QueueSpec {
+        // 4 workers + the final drain handle.
+        max_threads: THREADS + 1,
+        ring_order: 8,
+        cfg: wcq::WcqConfig::default(),
+    }
+}
+
+/// Every thread enqueues `PER` tagged values and opportunistically dequeues
+/// as it goes (making room when a bounded ring reports full); the residue
+/// is drained single-threaded at the end. Delivery must be the exact
+/// produced multiset with per-producer FIFO order.
+fn smoke<Q: BenchQueue>(q: &Q) {
+    let log = Mutex::new(DeliveryLog::default());
+    std::thread::scope(|s| {
+        let mut workers = Vec::new();
+        for t in 0..THREADS {
+            let q = &q;
+            workers.push(s.spawn(move || {
+                let mut h = q.handle();
+                let mut sent = Vec::with_capacity(PER as usize);
+                let mut got = Vec::new();
+                for i in 0..PER {
+                    let v = tag(t, i);
+                    while !h.enqueue(v) {
+                        // Bounded queue full: make room ourselves so four
+                        // simultaneous producers can never wedge.
+                        if let Some(x) = h.dequeue() {
+                            got.push((t, x));
+                        }
+                    }
+                    sent.push(v);
+                    if let Some(x) = h.dequeue() {
+                        got.push((t, x));
+                    }
+                }
+                (sent, got)
+            }));
+        }
+        for w in workers {
+            let (sent, got) = w.join().unwrap();
+            let mut log = log.lock().unwrap();
+            log.produced.push(sent);
+            log.consumed.extend(got);
+        }
+    });
+    // Drain what the workers left behind.
+    let mut h = q.handle();
+    let mut log = log.lock().unwrap();
+    while let Some(x) = h.dequeue() {
+        log.consumed.push((THREADS, x));
+    }
+    check_delivery(&log);
+}
+
+#[test]
+fn wcq_smoke() {
+    smoke(&WcqBench::new(&spec()));
+}
+
+#[test]
+fn scq_smoke() {
+    smoke(&ScqBench::new(&spec()));
+}
+
+#[test]
+fn msqueue_smoke() {
+    smoke(&MsBench::new(&spec()));
+}
+
+#[test]
+fn lcrq_smoke() {
+    smoke(&LcrqBench::new(&spec()));
+}
+
+#[test]
+fn ymc_smoke() {
+    smoke(&YmcBench::new(&spec()));
+}
+
+#[test]
+fn crturn_smoke() {
+    smoke(&CrTurnBench::new(&spec()));
+}
+
+#[test]
+fn ccqueue_smoke() {
+    smoke(&CcBench::new(&spec()));
+}
+
+/// FAA stores no values (it is the paper's F&A throughput upper bound), so
+/// "no loss, no duplication" degenerates to ticket conservation: with all
+/// enqueues strictly before all dequeues (its empty probe burns a ticket,
+/// so the interleaved pattern above would be unfair to it), exactly
+/// `THREADS * PER` dequeues succeed — each with a distinct ticket — and the
+/// next probe reports empty.
+#[test]
+fn faa_smoke() {
+    let q = FaaBench::new(&spec());
+    let enq_done = Barrier::new(THREADS);
+    let successes: u64 = std::thread::scope(|s| {
+        let mut workers = Vec::new();
+        for _ in 0..THREADS {
+            let q = &q;
+            let enq_done = &enq_done;
+            workers.push(s.spawn(move || {
+                let mut h = q.handle();
+                for i in 0..PER {
+                    h.enqueue(i);
+                }
+                enq_done.wait();
+                let mut ok = 0u64;
+                let mut tickets = Vec::with_capacity(PER as usize);
+                for _ in 0..PER {
+                    if let Some(ticket) = h.dequeue() {
+                        ok += 1;
+                        tickets.push(ticket);
+                    }
+                }
+                tickets.sort_unstable();
+                tickets.dedup();
+                assert_eq!(tickets.len() as u64, ok, "duplicated ticket");
+                ok
+            }));
+        }
+        workers.into_iter().map(|w| w.join().unwrap()).sum()
+    });
+    assert_eq!(successes, THREADS as u64 * PER, "lost tickets");
+    assert_eq!(q.handle().dequeue(), None, "queue not empty after drain");
+}

@@ -1,0 +1,312 @@
+//! Offline stand-in for the `criterion` crate, providing the subset this
+//! workspace's benches use: `Criterion`, `BenchmarkGroup`, `Bencher` with
+//! `iter`/`iter_custom`, `BenchmarkId`, and the `criterion_group!` /
+//! `criterion_main!` macros. See `third_party/README.md` for the policy.
+//!
+//! Measurement model: a warm-up phase, then timed batches until the
+//! configured measurement time elapses; reports the mean ns/iteration on
+//! stdout. No statistical analysis, plots, or baselines — numbers are
+//! indicative, not criterion-grade.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub use std::hint::black_box;
+
+/// Benchmark settings shared by `Criterion` and groups.
+#[derive(Clone, Copy, Debug)]
+struct Settings {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Settings {
+            sample_size: 100,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Criterion {
+    /// Sets the number of samples per benchmark (builder style).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.settings.sample_size = n;
+        self
+    }
+
+    /// Sets the warm-up duration (builder style).
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.settings.warm_up_time = d;
+        self
+    }
+
+    /// Sets the measurement duration (builder style).
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.settings.measurement_time = d;
+        self
+    }
+
+    /// Parses CLI arguments (accepted and ignored: this stand-in has no
+    /// filtering or baseline management).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Runs a single benchmark function. Takes `&str` like the real crate,
+    /// so call sites stay compatible with crates.io criterion.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(id, &self.settings, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        let settings = self.settings;
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            settings,
+        }
+    }
+}
+
+/// A named group of benchmarks with shared settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    settings: Settings,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.sample_size = n;
+        self
+    }
+
+    /// Sets the warm-up duration for this group.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.warm_up_time = d;
+        self
+    }
+
+    /// Sets the measurement duration for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.measurement_time = d;
+        self
+    }
+
+    /// Runs a benchmark in this group.
+    pub fn bench_function<S, F>(&mut self, id: S, f: F) -> &mut Self
+    where
+        S: AsRef<str>,
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.as_ref());
+        run_benchmark(&full, &self.settings, f);
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_benchmark(&full, &self.settings, |b| f(b, input));
+        self
+    }
+
+    /// Finishes the group (no-op: results are printed as they complete).
+    pub fn finish(self) {}
+}
+
+/// Identifies a benchmark within a group by function name and/or parameter.
+pub struct BenchmarkId {
+    function: Option<String>,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// An id with both a function name and a parameter value.
+    pub fn new<S: Into<String>, P: fmt::Display>(function: S, parameter: P) -> Self {
+        BenchmarkId {
+            function: Some(function.into()),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// An id distinguished by parameter value only.
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            function: None,
+            parameter: Some(parameter.to_string()),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (&self.function, &self.parameter) {
+            (Some(func), Some(p)) => write!(f, "{func}/{p}"),
+            (Some(func), None) => write!(f, "{func}"),
+            (None, Some(p)) => write!(f, "{p}"),
+            (None, None) => write!(f, "?"),
+        }
+    }
+}
+
+/// Passed to each benchmark closure; drives the timing loop.
+pub struct Bencher<'a> {
+    settings: &'a Settings,
+    /// `(total_duration, iterations)` accumulated by `iter`/`iter_custom`.
+    result: Option<(Duration, u64)>,
+}
+
+impl Bencher<'_> {
+    /// Times `routine`, called repeatedly in batches until the measurement
+    /// time elapses.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: also calibrates the batch size so clock reads don't
+        // dominate sub-microsecond routines.
+        let warm_deadline = Instant::now() + self.settings.warm_up_time;
+        let mut warm_iters = 0u64;
+        while Instant::now() < warm_deadline {
+            for _ in 0..64 {
+                black_box(routine());
+            }
+            warm_iters += 64;
+        }
+        let per_batch = (warm_iters / 50).clamp(16, 1 << 20);
+
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        while total < self.settings.measurement_time {
+            let start = Instant::now();
+            for _ in 0..per_batch {
+                black_box(routine());
+            }
+            total += start.elapsed();
+            iters += per_batch;
+        }
+        self.result = Some((total, iters));
+    }
+
+    /// Times a routine that measures itself: `routine(iters)` must return
+    /// the time taken to run `iters` iterations.
+    pub fn iter_custom<R: FnMut(u64) -> Duration>(&mut self, mut routine: R) {
+        black_box(routine(1)); // warm-up
+        let samples = self.settings.sample_size.max(1) as u64;
+        let total = routine(samples);
+        self.result = Some((total, samples));
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(name: &str, settings: &Settings, mut f: F) {
+    let mut b = Bencher {
+        settings,
+        result: None,
+    };
+    f(&mut b);
+    match b.result {
+        Some((total, iters)) if iters > 0 => {
+            let ns = total.as_nanos() as f64 / iters as f64;
+            println!("{name:<40} time: {ns:>12.1} ns/iter  ({iters} iters)");
+        }
+        _ => println!("{name:<40} (no measurement recorded)"),
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark entry point, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_records_a_result() {
+        let settings = Settings {
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(5),
+            measurement_time: Duration::from_millis(10),
+        };
+        let mut b = Bencher {
+            settings: &settings,
+            result: None,
+        };
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_add(1);
+            x
+        });
+        let (total, iters) = b.result.unwrap();
+        assert!(iters > 0);
+        assert!(total >= Duration::from_millis(10));
+    }
+
+    #[test]
+    fn iter_custom_uses_sample_size() {
+        let settings = Settings {
+            sample_size: 7,
+            ..Settings::default()
+        };
+        let mut b = Bencher {
+            settings: &settings,
+            result: None,
+        };
+        let mut calls = Vec::new();
+        b.iter_custom(|n| {
+            calls.push(n);
+            Duration::from_micros(n)
+        });
+        assert_eq!(calls, vec![1, 7]);
+        assert_eq!(b.result.unwrap(), (Duration::from_micros(7), 7));
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("wcq", "on").to_string(), "wcq/on");
+        assert_eq!(BenchmarkId::from_parameter(64).to_string(), "64");
+    }
+}

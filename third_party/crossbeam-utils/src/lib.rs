@@ -1,0 +1,81 @@
+//! Offline stand-in for the `crossbeam-utils` crate, providing the subset
+//! this workspace uses: [`CachePadded`]. See `third_party/README.md` for the
+//! substitution policy.
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+
+/// Pads and aligns a value to the length of a cache line.
+///
+/// Matches crossbeam's alignment choices: 128 bytes on x86-64 and aarch64
+/// (adjacent-line prefetchers pull pairs of 64-byte lines), 64 elsewhere.
+#[cfg_attr(any(target_arch = "x86_64", target_arch = "aarch64"), repr(align(128)))]
+#[cfg_attr(
+    not(any(target_arch = "x86_64", target_arch = "aarch64")),
+    repr(align(64))
+)]
+#[derive(Clone, Copy, Default, Hash, PartialEq, Eq)]
+pub struct CachePadded<T> {
+    value: T,
+}
+
+unsafe impl<T: Send> Send for CachePadded<T> {}
+unsafe impl<T: Sync> Sync for CachePadded<T> {}
+
+impl<T> CachePadded<T> {
+    /// Pads and aligns a value to the length of a cache line.
+    pub const fn new(value: T) -> CachePadded<T> {
+        CachePadded { value }
+    }
+
+    /// Returns the inner value.
+    pub fn into_inner(self) -> T {
+        self.value
+    }
+}
+
+impl<T> Deref for CachePadded<T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> DerefMut for CachePadded<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.value
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for CachePadded<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CachePadded")
+            .field("value", &self.value)
+            .finish()
+    }
+}
+
+impl<T> From<T> for CachePadded<T> {
+    fn from(t: T) -> Self {
+        CachePadded::new(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alignment_is_at_least_64() {
+        assert!(std::mem::align_of::<CachePadded<u8>>() >= 64);
+    }
+
+    #[test]
+    fn deref_roundtrip() {
+        let mut p = CachePadded::new(41u64);
+        *p += 1;
+        assert_eq!(*p, 42);
+        assert_eq!(p.into_inner(), 42);
+    }
+}

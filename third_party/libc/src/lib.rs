@@ -1,0 +1,83 @@
+//! Offline stand-in for the `libc` crate, providing the Linux subset this
+//! workspace uses: `sched_setaffinity` thread pinning and `sysconf` page-size
+//! queries. See `third_party/README.md` for the substitution policy.
+
+#![allow(non_camel_case_types)]
+
+/// Equivalent to C's `int`.
+pub type c_int = i32;
+/// Equivalent to C's `long`.
+pub type c_long = i64;
+/// Equivalent to C's `size_t`.
+pub type size_t = usize;
+/// POSIX process id.
+pub type pid_t = i32;
+
+/// `sysconf` selector for the system page size (Linux value).
+pub const _SC_PAGESIZE: c_int = 30;
+
+const CPU_SETSIZE: usize = 1024;
+const BITS_PER_WORD: usize = 64;
+
+/// Linux `cpu_set_t`: a 1024-bit CPU affinity mask.
+#[repr(C)]
+#[derive(Copy, Clone)]
+pub struct cpu_set_t {
+    bits: [u64; CPU_SETSIZE / BITS_PER_WORD],
+}
+
+/// Adds `cpu` to the set (glibc's `CPU_SET` macro). Out-of-range ids are
+/// ignored, matching the macro's bounds behaviour.
+///
+/// # Safety
+///
+/// Safe in practice (pure bit manipulation); `unsafe` only to match the
+/// real crate's signature.
+#[allow(non_snake_case)]
+pub unsafe fn CPU_SET(cpu: usize, set: &mut cpu_set_t) {
+    if cpu < CPU_SETSIZE {
+        set.bits[cpu / BITS_PER_WORD] |= 1u64 << (cpu % BITS_PER_WORD);
+    }
+}
+
+/// Returns `true` if `cpu` is in the set (glibc's `CPU_ISSET` macro).
+///
+/// # Safety
+///
+/// Safe in practice (pure bit inspection); `unsafe` only to match the
+/// real crate's signature.
+#[allow(non_snake_case)]
+pub unsafe fn CPU_ISSET(cpu: usize, set: &cpu_set_t) -> bool {
+    cpu < CPU_SETSIZE && set.bits[cpu / BITS_PER_WORD] & (1u64 << (cpu % BITS_PER_WORD)) != 0
+}
+
+extern "C" {
+    /// Binds the thread/process `pid` (0 = caller) to the CPUs in `cpuset`.
+    pub fn sched_setaffinity(pid: pid_t, cpusetsize: size_t, cpuset: *const cpu_set_t) -> c_int;
+    /// Queries a system configuration value (e.g. [`_SC_PAGESIZE`]).
+    pub fn sysconf(name: c_int) -> c_long;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpu_set_bit_math() {
+        let mut set: cpu_set_t = unsafe { std::mem::zeroed() };
+        unsafe {
+            CPU_SET(0, &mut set);
+            CPU_SET(65, &mut set);
+            CPU_SET(usize::MAX, &mut set); // ignored, no panic
+            assert!(CPU_ISSET(0, &set));
+            assert!(CPU_ISSET(65, &set));
+            assert!(!CPU_ISSET(1, &set));
+        }
+    }
+
+    #[test]
+    fn sysconf_page_size_is_sane() {
+        let page = unsafe { sysconf(_SC_PAGESIZE) };
+        assert!(page >= 4096, "page size {page}");
+    }
+}

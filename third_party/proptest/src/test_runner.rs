@@ -1,0 +1,114 @@
+//! Test-runner plumbing: configuration, the deterministic RNG, and the
+//! case-failure error type.
+
+use std::fmt;
+
+/// Configuration accepted by `#![proptest_config(..)]`.
+///
+/// Only `cases` affects this stand-in; the other fields exist so struct
+/// literals written against the real crate keep compiling.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+    /// Accepted for compatibility; shrinking is not implemented.
+    pub max_shrink_iters: u32,
+    /// Accepted for compatibility; local-rejects never occur (no filters).
+    pub max_local_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_shrink_iters: 1024,
+            max_local_rejects: 65_536,
+        }
+    }
+}
+
+/// Resolves the case count, honoring the real crate's `PROPTEST_CASES`
+/// environment override.
+pub fn effective_cases(config: &ProptestConfig) -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(config.cases)
+}
+
+/// Why a single generated case failed.
+#[derive(Clone, Debug)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// A case failure with the given message.
+    pub fn fail<S: Into<String>>(message: S) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Deterministic RNG (SplitMix64) seeded from the test name, so failures
+/// reproduce run-to-run without a persistence file.
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds the RNG from a test's name.
+    pub fn for_test(name: &str) -> Self {
+        // FNV-1a over the name gives a stable, well-mixed per-test seed.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng { state: h }
+    }
+
+    /// Next pseudo-random u64.
+    pub fn next_u64(&mut self) -> u64 {
+        // SplitMix64 step.
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        let mut a = TestRng::for_test("alpha");
+        let mut b = TestRng::for_test("alpha");
+        let mut c = TestRng::for_test("beta");
+        let (x, y, z) = (a.next_u64(), b.next_u64(), c.next_u64());
+        assert_eq!(x, y);
+        assert_ne!(x, z);
+    }
+
+    #[test]
+    fn config_default_and_env() {
+        assert_eq!(ProptestConfig::default().cases, 256);
+        let cfg = ProptestConfig {
+            cases: 64,
+            ..ProptestConfig::default()
+        };
+        assert_eq!(effective_cases(&cfg), 64);
+    }
+}
