@@ -30,6 +30,7 @@ fn pairwise_elapsed(cfg: &WcqConfig, iters: u64) -> Duration {
     let spec = QueueSpec {
         max_threads: THREADS + 1,
         ring_order: 12,
+        shards: 1,
         cfg: *cfg,
     };
     let mut total = Duration::ZERO;
@@ -114,6 +115,7 @@ fn ablate_remap(c: &mut Criterion) {
                 let spec = QueueSpec {
                     max_threads: THREADS + 1,
                     ring_order: 12,
+                    shards: 1,
                     cfg: *cfg,
                 };
                 let mut total = Duration::ZERO;
@@ -125,6 +127,43 @@ fn ablate_remap(c: &mut Criterion) {
             })
         });
     }
+    g.finish();
+}
+
+/// Batch API vs singleton loop: 64 enqueues + 64 dequeues per iteration,
+/// single-threaded (the amortization claim is about F&A + cache-remap cost
+/// per item, which contention only amplifies).
+fn ablate_batch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("batch64");
+    g.sample_size(20);
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(2));
+    const N: usize = 64;
+    g.bench_function("singleton", |b| {
+        let q: wcq::WcqQueue<u64> = wcq::WcqQueue::new(12, 2);
+        let mut h = q.register().unwrap();
+        b.iter(|| {
+            for i in 0..N as u64 {
+                let _ = std::hint::black_box(h.enqueue(i));
+            }
+            for _ in 0..N {
+                std::hint::black_box(h.dequeue());
+            }
+        })
+    });
+    g.bench_function("batch", |b| {
+        let q: wcq::WcqQueue<u64> = wcq::WcqQueue::new(12, 2);
+        let mut h = q.register().unwrap();
+        let mut items: Vec<u64> = Vec::with_capacity(N);
+        let mut out: Vec<u64> = Vec::with_capacity(N);
+        b.iter(|| {
+            items.extend(0..N as u64);
+            std::hint::black_box(h.enqueue_batch(&mut items));
+            std::hint::black_box(h.dequeue_batch(&mut out, N));
+            items.clear();
+            out.clear();
+        })
+    });
     g.finish();
 }
 
@@ -166,6 +205,7 @@ criterion_group!(
     ablate_help_delay,
     ablate_catchup,
     ablate_remap,
+    ablate_batch,
     dwcas_primitives
 );
 criterion_main!(benches);

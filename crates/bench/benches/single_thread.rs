@@ -13,6 +13,7 @@ fn spec() -> QueueSpec {
     QueueSpec {
         max_threads: 2,
         ring_order: 12,
+        shards: 1,
         cfg: wcq::WcqConfig::default(),
     }
 }

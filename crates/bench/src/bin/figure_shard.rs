@@ -1,0 +1,86 @@
+//! Shard sweep — beyond the paper: throughput of the sharded wCQ
+//! front-end (`wcq::shard::ShardedWcq`) vs the single-ring queue as both
+//! the thread count and the shard count grow.
+//!
+//! Workload: pairwise enqueue+dequeue (the paper's Fig. 11b shape), the
+//! workload dominated by the global `Head`/`Tail` F&A pair that sharding
+//! splits. Total capacity is held at 2^16 across all shard counts so the
+//! comparison is like for like.
+//!
+//! Usage: `cargo run --release --bin figure_shard`
+//! (respects the `WCQ_BENCH_*` knobs; see the bench crate docs).
+
+use bench::{print_env_banner, BenchOpts, LADDER_X86};
+use harness::queues::{QueueSpec, ShardedWcqBench, WcqBench};
+use harness::stats::Stats;
+use harness::workload::{repeat, Workload, WorkloadCfg};
+use harness::BenchQueue;
+
+const SHARD_COUNTS: &[usize] = &[2, 4, 8];
+
+fn measure<Q: BenchQueue>(q: &Q, threads: usize, opts: &BenchOpts) -> Stats {
+    let cfg = WorkloadCfg {
+        threads,
+        ops_per_thread: opts.ops,
+        prefill: 0,
+        max_delay_spins: 0,
+        seed: 0x5eed_0000 + threads as u64,
+        pin: opts.pin,
+    };
+    Stats::from_samples(&repeat(q, Workload::Pairwise, &cfg, opts.reps))
+}
+
+fn main() {
+    let opts = BenchOpts::from_env(LADDER_X86);
+    print_env_banner("Figure S: shard sweep (pairwise enqueue+dequeue)");
+    let mut names = vec!["wCQ".to_string()];
+    for &s in SHARD_COUNTS {
+        names.push(format!("wCQ x{s}"));
+    }
+    let mut rows: Vec<(usize, Vec<f64>)> = Vec::new();
+    for &threads in &opts.threads {
+        let mut cells = Vec::new();
+        let spec = QueueSpec {
+            max_threads: threads + 1,
+            ring_order: 16,
+            shards: 1,
+            cfg: wcq::WcqConfig::default(),
+        };
+        let single = measure(&WcqBench::new(&spec), threads, &opts);
+        eprintln!(
+            "  threads={threads:<4} {:<10} {:>8.3} Mops/s (cov {:.4})",
+            "wCQ", single.mean, single.cov
+        );
+        cells.push(single.mean);
+        for &shards in SHARD_COUNTS {
+            let spec = QueueSpec { shards, ..spec };
+            let q = ShardedWcqBench::new(&spec);
+            let st = measure(&q, threads, &opts);
+            eprintln!(
+                "  threads={threads:<4} wCQ x{shards:<5} {:>8.3} Mops/s (cov {:.4})",
+                st.mean, st.cov
+            );
+            cells.push(st.mean);
+        }
+        rows.push((threads, cells));
+    }
+    println!("\n== Shard sweep: pairwise throughput (Mops/s, mean of reps) ==");
+    print!("{:>8}", "threads");
+    for n in &names {
+        print!("{n:>12}");
+    }
+    println!();
+    for (t, cells) in &rows {
+        print!("{t:>8}");
+        for c in cells {
+            print!("{c:>12.3}");
+        }
+        println!();
+    }
+    println!("-- CSV --");
+    println!("threads,{}", names.join(","));
+    for (t, cells) in &rows {
+        let vals: Vec<String> = cells.iter().map(|c| format!("{c:.4}")).collect();
+        println!("{t},{}", vals.join(","));
+    }
+}

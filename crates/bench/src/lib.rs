@@ -108,6 +108,7 @@ fn spec_for(threads: usize) -> QueueSpec {
     QueueSpec {
         max_threads: threads + 1, // +1 for the prefill handle
         ring_order: 16,           // the paper's 2^16-entry rings
+        shards: 1,
         cfg: wcq::WcqConfig::default(),
     }
 }

@@ -31,6 +31,7 @@
 //! | [`ScqQueue`] / [`ScqRing`] | lock-free | bounded | §2 (Fig. 3) |
 //! | [`unbounded::UnboundedScq`] | lock-free | unbounded (list of rings) | §7, App. A |
 //! | [`unbounded::UnboundedWcq`] | wait-free rings, lock-free list | unbounded | App. A |
+//! | [`ShardedWcq`] | wait-free per shard | bounded | beyond the paper: splits the §6 `Head`/`Tail` hotspot over S rings |
 //!
 //! Wait-freedom of the slow path relies on hardware double-width CAS; see
 //! [`dwcas::HARDWARE_CAS2`] and `DESIGN.md` §3.5 for the portable fallback
@@ -40,10 +41,12 @@
 
 pub mod pack;
 pub mod scq;
+pub mod shard;
 pub mod unbounded;
 pub mod wcq;
 
 pub use scq::{ScqQueue, ScqRing};
+pub use shard::{ShardedHandle, ShardedWcq};
 pub use wcq::{WcqHandle, WcqQueue, WcqRing};
 
 /// Tuning knobs for SCQ/wCQ rings. Defaults follow the paper's evaluation

@@ -189,6 +189,55 @@ mod tests {
     }
 
     #[test]
+    fn stale_helper_aborts_across_tag_wraparound_window() {
+        // DESIGN.md §3.2: a helper snapshots the tagged `localTail` word of
+        // one request, is preempted, and wakes up after the record has
+        // completed many further requests. Until the 14-bit tag wraps
+        // (2^14 completed requests later) the guard every slow-path load
+        // applies — abort on `FIN` set *or* tag mismatch — must fire, and
+        // the helper's phase-1 CAS (which carries the stale word as its
+        // expected value) must fail rather than apply the stale operand.
+        let r = ThreadRec::new(16, 0);
+        let mut seq = r.seq1.load(SeqCst);
+        let stale_tag = tag_from_seq(seq);
+        let ticket = 77u64;
+        let stale_word = stale_tag | ticket;
+        r.local_tail.store(stale_word, SeqCst);
+        for completed in 1..(1u64 << TAG_BITS) {
+            // The request completes (FIN) and the record is immediately
+            // reused for a new request on the *same* ticket counter — the
+            // adversarial schedule the tag exists for.
+            r.local_tail.fetch_or(FIN, SeqCst);
+            seq = seq.wrapping_add(1);
+            r.seq1.store(seq, SeqCst);
+            r.local_tail.store(tag_from_seq(seq) | ticket, SeqCst);
+            // Guard check, as in `load_global_help_phase2` / `slow_faa`.
+            let lv = r.local_tail.load(SeqCst);
+            assert!(
+                lv & FIN != 0 || tag_of(lv) != stale_tag,
+                "stale helper not aborted after {completed} completed requests"
+            );
+            // The phase-1 CAS with the stale expected word cannot apply.
+            assert!(
+                r.local_tail
+                    .compare_exchange(stale_word, stale_word | INC, SeqCst, SeqCst)
+                    .is_err(),
+                "stale operand applied after {completed} completed requests"
+            );
+        }
+        // After exactly 2^14 completed requests the tag wraps: this is the
+        // documented residual exposure, filtered only by the 48-bit ticket
+        // — so a stale helper whose ticket *differs* still cannot apply.
+        seq = seq.wrapping_add(1);
+        assert_eq!(tag_from_seq(seq), stale_tag, "tag wraps at 2^14");
+        r.local_tail.store(tag_from_seq(seq) | (ticket + 1), SeqCst);
+        assert!(r
+            .local_tail
+            .compare_exchange(stale_word, stale_word | INC, SeqCst, SeqCst)
+            .is_err());
+    }
+
+    #[test]
     fn phase2_seqlock_roundtrip() {
         let r = ThreadRec::new(16, 0);
         assert_eq!(r.read_phase2(), None, "unpublished record must not read");

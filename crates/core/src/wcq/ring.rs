@@ -26,6 +26,17 @@ pub enum Deq {
     Empty,
 }
 
+/// Outcome of resolving one already-claimed head ticket.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum DeqAt {
+    /// The ticket matched a produced entry.
+    Hit(u64),
+    /// The queue was observed empty while resolving the ticket.
+    Empty,
+    /// The ticket matched nothing (entry invalidated for this cycle).
+    Miss,
+}
+
 /// Wait-free bounded MPMC queue of indices in `0..n` (`n = 2^order`).
 ///
 /// Like [`crate::scq::ScqRing`], the ring relies on the index-queue
@@ -147,8 +158,20 @@ impl WcqRing {
     /// One fast-path enqueue attempt. `Err(t)` carries the burned ticket.
     #[inline]
     fn try_enq(&self, index: u64) -> Result<(), u64> {
-        let l = &self.layout;
         let t = self.tail.fetch_add_lo(1) & CNT_MASK;
+        if self.try_enq_at(t, index) {
+            Ok(())
+        } else {
+            Err(t)
+        }
+    }
+
+    /// Attempts a fast-path insert at an already-claimed tail ticket `t`.
+    /// `false` burns the ticket — exactly the cost of one failed singleton
+    /// attempt, so callers may abandon any claimed tickets after a failure.
+    #[inline]
+    fn try_enq_at(&self, t: u64, index: u64) -> bool {
+        let l = &self.layout;
         let j = l.slot(t);
         let cyc = l.cycle(t);
         loop {
@@ -174,17 +197,30 @@ impl WcqRing {
                 if self.threshold.load(SeqCst) != l.threshold_reset() {
                     self.threshold.store(l.threshold_reset(), SeqCst);
                 }
-                return Ok(());
+                return true;
             }
-            return Err(t);
+            return false;
         }
     }
 
     /// One fast-path dequeue attempt.
     #[inline]
     fn try_deq(&self) -> Result<Deq, u64> {
-        let l = &self.layout;
         let h = self.head.fetch_add_lo(1) & CNT_MASK;
+        match self.try_deq_at(h) {
+            DeqAt::Hit(i) => Ok(Deq::Index(i)),
+            DeqAt::Empty => Ok(Deq::Empty),
+            DeqAt::Miss => Err(h),
+        }
+    }
+
+    /// Resolves an already-claimed head ticket `h`. Every claimed head
+    /// ticket **must** be resolved (unlike tail tickets it cannot simply be
+    /// abandoned: the miss path has to invalidate the slot so a late
+    /// enqueuer cannot insert at a position the head has already passed).
+    #[inline]
+    fn try_deq_at(&self, h: u64) -> DeqAt {
+        let l = &self.layout;
         let j = l.slot(h);
         let cyc = l.cycle(h);
         loop {
@@ -196,7 +232,7 @@ impl WcqRing {
                     "ticket {h} matched an unproduced slot"
                 );
                 self.consume(h, j, word);
-                return Ok(Deq::Index(e.index));
+                return DeqAt::Hit(e.index);
             }
             let new = if e.index == l.bot() || e.index == l.botc() {
                 pack_w(
@@ -226,12 +262,12 @@ impl WcqRing {
             if t <= h + 1 {
                 self.catchup(t, h + 1);
                 self.threshold.fetch_sub(1, SeqCst);
-                return Ok(Deq::Empty);
+                return DeqAt::Empty;
             }
             if self.threshold.fetch_sub(1, SeqCst) <= 0 {
-                return Ok(Deq::Empty);
+                return DeqAt::Empty;
             }
-            return Err(h);
+            return DeqAt::Miss;
         }
     }
 
@@ -660,6 +696,70 @@ impl WcqRing {
         }
         None
     }
+
+    // =====================================================================
+    // Batch operations
+    // =====================================================================
+
+    /// Enqueues every index in `indices`, claiming `indices.len()`
+    /// contiguous tail tickets with a **single** F&A and inserting a prefix
+    /// in order on the fast path. The first per-ticket failure abandons the
+    /// remaining claimed tickets (burned, exactly like failed singleton
+    /// attempts — dequeuers invalidate them as they pass) and the remaining
+    /// indices complete through the singleton wait-free path, so order is
+    /// preserved and every index is enqueued on return.
+    pub fn enqueue_batch(&self, tid: usize, indices: &[u64]) {
+        if indices.is_empty() {
+            return;
+        }
+        self.help_threads(tid);
+        let t0 = self.tail.fetch_add_lo(indices.len() as u64) & CNT_MASK;
+        let mut done = 0;
+        for (i, &idx) in indices.iter().enumerate() {
+            debug_assert!(idx < self.layout.n());
+            if !self.try_enq_at((t0 + i as u64) & CNT_MASK, idx) {
+                break;
+            }
+            done = i + 1;
+        }
+        for &idx in &indices[done..] {
+            self.enqueue(tid, idx);
+        }
+    }
+
+    /// Dequeues up to `out.len()` indices, claiming the whole run of head
+    /// tickets with a **single** F&A (bounded by the observed backlog so a
+    /// large batch on a near-empty ring does not decay the threshold more
+    /// than the backlog warrants). Each claimed ticket is resolved exactly
+    /// as a singleton attempt would resolve it; hits are written to `out`
+    /// front-to-back in ticket order.
+    ///
+    /// Returns the number of indices written. `0` does **not** certify
+    /// emptiness (the backlog probe is advisory) — callers needing a
+    /// linearizable empty answer fall back to [`Self::dequeue`].
+    pub fn dequeue_batch(&self, tid: usize, out: &mut [u64]) -> usize {
+        if out.is_empty() || self.threshold.load(SeqCst) < 0 {
+            return 0;
+        }
+        self.help_threads(tid);
+        let avail = self
+            .tail
+            .load_lo()
+            .saturating_sub(self.head.load_lo());
+        let k = (out.len() as u64).min(avail);
+        if k == 0 {
+            return 0;
+        }
+        let h0 = self.head.fetch_add_lo(k) & CNT_MASK;
+        let mut n = 0;
+        for i in 0..k {
+            if let DeqAt::Hit(idx) = self.try_deq_at((h0 + i) & CNT_MASK) {
+                out[n] = idx;
+                n += 1;
+            }
+        }
+        n
+    }
 }
 
 
@@ -812,6 +912,108 @@ mod tests {
             remap: true,
         };
         mpmc_exact_delivery(cfg, 3, 4, 1_500);
+    }
+
+    #[test]
+    fn batch_roundtrip_preserves_order() {
+        let r = WcqRing::new_empty(4, 1, &cfg_default());
+        let idxs: Vec<u64> = (0..12).collect();
+        r.enqueue_batch(0, &idxs);
+        let mut out = [0u64; 16];
+        let n = r.dequeue_batch(0, &mut out);
+        assert_eq!(&out[..n], &idxs[..n], "batch dequeue must be in order");
+        // Whatever the batch left behind comes out via singletons, in order.
+        let mut rest: Vec<u64> = std::iter::from_fn(|| r.dequeue(0)).collect();
+        let mut all = out[..n].to_vec();
+        all.append(&mut rest);
+        assert_eq!(all, idxs);
+    }
+
+    #[test]
+    fn batch_wraps_many_cycles() {
+        let r = WcqRing::new_empty(2, 1, &cfg_default());
+        let mut out = [0u64; 4];
+        for round in 0..2000u64 {
+            let idxs = [round % 4, (round + 1) % 4, (round + 2) % 4];
+            r.enqueue_batch(0, &idxs);
+            let mut got = Vec::new();
+            while got.len() < 3 {
+                let n = r.dequeue_batch(0, &mut out);
+                got.extend_from_slice(&out[..n]);
+                if n == 0 {
+                    if let Some(i) = r.dequeue(0) {
+                        got.push(i);
+                    }
+                }
+            }
+            assert_eq!(got, idxs);
+            assert_eq!(r.dequeue(0), None);
+        }
+    }
+
+    #[test]
+    fn batch_dequeue_bounded_by_backlog() {
+        let r = WcqRing::new_empty(5, 1, &cfg_default());
+        r.enqueue_batch(0, &[1, 2, 3]);
+        let mut out = [0u64; 32];
+        // A huge batch request on a 3-element backlog must not report more
+        // than the backlog and must leave the ring usable.
+        let n = r.dequeue_batch(0, &mut out);
+        assert!(n <= 3);
+        let mut got = out[..n].to_vec();
+        got.extend(std::iter::from_fn(|| r.dequeue(0)));
+        assert_eq!(got, vec![1, 2, 3]);
+        assert_eq!(r.dequeue_batch(0, &mut out), 0, "empty ring yields 0");
+    }
+
+    #[test]
+    fn batch_concurrent_exact_delivery() {
+        // Producers enqueue in batches, consumers drain in batches; the
+        // circulating-index discipline is held by partitioning 0..n between
+        // two producer threads.
+        let r = Arc::new(WcqRing::new_empty(6, 4, &cfg_default()));
+        let sink = Arc::new(Mutex::new(Vec::new()));
+        let mut hs = Vec::new();
+        for p in 0..2u64 {
+            let r = Arc::clone(&r);
+            hs.push(std::thread::spawn(move || {
+                // Each producer owns indices p*32..p*32+8 and cycles them.
+                let mine: Vec<u64> = (p * 32..p * 32 + 8).collect();
+                for chunk in mine.chunks(4) {
+                    r.enqueue_batch(p as usize, chunk);
+                }
+            }));
+        }
+        for c in 2..4usize {
+            let r = Arc::clone(&r);
+            let sink = Arc::clone(&sink);
+            hs.push(std::thread::spawn(move || {
+                let mut got = Vec::new();
+                let mut out = [0u64; 8];
+                let mut idle = 0;
+                while idle < 10_000 {
+                    let n = r.dequeue_batch(c, &mut out);
+                    if n == 0 {
+                        match r.dequeue(c) {
+                            Some(i) => got.push(i),
+                            None => idle += 1,
+                        }
+                    } else {
+                        got.extend_from_slice(&out[..n]);
+                        idle = 0;
+                    }
+                }
+                sink.lock().unwrap().extend(got);
+            }));
+        }
+        for h in hs {
+            h.join().unwrap();
+        }
+        let mut got = sink.lock().unwrap().clone();
+        got.extend(std::iter::from_fn(|| r.dequeue(0)));
+        got.sort_unstable();
+        let want: Vec<u64> = (0..8).chain(32..40).collect();
+        assert_eq!(got, want, "lost or duplicated indices across batches");
     }
 
     #[test]

@@ -36,6 +36,10 @@ pub struct QueueSpec {
     /// Ring order for the bounded rings (wCQ/SCQ use `2^order`; the paper's
     /// evaluation uses 2^16).
     pub ring_order: u32,
+    /// Shard count for [`ShardedWcqBench`] (a power of two; 1 = unsharded).
+    /// Total capacity stays `2^ring_order`: each shard gets
+    /// `ring_order - log2(shards)`, floored so `max_threads` still fits.
+    pub shards: usize,
     /// Tuning knobs for wCQ/SCQ.
     pub cfg: WcqConfig,
 }
@@ -45,6 +49,7 @@ impl Default for QueueSpec {
         QueueSpec {
             max_threads: 8,
             ring_order: 16,
+            shards: 1,
             cfg: WcqConfig::default(),
         }
     }
@@ -100,6 +105,55 @@ impl WcqHandleExt for wcq::WcqHandle<'_, u64> {
     #[inline]
     fn dequeue(&mut self) -> Option<u64> {
         wcq::WcqHandle::dequeue(self)
+    }
+}
+
+// -------------------------------------------------------- sharded wCQ -----
+
+/// Adapter: sharded wCQ front-end (`wcq::shard::ShardedWcq`). Per-handle
+/// enqueue affinity, rotating dequeue; total capacity matches the
+/// single-ring spec so shard-count sweeps compare like for like.
+pub struct ShardedWcqBench(pub wcq::ShardedWcq<u64>);
+
+impl ShardedWcqBench {
+    /// Builds from a [`QueueSpec`], dividing `2^ring_order` total capacity
+    /// across `spec.shards` sub-rings.
+    pub fn new(spec: &QueueSpec) -> Self {
+        let shards = spec.shards.max(1).next_power_of_two();
+        // Keep total capacity at 2^ring_order, but never shrink a shard
+        // below what max_threads requires (the paper's k <= n assumption).
+        let min_order = usize::BITS - spec.max_threads.max(2).leading_zeros();
+        let per_shard = spec
+            .ring_order
+            .saturating_sub(shards.trailing_zeros())
+            .max(min_order);
+        ShardedWcqBench(wcq::ShardedWcq::with_config(
+            shards,
+            per_shard,
+            spec.max_threads,
+            &spec.cfg,
+        ))
+    }
+}
+
+impl BenchQueue for ShardedWcqBench {
+    type Handle<'a> = wcq::ShardedHandle<'a, u64>;
+    fn name(&self) -> &'static str {
+        "wCQ-sharded"
+    }
+    fn handle(&self) -> Self::Handle<'_> {
+        self.0.register().expect("sharded wCQ thread slots exhausted")
+    }
+}
+
+impl QueueHandle for wcq::ShardedHandle<'_, u64> {
+    #[inline]
+    fn enqueue(&mut self, v: u64) -> bool {
+        wcq::ShardedHandle::enqueue(self, v).is_ok()
+    }
+    #[inline]
+    fn dequeue(&mut self) -> Option<u64> {
+        wcq::ShardedHandle::dequeue(self)
     }
 }
 
@@ -363,9 +417,11 @@ mod tests {
         let spec = QueueSpec {
             max_threads: 2,
             ring_order: 6,
+            shards: 2,
             cfg: WcqConfig::default(),
         };
         roundtrip(&WcqBench::new(&spec));
+        roundtrip(&ShardedWcqBench::new(&spec));
         roundtrip(&ScqBench::new(&spec));
         roundtrip(&MsBench::new(&spec));
         roundtrip(&LcrqBench::new(&spec));
@@ -384,5 +440,28 @@ mod tests {
         let spec = QueueSpec::default();
         assert_eq!(WcqBench::new(&spec).name(), "wCQ");
         assert_eq!(YmcBench::new(&spec).name(), "YMC (bug)");
+        assert_eq!(ShardedWcqBench::new(&spec).name(), "wCQ-sharded");
+    }
+
+    #[test]
+    fn sharded_spec_preserves_total_capacity() {
+        let spec = QueueSpec {
+            max_threads: 4,
+            ring_order: 10,
+            shards: 4,
+            cfg: WcqConfig::default(),
+        };
+        let q = ShardedWcqBench::new(&spec);
+        assert_eq!(q.0.shards(), 4);
+        assert_eq!(q.0.capacity(), 1 << 10, "capacity split, not multiplied");
+        // Tiny rings still fit max_threads per shard.
+        let spec = QueueSpec {
+            max_threads: 16,
+            ring_order: 4,
+            shards: 8,
+            cfg: WcqConfig::default(),
+        };
+        let q = ShardedWcqBench::new(&spec);
+        assert!(q.0.capacity() / q.0.shards() >= 16);
     }
 }

@@ -22,6 +22,51 @@ fn ops(max_len: usize) -> impl Strategy<Value = Vec<Op>> {
     )
 }
 
+/// Op string extended with the batch API (tentpole: batch ops must agree
+/// with the oracle exactly, including the partial-batch full/empty edges).
+#[derive(Clone, Debug)]
+enum BOp {
+    Enq(u64),
+    Deq,
+    EnqBatch(Vec<u64>),
+    DeqBatch(usize),
+}
+
+fn batch_ops(max_len: usize) -> impl Strategy<Value = Vec<BOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0u64..1_000_000).prop_map(BOp::Enq),
+            Just(BOp::Deq),
+            prop::collection::vec(0u64..1_000_000, 0..24).prop_map(BOp::EnqBatch),
+            (0usize..24).prop_map(BOp::DeqBatch),
+        ],
+        0..max_len,
+    )
+}
+
+/// Sharded op string: every op names the handle that performs it, so the
+/// interleaving exercises all affinity shards and the rotating dequeue.
+/// `usize` payloads are decoded as `(handle, size)` pairs.
+#[derive(Clone, Debug)]
+enum SOp {
+    Enq(usize),
+    Deq(usize),
+    EnqBatch(usize, usize),
+    DeqBatch(usize, usize),
+}
+
+fn sharded_ops(handles: usize, max_len: usize) -> impl Strategy<Value = Vec<SOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0usize..handles).prop_map(SOp::Enq),
+            (0usize..handles).prop_map(SOp::Deq),
+            (0usize..handles * 16).prop_map(move |x| SOp::EnqBatch(x % handles, x / handles)),
+            (0usize..handles * 16).prop_map(move |x| SOp::DeqBatch(x % handles, x / handles)),
+        ],
+        0..max_len,
+    )
+}
+
 proptest! {
     #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
 
@@ -66,6 +111,169 @@ proptest! {
                 }
             }
         }
+    }
+
+    #[test]
+    fn wcq_batch_ops_match_model(ops in batch_ops(300), order in 2u32..7) {
+        let q: wcq::WcqQueue<u64> = wcq::WcqQueue::new(order, 1);
+        let mut h = q.register().unwrap();
+        let mut model = SeqModel::bounded(1 << order);
+        for op in ops {
+            match op {
+                BOp::Enq(v) => {
+                    prop_assert_eq!(h.enqueue(v).is_ok(), model.enqueue(v));
+                }
+                BOp::Deq => {
+                    prop_assert_eq!(h.dequeue(), model.dequeue());
+                }
+                BOp::EnqBatch(vs) => {
+                    let mut items = vs.clone();
+                    let n = h.enqueue_batch(&mut items);
+                    let mut want = 0;
+                    for &v in &vs {
+                        if !model.enqueue(v) { break; }
+                        want += 1;
+                    }
+                    prop_assert_eq!(n, want, "batch enqueue count");
+                    prop_assert_eq!(&items[..], &vs[want..], "rejects keep order");
+                }
+                BOp::DeqBatch(max) => {
+                    let mut out = Vec::new();
+                    let n = h.dequeue_batch(&mut out, max);
+                    let want: Vec<u64> =
+                        (0..max).map_while(|_| model.dequeue()).collect();
+                    prop_assert_eq!(n, want.len(), "batch dequeue count");
+                    prop_assert_eq!(out, want, "batch dequeue order");
+                }
+            }
+        }
+        // Drain both to the end through the batch path.
+        let mut out = Vec::new();
+        h.dequeue_batch(&mut out, 1 << order);
+        let mut want = Vec::new();
+        while let Some(v) = model.dequeue() { want.push(v); }
+        prop_assert_eq!(out, want);
+    }
+
+    #[test]
+    fn wcq_batch_stress_config_matches_model(ops in batch_ops(200), order in 2u32..5) {
+        let q: wcq::WcqQueue<u64> =
+            wcq::WcqQueue::with_config(order, 1, &wcq::WcqConfig::stress());
+        let mut h = q.register().unwrap();
+        let mut model = SeqModel::bounded(1 << order);
+        for op in ops {
+            match op {
+                BOp::Enq(v) => {
+                    prop_assert_eq!(h.enqueue(v).is_ok(), model.enqueue(v));
+                }
+                BOp::Deq => {
+                    prop_assert_eq!(h.dequeue(), model.dequeue());
+                }
+                BOp::EnqBatch(vs) => {
+                    let mut items = vs.clone();
+                    let n = h.enqueue_batch(&mut items);
+                    let mut want = 0;
+                    for &v in &vs {
+                        if !model.enqueue(v) { break; }
+                        want += 1;
+                    }
+                    prop_assert_eq!(n, want);
+                }
+                BOp::DeqBatch(max) => {
+                    let mut out = Vec::new();
+                    h.dequeue_batch(&mut out, max);
+                    let want: Vec<u64> =
+                        (0..max).map_while(|_| model.dequeue()).collect();
+                    prop_assert_eq!(out, want);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_wcq_matches_per_shard_oracle(ops in sharded_ops(4, 300), order in 2u32..5) {
+        // 4 shards, 4 handles — handle i's affinity is shard i. The oracle
+        // is one VecDeque per shard: global delivery must be the exact
+        // multiset and every dequeued value must be the front of its
+        // shard's deque (per-shard FIFO). Values are unique by counter, so
+        // "its shard" is unambiguous.
+        const SHARDS: usize = 4;
+        let q: wcq::ShardedWcq<u64> = wcq::ShardedWcq::new(SHARDS, order, SHARDS);
+        let mut hs: Vec<_> = (0..SHARDS).map(|_| q.register().unwrap()).collect();
+        let mut oracle: Vec<std::collections::VecDeque<u64>> =
+            (0..SHARDS).map(|_| Default::default()).collect();
+        let cap = 1usize << order;
+        let mut next = 0u64;
+        let mut balance = 0i64; // enqueued minus dequeued
+        let pop_checked = |oracle: &mut Vec<std::collections::VecDeque<u64>>, v: u64|
+            -> Result<(), TestCaseError> {
+            let s = oracle
+                .iter()
+                .position(|d| d.front() == Some(&v));
+            prop_assert!(s.is_some(), "value {} is not at the front of any shard", v);
+            oracle[s.unwrap()].pop_front();
+            Ok(())
+        };
+        for op in ops {
+            match op {
+                SOp::Enq(hi) => {
+                    let shard = hs[hi].affinity();
+                    let ok = hs[hi].enqueue(next).is_ok();
+                    prop_assert_eq!(ok, oracle[shard].len() < cap, "full disagreement");
+                    if ok {
+                        oracle[shard].push_back(next);
+                        next += 1;
+                        balance += 1;
+                    }
+                }
+                SOp::Deq(hi) => {
+                    match hs[hi].dequeue() {
+                        Some(v) => {
+                            pop_checked(&mut oracle, v)?;
+                            balance -= 1;
+                        }
+                        None => {
+                            prop_assert!(
+                                oracle.iter().all(|d| d.is_empty()),
+                                "reported empty with elements present"
+                            );
+                        }
+                    }
+                }
+                SOp::EnqBatch(hi, len) => {
+                    let shard = hs[hi].affinity();
+                    let mut items: Vec<u64> = (next..next + len as u64).collect();
+                    let n = hs[hi].enqueue_batch(&mut items);
+                    let want = len.min(cap - oracle[shard].len());
+                    prop_assert_eq!(n, want, "batch enqueue count vs shard space");
+                    for v in next..next + n as u64 {
+                        oracle[shard].push_back(v);
+                    }
+                    next += len as u64; // burn ids for rejects too (uniqueness)
+                    balance += n as i64;
+                }
+                SOp::DeqBatch(hi, max) => {
+                    let mut out = Vec::new();
+                    let n = hs[hi].dequeue_batch(&mut out, max);
+                    let total: usize = oracle.iter().map(|d| d.len()).sum();
+                    prop_assert_eq!(n, max.min(total), "batch dequeue count");
+                    for v in out {
+                        pop_checked(&mut oracle, v)?;
+                        balance -= 1;
+                    }
+                }
+            }
+        }
+        // Global multiset equality: drain everything and account exactly.
+        let mut drained = 0i64;
+        for h in hs.iter_mut() {
+            while let Some(v) = h.dequeue() {
+                pop_checked(&mut oracle, v)?;
+                drained += 1;
+            }
+        }
+        prop_assert_eq!(balance, drained, "lost or duplicated values");
+        prop_assert!(oracle.iter().all(|d| d.is_empty()));
     }
 
     #[test]

@@ -8,7 +8,7 @@
 use harness::model::{check_delivery, tag, DeliveryLog};
 use harness::queues::{
     BenchQueue, CcBench, CrTurnBench, FaaBench, LcrqBench, MsBench, QueueHandle, QueueSpec,
-    ScqBench, WcqBench, YmcBench,
+    ScqBench, ShardedWcqBench, WcqBench, YmcBench,
 };
 use std::sync::{Barrier, Mutex};
 
@@ -20,6 +20,7 @@ fn spec() -> QueueSpec {
         // 4 workers + the final drain handle.
         max_threads: THREADS + 1,
         ring_order: 8,
+        shards: 1,
         cfg: wcq::WcqConfig::default(),
     }
 }
@@ -74,6 +75,18 @@ fn smoke<Q: BenchQueue>(q: &Q) {
 #[test]
 fn wcq_smoke() {
     smoke(&WcqBench::new(&spec()));
+}
+
+#[test]
+fn sharded_wcq_smoke() {
+    // Every worker lands on a different affinity shard; the opportunistic
+    // dequeues sweep the other shards, and workers outnumber cores 4× on
+    // small hosts, widening the cross-shard race windows.
+    let s = QueueSpec {
+        shards: 4,
+        ..spec()
+    };
+    smoke(&ShardedWcqBench::new(&s));
 }
 
 #[test]

@@ -1,0 +1,148 @@
+//! Ring-churn stress for the Appendix-A unbounded queues: 2–4 slot rings
+//! under `WcqConfig::stress()` (patience 1, help every operation) force a
+//! ring close and hand-off every couple of inserts, so the in-flight
+//! counter protocol (`closed` → `inflight == 0` → final empty check; see
+//! `unbounded.rs` module docs) runs constantly *while the helping machinery
+//! is live inside the rings* — the combination `unbounded_queues.rs` only
+//! brushes against.
+
+use std::sync::atomic::{AtomicBool, Ordering::SeqCst};
+use std::sync::{Arc, Mutex};
+use wcq::unbounded::{InnerRing, Unbounded, WcqInner};
+use wcq::{ScqQueue, WcqConfig};
+
+/// Producers and consumers hammer tiny stressed rings; every value must be
+/// delivered exactly once across the continuous ring hand-offs.
+///
+/// Thread counts are per-call because wCQ rings carry the paper's `k <= n`
+/// assumption: a 2-slot wCQ ring admits at most 2 registered threads, so
+/// the wCQ variants scale workers with the ring order while SCQ (no such
+/// assumption) keeps a bigger crowd on the same tiny rings.
+fn churn_exact_delivery<R: InnerRing<u64> + 'static>(
+    order: u32,
+    per: u64,
+    producers: usize,
+    consumers: usize,
+) {
+    let q: Arc<Unbounded<u64, R>> = Arc::new(Unbounded::with_config(
+        order,
+        producers + consumers,
+        &WcqConfig::stress(),
+    ));
+    let done = Arc::new(AtomicBool::new(false));
+    let sink = Arc::new(Mutex::new(Vec::new()));
+    let nproducers = producers;
+    let producer_threads: Vec<_> = (0..producers as u64)
+        .map(|p| {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                let mut h = q.register().unwrap();
+                for i in 0..per {
+                    h.enqueue(p << 32 | i);
+                }
+            })
+        })
+        .collect();
+    let consumer_threads: Vec<_> = (0..consumers)
+        .map(|c| {
+            let q = Arc::clone(&q);
+            let done = Arc::clone(&done);
+            let sink = Arc::clone(&sink);
+            std::thread::spawn(move || {
+                let mut h = q.register().unwrap();
+                let mut last = vec![-1i64; nproducers];
+                let mut local = Vec::new();
+                loop {
+                    match h.dequeue() {
+                        Some(v) => {
+                            // Per-producer FIFO must survive hand-offs.
+                            let (p, i) = ((v >> 32) as usize, (v & 0xffff_ffff) as i64);
+                            assert!(
+                                i > last[p],
+                                "consumer {c}: producer {p} out of order ({i} after {})",
+                                last[p]
+                            );
+                            last[p] = i;
+                            local.push(v);
+                        }
+                        None if done.load(SeqCst) => break,
+                        None => std::thread::yield_now(),
+                    }
+                }
+                sink.lock().unwrap().extend(local);
+            })
+        })
+        .collect();
+    for p in producer_threads {
+        p.join().unwrap();
+    }
+    done.store(true, SeqCst);
+    for c in consumer_threads {
+        c.join().unwrap();
+    }
+    let got = sink.lock().unwrap();
+    let expect = nproducers as u64 * per;
+    assert_eq!(got.len() as u64, expect, "lost or duplicated elements");
+    let set: std::collections::HashSet<u64> = got.iter().copied().collect();
+    assert_eq!(set.len() as u64, expect, "duplicate delivery");
+}
+
+#[test]
+fn unbounded_wcq_churn_2_slot_rings() {
+    churn_exact_delivery::<WcqInner<u64>>(1, 6_000, 1, 1);
+}
+
+#[test]
+fn unbounded_wcq_churn_4_slot_rings() {
+    churn_exact_delivery::<WcqInner<u64>>(2, 4_000, 2, 2);
+}
+
+#[test]
+fn unbounded_scq_churn_2_slot_rings() {
+    churn_exact_delivery::<ScqQueue<u64>>(1, 4_000, 3, 3);
+}
+
+#[test]
+fn unbounded_scq_churn_4_slot_rings() {
+    churn_exact_delivery::<ScqQueue<u64>>(2, 4_000, 3, 3);
+}
+
+/// Mixed workers (every thread both inserts and drains) on 4-slot stressed
+/// wCQ rings (4 workers is the `k <= n` ceiling for that size): the
+/// close/hand-off path runs while the *same* threads also act as helpers
+/// inside the rings, so a stranded element or a double hand-off shows up as
+/// a count mismatch here.
+#[test]
+fn unbounded_wcq_mixed_churn_conserves_elements() {
+    const WORKERS: usize = 4;
+    const PER: u64 = 3_000;
+    let q: Arc<Unbounded<u64, WcqInner<u64>>> =
+        Arc::new(Unbounded::with_config(2, WORKERS, &WcqConfig::stress()));
+    let handles: Vec<_> = (0..WORKERS as u64)
+        .map(|t| {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                let mut h = q.register().unwrap();
+                let mut got = 0u64;
+                for i in 0..PER {
+                    h.enqueue(t << 32 | i);
+                    if i % 2 == 0 && h.dequeue().is_some() {
+                        got += 1;
+                    }
+                }
+                got
+            })
+        })
+        .collect();
+    let drained_by_workers: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+    let mut h = q.register().unwrap();
+    let mut rest = 0u64;
+    while h.dequeue().is_some() {
+        rest += 1;
+    }
+    assert_eq!(
+        drained_by_workers + rest,
+        WORKERS as u64 * PER,
+        "elements stranded in an abandoned ring or duplicated"
+    );
+}
