@@ -72,12 +72,31 @@ impl<T: Send> InnerRing<T> for WcqInner<T> {
     }
 }
 
+/// Value of a live ring node's canary word.
+const CANARY_ALIVE: u64 = 0x5AFE_81C5_CAFE_F00D;
+/// Scribbled over the canary by the destructor, so a freed-but-reachable
+/// node fails the liveness assertion instead of silently reading stale
+/// memory.
+const CANARY_POISON: u64 = 0xDEAD_81C5_DEAD_F00D;
+
 struct RingNode<T, R: InnerRing<T>> {
     ring: R,
     closed: AtomicBool,
     inflight: AtomicUsize,
     next: AtomicPtr<RingNode<T, R>>,
+    /// Reclamation tripwire: [`CANARY_ALIVE`] while the node lives,
+    /// [`CANARY_POISON`] after its destructor ran. Debug builds assert it
+    /// on every ring operation, turning a use-after-free (which plain
+    /// multiset checks cannot see — freed `Box` memory usually stays
+    /// readable) into a deterministic panic (tests/unbounded_reclaim.rs).
+    canary: AtomicU64,
     _marker: std::marker::PhantomData<T>,
+}
+
+impl<T, R: InnerRing<T>> Drop for RingNode<T, R> {
+    fn drop(&mut self) {
+        self.canary.store(CANARY_POISON, SeqCst);
+    }
 }
 
 impl<T, R: InnerRing<T>> RingNode<T, R> {
@@ -87,13 +106,25 @@ impl<T, R: InnerRing<T>> RingNode<T, R> {
             closed: AtomicBool::new(false),
             inflight: AtomicUsize::new(0),
             next: AtomicPtr::new(ptr::null_mut()),
+            canary: AtomicU64::new(CANARY_ALIVE),
             _marker: std::marker::PhantomData,
         }))
+    }
+
+    /// Asserts (debug builds) that this node has not been reclaimed.
+    #[inline]
+    fn check_canary(&self) {
+        debug_assert_eq!(
+            self.canary.load(SeqCst),
+            CANARY_ALIVE,
+            "unbounded ring operated on after reclamation (tail-lag UAF)"
+        );
     }
 
     /// Enqueue with the close protocol; `Err(v)` = ring closed (caller must
     /// move to the successor ring).
     fn enqueue(&self, tid: usize, v: T) -> Result<(), T> {
+        self.check_canary();
         self.inflight.fetch_add(1, SeqCst);
         if self.closed.load(SeqCst) {
             self.inflight.fetch_sub(1, SeqCst);
@@ -110,6 +141,7 @@ impl<T, R: InnerRing<T>> RingNode<T, R> {
 
     /// `true` when it is safe to abandon this ring (see module docs).
     fn drained(&self) -> bool {
+        self.check_canary();
         self.closed.load(SeqCst) && self.inflight.load(SeqCst) == 0
     }
 }
@@ -177,10 +209,13 @@ impl<T: Send, R: InnerRing<T>> Unbounded<T, R> {
         self.ops_active.fetch_add(1, SeqCst);
         loop {
             let ltail = self.tail.load(SeqCst);
-            // SAFETY: ring nodes are only freed when no operation is active
-            // (`ops_active` gate in `collect`), so `ltail` stays valid for
-            // the duration of this op.
+            // SAFETY: a ring is retired only after `head` *and* `tail`
+            // have moved past it (the tail-advance step in `dequeue_tid`),
+            // `tail` never moves backward, and `collect` frees only rings
+            // retired before the last `ops_active == 0` check — so a
+            // freshly loaded `tail` cannot reference freed memory.
             let node = unsafe { &*ltail };
+            node.check_canary();
             let next = node.next.load(SeqCst);
             if !next.is_null() {
                 let _ = self.tail.compare_exchange(ltail, next, SeqCst, SeqCst);
@@ -222,6 +257,7 @@ impl<T: Send, R: InnerRing<T>> Unbounded<T, R> {
             let lhead = self.head.load(SeqCst);
             // SAFETY: see enqueue_tid.
             let node = unsafe { &*lhead };
+            node.check_canary();
             if let Some(v) = node.ring.ring_dequeue(tid) {
                 break Some(v);
             }
@@ -237,6 +273,21 @@ impl<T: Send, R: InnerRing<T>> Unbounded<T, R> {
             }
             if let Some(v) = node.ring.ring_dequeue(tid) {
                 break Some(v);
+            }
+            // Tail-lag invariant (tests/unbounded_reclaim.rs): a drained
+            // ring may still be the published `tail` (the appender's tail
+            // CAS is lazy), and enqueuers dereference `tail` — so a ring
+            // must be unreachable from *both* ends before it is retired.
+            // Help `tail` past us first; it only ever moves forward, so
+            // after this it can never point at `lhead` again. Do NOT lean
+            // on the `ops_active` gate for this: `collect` frees after a
+            // check-then-act on the counter (outside the lock), so an
+            // enqueuer can start and load `tail` between the zero check
+            // and the free — this invariant is what keeps that load off
+            // freed memory, and any concurrent reclamation scheme (hazard
+            // pointers) relies on it outright.
+            if self.tail.load(SeqCst) == lhead {
+                let _ = self.tail.compare_exchange(lhead, next, SeqCst, SeqCst);
             }
             if self
                 .head

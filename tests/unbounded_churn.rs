@@ -6,105 +6,48 @@
 //! is live inside the rings* — the combination `unbounded_queues.rs` only
 //! brushes against.
 
-use std::sync::atomic::{AtomicBool, Ordering::SeqCst};
-use std::sync::{Arc, Mutex};
-use wcq::unbounded::{InnerRing, Unbounded, WcqInner};
+mod common;
+
+use common::{churn, ChurnCfg};
+use std::sync::Arc;
+use wcq::unbounded::{Unbounded, WcqInner};
 use wcq::{ScqQueue, WcqConfig};
 
-/// Producers and consumers hammer tiny stressed rings; every value must be
-/// delivered exactly once across the continuous ring hand-offs.
+/// Exact delivery in per-producer FIFO order across constant hand-offs.
 ///
 /// Thread counts are per-call because wCQ rings carry the paper's `k <= n`
 /// assumption: a 2-slot wCQ ring admits at most 2 registered threads, so
 /// the wCQ variants scale workers with the ring order while SCQ (no such
 /// assumption) keeps a bigger crowd on the same tiny rings.
-fn churn_exact_delivery<R: InnerRing<u64> + 'static>(
-    order: u32,
-    per: u64,
-    producers: usize,
-    consumers: usize,
-) {
-    let q: Arc<Unbounded<u64, R>> = Arc::new(Unbounded::with_config(
+fn fifo_churn(order: u32, per: u64, producers: usize, consumers: usize) -> ChurnCfg {
+    ChurnCfg {
         order,
-        producers + consumers,
-        &WcqConfig::stress(),
-    ));
-    let done = Arc::new(AtomicBool::new(false));
-    let sink = Arc::new(Mutex::new(Vec::new()));
-    let nproducers = producers;
-    let producer_threads: Vec<_> = (0..producers as u64)
-        .map(|p| {
-            let q = Arc::clone(&q);
-            std::thread::spawn(move || {
-                let mut h = q.register().unwrap();
-                for i in 0..per {
-                    h.enqueue(p << 32 | i);
-                }
-            })
-        })
-        .collect();
-    let consumer_threads: Vec<_> = (0..consumers)
-        .map(|c| {
-            let q = Arc::clone(&q);
-            let done = Arc::clone(&done);
-            let sink = Arc::clone(&sink);
-            std::thread::spawn(move || {
-                let mut h = q.register().unwrap();
-                let mut last = vec![-1i64; nproducers];
-                let mut local = Vec::new();
-                loop {
-                    match h.dequeue() {
-                        Some(v) => {
-                            // Per-producer FIFO must survive hand-offs.
-                            let (p, i) = ((v >> 32) as usize, (v & 0xffff_ffff) as i64);
-                            assert!(
-                                i > last[p],
-                                "consumer {c}: producer {p} out of order ({i} after {})",
-                                last[p]
-                            );
-                            last[p] = i;
-                            local.push(v);
-                        }
-                        None if done.load(SeqCst) => break,
-                        None => std::thread::yield_now(),
-                    }
-                }
-                sink.lock().unwrap().extend(local);
-            })
-        })
-        .collect();
-    for p in producer_threads {
-        p.join().unwrap();
+        per,
+        producers,
+        consumers,
+        yield_stride: 0,
+        check_fifo: true,
     }
-    done.store(true, SeqCst);
-    for c in consumer_threads {
-        c.join().unwrap();
-    }
-    let got = sink.lock().unwrap();
-    let expect = nproducers as u64 * per;
-    assert_eq!(got.len() as u64, expect, "lost or duplicated elements");
-    let set: std::collections::HashSet<u64> = got.iter().copied().collect();
-    assert_eq!(set.len() as u64, expect, "duplicate delivery");
 }
 
 #[test]
 fn unbounded_wcq_churn_2_slot_rings() {
-    churn_exact_delivery::<WcqInner<u64>>(1, 6_000, 1, 1);
+    churn::<WcqInner<u64>>(fifo_churn(1, 6_000, 1, 1));
 }
 
 #[test]
 fn unbounded_wcq_churn_4_slot_rings() {
-    churn_exact_delivery::<WcqInner<u64>>(2, 4_000, 2, 2);
+    churn::<WcqInner<u64>>(fifo_churn(2, 4_000, 2, 2));
 }
 
 #[test]
 fn unbounded_scq_churn_2_slot_rings() {
-    churn_exact_delivery::<ScqQueue<u64>>(1, 4_000, 3, 3);
+    churn::<ScqQueue<u64>>(fifo_churn(1, 4_000, 3, 3));
 }
 
 #[test]
 fn unbounded_scq_churn_4_slot_rings() {
-    churn_exact_delivery::<ScqQueue<u64>>(2, 4_000, 3, 3);
+    churn::<ScqQueue<u64>>(fifo_churn(2, 4_000, 3, 3));
 }
 
 /// Mixed workers (every thread both inserts and drains) on 4-slot stressed

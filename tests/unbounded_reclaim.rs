@@ -1,0 +1,84 @@
+//! Reclamation regression tests for the Appendix-A unbounded queues.
+//!
+//! ## The tail-lag use-after-free
+//!
+//! The unbounded list retires a ring once dequeuers have drained it and
+//! moved `head` past it. But `tail` is updated lazily: an enqueuer that
+//! appended a successor may stall before its `tail` CAS lands, and *other*
+//! enqueuers read `tail` before dereferencing it. If a drained ring is
+//! reclaimed while `tail` can still reach it, the next enqueuer
+//! dereferences freed memory.
+//!
+//! The shapes here are built to hit exactly that window: 2–4 slot rings
+//! under `WcqConfig::stress()` close and hand off on nearly every insert,
+//! so `head` chases `tail` around constant ring turnover, and dequeuers
+//! outnumber producers so drained rings are reclaimed as fast as possible
+//! while yielded enqueuers hold stale `tail` reads.
+//!
+//! The original `ops_active`-counter scheme did not rule this out: its
+//! `collect` frees after a check-then-act on the counter, so an enqueuer
+//! can start — and load `tail` — between the zero check and the free. What
+//! keeps that load off freed memory is the **tail-advance-before-retire
+//! invariant** these tests pin down: a ring is retired only once both
+//! `head` and `tail` have moved past it. Hazard-pointer reclamation relies
+//! on the same invariant outright — its protect-validate loop on `tail` is
+//! only conclusive if a retired ring can never be the published `tail`.
+//!
+//! A silent use-after-free would not fail a multiset assertion — freed
+//! `Box` memory usually stays readable, so the victim just reads stale but
+//! plausible bytes. The regression signal is therefore the ring-node
+//! **canary**: every node carries a magic word that its destructor
+//! poisons, and (in debug builds, which is how the test suite runs) every
+//! ring operation asserts the canary before touching the ring. Any
+//! reclamation regression that frees a ring still reachable from `head`
+//! or `tail` panics deterministically here instead of relying on
+//! ASan/Miri to notice.
+
+mod common;
+
+use common::{churn, ChurnCfg};
+use wcq::unbounded::WcqInner;
+use wcq::ScqQueue;
+
+/// SCQ rings carry no `k <= n` thread bound, so tiny 2-slot rings can be
+/// hammered by a full crowd: maximum ring turnover, maximum retire rate.
+#[test]
+fn tail_lag_uaf_scq_2_slot_rings() {
+    churn::<ScqQueue<u64>>(ChurnCfg {
+        order: 1,
+        per: 8_000,
+        producers: 2,
+        consumers: 4,
+        yield_stride: 64,
+        check_fifo: false,
+    });
+}
+
+/// wCQ rings admit at most `2^order` registered threads (the paper's
+/// `k <= n` assumption), so the 4-slot variant runs the 2+2 split.
+#[test]
+fn tail_lag_uaf_wcq_4_slot_rings() {
+    churn::<WcqInner<u64>>(ChurnCfg {
+        order: 2,
+        per: 6_000,
+        producers: 2,
+        consumers: 2,
+        yield_stride: 64,
+        check_fifo: false,
+    });
+}
+
+/// The sharpest shape for the original bug: a single producer that keeps
+/// appending rings (so its cached `tail` is stale almost permanently under
+/// preemption) against a pack of dequeuers retiring rings at full speed.
+#[test]
+fn tail_lag_uaf_single_lagging_enqueuer() {
+    churn::<ScqQueue<u64>>(ChurnCfg {
+        order: 1,
+        per: 12_000,
+        producers: 1,
+        consumers: 5,
+        yield_stride: 16,
+        check_fifo: false,
+    });
+}
