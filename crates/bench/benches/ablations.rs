@@ -31,6 +31,7 @@ fn pairwise_elapsed(cfg: &WcqConfig, iters: u64) -> Duration {
         max_threads: THREADS + 1,
         ring_order: 12,
         shards: 1,
+        node_order: None,
         cfg: *cfg,
     };
     let mut total = Duration::ZERO;
@@ -116,6 +117,7 @@ fn ablate_remap(c: &mut Criterion) {
                     max_threads: THREADS + 1,
                     ring_order: 12,
                     shards: 1,
+                    node_order: None,
                     cfg: *cfg,
                 };
                 let mut total = Duration::ZERO;

@@ -14,6 +14,7 @@ fn spec() -> QueueSpec {
         max_threads: 2,
         ring_order: 12,
         shards: 1,
+        node_order: None,
         cfg: wcq::WcqConfig::default(),
     }
 }

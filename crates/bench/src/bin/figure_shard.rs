@@ -44,6 +44,7 @@ fn main() {
             max_threads: threads + 1,
             ring_order: 16,
             shards: 1,
+            node_order: None,
             cfg: wcq::WcqConfig::default(),
         };
         let single = measure(&WcqBench::new(&spec), threads, &opts);

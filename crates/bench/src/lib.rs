@@ -109,6 +109,7 @@ fn spec_for(threads: usize) -> QueueSpec {
         max_threads: threads + 1, // +1 for the prefill handle
         ring_order: 16,           // the paper's 2^16-entry rings
         shards: 1,
+        node_order: None,
         cfg: wcq::WcqConfig::default(),
     }
 }

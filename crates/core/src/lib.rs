@@ -29,8 +29,8 @@
 //! |------|----------|--------|---------------|
 //! | [`WcqQueue`] / [`WcqRing`] | wait-free | bounded | §3 (Figs. 4–7) |
 //! | [`ScqQueue`] / [`ScqRing`] | lock-free | bounded | §2 (Fig. 3) |
-//! | [`unbounded::UnboundedScq`] | lock-free | unbounded (list of rings) | §7, App. A |
-//! | [`unbounded::UnboundedWcq`] | wait-free rings, lock-free list | unbounded | App. A |
+//! | [`UnboundedScq`] | lock-free | unbounded (list of rings, hazard-pointer reclaimed) | §7, App. A |
+//! | [`UnboundedWcq`] | wait-free rings, lock-free list | unbounded, hazard-pointer reclaimed | App. A |
 //! | [`ShardedWcq`] | wait-free per shard | bounded | beyond the paper: splits the §6 `Head`/`Tail` hotspot over S rings |
 //!
 //! Wait-freedom of the slow path relies on hardware double-width CAS; see
@@ -47,6 +47,7 @@ pub mod wcq;
 
 pub use scq::{ScqQueue, ScqRing};
 pub use shard::{ShardedHandle, ShardedWcq};
+pub use unbounded::{UnboundedHandle, UnboundedScq, UnboundedWcq};
 pub use wcq::{WcqHandle, WcqQueue, WcqRing};
 
 /// Tuning knobs for SCQ/wCQ rings. Defaults follow the paper's evaluation

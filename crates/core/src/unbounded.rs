@@ -1,5 +1,5 @@
 //! Unbounded queues: a lock-free outer list of bounded rings
-//! (paper §7 / Appendix A).
+//! (paper §7 / Appendix A), reclaimed with hazard pointers.
 //!
 //! LCRQ and LSCQ obtain unbounded capacity by linking ring buffers through
 //! a Michael & Scott list; the wCQ paper sketches the same construction
@@ -12,7 +12,7 @@
 //! A ring is *closed* when an enqueuer finds it full; closing is sticky.
 //! The subtle part is when a dequeuer may abandon a drained ring: an insert
 //! that started before the close may still be in flight. We make the
-//! hand-off safe with an in-flight counter:
+//! hand-off safe with a per-ring in-flight counter:
 //!
 //! * enqueue: `inflight += 1`; bounce if closed; insert; `inflight -= 1`
 //!   (the decrement happens only after the element is *published*).
@@ -26,8 +26,40 @@
 //! Real-time order is preserved: an insert into ring `k+1` that does not
 //! overlap an insert into ring `k` can only start after ring `k` was
 //! closed, and dequeuers drain ring `k` completely first.
+//!
+//! ## Reclamation
+//!
+//! Abandoned rings are reclaimed through the [`hazard`] crate, exactly as
+//! the paper's evaluation reclaims LCRQ/LSCQ rings (§6). Every
+//! [`UnboundedHandle`] owns an [`hazard::HpHandle`]; the handle's slot
+//! index doubles as the ring thread id, so one registration covers both.
+//! The protocol:
+//!
+//! * **Protect before dereference.** An operation publishes the `head` or
+//!   `tail` pointer it is about to follow in a hazard slot and re-validates
+//!   the source after publishing (the validate-after-publish loop in
+//!   [`hazard::HpHandle::protect`]). A validated pointer cannot be freed
+//!   while the hazard stands.
+//! * **Unlink from both ends, then retire.** A drained ring is first
+//!   CASed out of `tail` (if `tail` still points at it — the appender's
+//!   tail CAS is lazy), then out of `head`, and only then retired through
+//!   the domain. This tail-advance step is what makes the protect loop on
+//!   `tail` conclusive: validation only proves the pointer is *currently*
+//!   published, so a retired ring must never be the published `tail`
+//!   (tests/unbounded_reclaim.rs pins this down).
+//! * **Deferred free.** Retired rings sit in the retiring thread's list
+//!   until a scan finds no hazard covering them; handles dropped with
+//!   still-protected retirees hand them to the domain's orphan list.
+//!
+//! There is **no global per-operation counter**: reclamation cost is paid
+//! once per ring turnover (every `2^order` inserts) plus an O(threads)
+//! scan every [`hazard`] threshold, never on the per-element hot path.
+//! Memory in use is bounded by the live list plus
+//! `max_threads × HP_PER_THREAD` protected rings plus the scan threshold
+//! (see DESIGN.md §8).
 
 use crate::{ScqQueue, WcqConfig, WcqQueue};
+use hazard::{Domain, HpHandle};
 use std::ptr;
 use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, AtomicUsize, Ordering::SeqCst};
 
@@ -39,6 +71,42 @@ pub trait InnerRing<T>: Sized + Send + Sync {
     fn ring_enqueue(&self, tid: usize, v: T) -> Result<(), T>;
     /// Dequeue under thread id `tid`.
     fn ring_dequeue(&self, tid: usize) -> Option<T>;
+
+    /// Batch enqueue: drains accepted items from the **front** of `items`
+    /// (preserving order) and returns how many were enqueued; items left
+    /// behind did not fit (ring full). The default loops the singleton op;
+    /// rings with a native batch path override it.
+    fn ring_enqueue_batch(&self, tid: usize, items: &mut Vec<T>) -> usize {
+        let mut it = std::mem::take(items).into_iter();
+        let mut n = 0;
+        while let Some(v) = it.next() {
+            match self.ring_enqueue(tid, v) {
+                Ok(()) => n += 1,
+                Err(back) => {
+                    items.push(back);
+                    items.extend(it);
+                    return n;
+                }
+            }
+        }
+        n
+    }
+
+    /// Batch dequeue: appends up to `max` elements to `out` in ring order,
+    /// returning how many were appended (0 = observed empty).
+    fn ring_dequeue_batch(&self, tid: usize, out: &mut Vec<T>, max: usize) -> usize {
+        let mut n = 0;
+        while n < max {
+            match self.ring_dequeue(tid) {
+                Some(v) => {
+                    out.push(v);
+                    n += 1;
+                }
+                None => break,
+            }
+        }
+        n
+    }
 }
 
 impl<T: Send> InnerRing<T> for ScqQueue<T> {
@@ -63,12 +131,21 @@ impl<T: Send> InnerRing<T> for WcqInner<T> {
         WcqInner(WcqQueue::with_config(order, max_threads, cfg))
     }
     fn ring_enqueue(&self, tid: usize, v: T) -> Result<(), T> {
-        // SAFETY: tids are handed out exclusively by `Unbounded::register`.
+        // SAFETY: tids are handed out exclusively by `Unbounded::register`
+        // (one hazard-domain slot per handle).
         unsafe { self.0.enqueue_raw(tid, v) }
     }
     fn ring_dequeue(&self, tid: usize) -> Option<T> {
         // SAFETY: as above.
         unsafe { self.0.dequeue_raw(tid) }
+    }
+    fn ring_enqueue_batch(&self, tid: usize, items: &mut Vec<T>) -> usize {
+        // SAFETY: as above.
+        unsafe { self.0.enqueue_batch_raw(tid, items) }
+    }
+    fn ring_dequeue_batch(&self, tid: usize, out: &mut Vec<T>, max: usize) -> usize {
+        // SAFETY: as above.
+        unsafe { self.0.dequeue_batch_raw(tid, out, max) }
     }
 }
 
@@ -78,6 +155,18 @@ const CANARY_ALIVE: u64 = 0x5AFE_81C5_CAFE_F00D;
 /// node fails the liveness assertion instead of silently reading stale
 /// memory.
 const CANARY_POISON: u64 = 0xDEAD_81C5_DEAD_F00D;
+
+/// Hazard slot publishing the dequeuer's `head` ring.
+const HP_HEAD: usize = 0;
+/// Hazard slot publishing the enqueuer's `tail` ring.
+const HP_TAIL: usize = 1;
+
+/// Spins a dequeuer grants an in-flight enqueuer before yielding the
+/// scheduler quantum instead (`!drained()` wait). Oversubscribed hosts —
+/// the mpmc suites run at 4× cores — preempt enqueuers *inside* the ring,
+/// and burning the full quantum in `spin_loop` would stall every dequeuer
+/// behind them.
+const DRAIN_SPIN_BOUND: u32 = 64;
 
 struct RingNode<T, R: InnerRing<T>> {
     ring: R,
@@ -139,6 +228,24 @@ impl<T, R: InnerRing<T>> RingNode<T, R> {
         r
     }
 
+    /// Batch enqueue under the close protocol: drains what fits from the
+    /// front of `items` and returns the count; a non-empty remainder means
+    /// the ring filled (and is now closed) or was already closed.
+    fn enqueue_batch(&self, tid: usize, items: &mut Vec<T>) -> usize {
+        self.check_canary();
+        self.inflight.fetch_add(1, SeqCst);
+        if self.closed.load(SeqCst) {
+            self.inflight.fetch_sub(1, SeqCst);
+            return 0;
+        }
+        let n = self.ring.ring_enqueue_batch(tid, items);
+        if !items.is_empty() {
+            self.closed.store(true, SeqCst);
+        }
+        self.inflight.fetch_sub(1, SeqCst);
+        n
+    }
+
     /// `true` when it is safe to abandon this ring (see module docs).
     fn drained(&self) -> bool {
         self.check_canary();
@@ -146,7 +253,8 @@ impl<T, R: InnerRing<T>> RingNode<T, R> {
     }
 }
 
-/// Lock-free unbounded MPMC queue built from rings of `2^order` slots.
+/// Lock-free unbounded MPMC queue built from rings of `2^order` slots,
+/// reclaimed with hazard pointers (see the module docs).
 ///
 /// `Unbounded<T, ScqQueue<T>>` is LSCQ; `Unbounded<T, WcqInner<T>>` uses
 /// wait-free rings (the outer list stays lock-free; see module docs).
@@ -156,15 +264,13 @@ pub struct Unbounded<T, R: InnerRing<T>> {
     order: u32,
     cfg: WcqConfig,
     max_threads: usize,
-    slots: Box<[AtomicBool]>,
-    /// Rings abandoned by dequeuers. Freed when provably unreachable (no
-    /// operation in flight — see [`Unbounded::collect`]).
-    retired: std::sync::Mutex<Vec<*mut RingNode<T, R>>>,
-    ops_active: AtomicU64,
+    /// Hazard-pointer domain; its slot indices double as ring thread ids.
+    domain: Domain,
 }
 
-// SAFETY: ring nodes are shared via atomics; retired list is mutex-guarded;
-// values are only handed between threads through the rings' own protocols.
+// SAFETY: ring nodes are shared via atomics and reclaimed through the
+// hazard domain; values are only handed between threads through the rings'
+// own protocols, hence `T: Send`.
 unsafe impl<T: Send, R: InnerRing<T>> Send for Unbounded<T, R> {}
 unsafe impl<T: Send, R: InnerRing<T>> Sync for Unbounded<T, R> {}
 
@@ -189,147 +295,291 @@ impl<T: Send, R: InnerRing<T>> Unbounded<T, R> {
             order,
             cfg: *cfg,
             max_threads,
-            slots: (0..max_threads).map(|_| AtomicBool::new(false)).collect(),
-            retired: std::sync::Mutex::new(Vec::new()),
-            ops_active: AtomicU64::new(0),
+            // Retirees here are whole rings (2^order slots each), not
+            // little list links, so keep the un-reclaimed backlog short:
+            // at most ~2 retired rings per hazard slot before a scan,
+            // rather than the domain default's 64-entry floor.
+            domain: Domain::with_scan_threshold(
+                max_threads,
+                (2 * hazard::HP_PER_THREAD).max(max_threads / 2),
+            ),
         }
     }
 
-    /// Registers the calling thread.
+    /// Per-node ring order (`2^order` slots per ring).
+    pub fn node_order(&self) -> u32 {
+        self.order
+    }
+
+    /// Maximum number of simultaneously registered threads.
+    pub fn max_threads(&self) -> usize {
+        self.max_threads
+    }
+
+    /// Registers the calling thread. The hazard-domain slot index doubles
+    /// as the ring thread id, so a single registration covers both.
     pub fn register(&self) -> Option<UnboundedHandle<'_, T, R>> {
-        for (tid, s) in self.slots.iter().enumerate() {
-            if s.compare_exchange(false, true, SeqCst, SeqCst).is_ok() {
-                return Some(UnboundedHandle { q: self, tid });
-            }
-        }
-        None
+        let hp = self.domain.register()?;
+        let tid = hp.idx();
+        Some(UnboundedHandle { q: self, hp, tid })
     }
 
-    fn enqueue_tid(&self, tid: usize, mut v: T) {
-        self.ops_active.fetch_add(1, SeqCst);
+    /// If `node` (the ring at `ltail`) has a successor, helps `tail` over
+    /// it and returns `true`; the caller should re-protect and retry.
+    fn help_tail(&self, node: &RingNode<T, R>, ltail: *mut RingNode<T, R>) -> bool {
+        let next = node.next.load(SeqCst);
+        if next.is_null() {
+            return false;
+        }
+        let _ = self.tail.compare_exchange(ltail, next, SeqCst, SeqCst);
+        true
+    }
+
+    /// Appends a fresh ring seeded with `v` after `node` (the ring at
+    /// `ltail`). `Err(v)` returns the value when another thread linked a
+    /// successor first.
+    fn append_ring(
+        &self,
+        node: &RingNode<T, R>,
+        ltail: *mut RingNode<T, R>,
+        tid: usize,
+        v: T,
+    ) -> Result<(), T> {
+        let fresh = RingNode::<T, R>::boxed(self.order, self.max_threads, &self.cfg);
+        // SAFETY: we own `fresh` until it is linked. Seeding an unpublished
+        // ring needs no close protocol. A fresh ring rejecting its first
+        // element is a geometry bug that must not silently drop the value
+        // in release builds, hence the hard expect.
+        unsafe { &(*fresh).ring }
+            .ring_enqueue(tid, v)
+            .map_err(|_| "full")
+            .expect("fresh ring rejected its first element");
+        if node
+            .next
+            .compare_exchange(ptr::null_mut(), fresh, SeqCst, SeqCst)
+            .is_ok()
+        {
+            // Debug builds park here, between the two CASes: this is the
+            // tail-lag window (successor linked, `tail` not yet advanced).
+            // Yielding stretches the window across a scheduler quantum so
+            // tests/unbounded_reclaim.rs hits it on every ring turnover
+            // instead of requiring a perfectly timed preemption; dequeuers
+            // must cope via the tail-advance step in `unlink_and_retire`.
+            #[cfg(debug_assertions)]
+            std::thread::yield_now();
+            let _ = self.tail.compare_exchange(ltail, fresh, SeqCst, SeqCst);
+            Ok(())
+        } else {
+            // Lost the race: take the value back out of our unpublished
+            // ring and retry on the winner's ring.
+            // SAFETY: `fresh` never became visible to other threads.
+            let boxed = unsafe { Box::from_raw(fresh) };
+            let v = boxed
+                .ring
+                .ring_dequeue(tid)
+                .expect("unpublished ring holds exactly our element");
+            Err(v)
+        }
+    }
+
+    /// Unlinks the drained ring at `lhead` — from `tail` first, then
+    /// `head` — and retires it through the hazard domain.
+    fn unlink_and_retire(
+        &self,
+        lhead: *mut RingNode<T, R>,
+        next: *mut RingNode<T, R>,
+        hp: &mut HpHandle<'_>,
+    ) {
+        // Tail-lag invariant (tests/unbounded_reclaim.rs): a drained ring
+        // may still be the published `tail` (the appender's tail CAS is
+        // lazy), and enqueuers protect-and-validate against `tail` — which
+        // is only conclusive if a retired ring can never be the published
+        // `tail`. Help `tail` past us first; it only ever moves forward,
+        // so after this it can never point at `lhead` again. (Deleting
+        // this step would not be an *immediate* use-after-free — the
+        // appender's own standing HP_TAIL hazard happens to bridge the
+        // retire window — but that bridge is one refactor away from
+        // breaking; this CAS keeps the validation argument local, as in
+        // Michael & Scott dequeue.)
+        if self.tail.load(SeqCst) == lhead {
+            let _ = self.tail.compare_exchange(lhead, next, SeqCst, SeqCst);
+        }
+        if self
+            .head
+            .compare_exchange(lhead, next, SeqCst, SeqCst)
+            .is_ok()
+        {
+            // Drop our own hazard so the scan below does not keep the ring
+            // alive on our account.
+            hp.clear_slot(HP_HEAD);
+            // SAFETY: `lhead` is unlinked from both `head` and `tail`, and
+            // neither ever moves backward, so no new reference to it can be
+            // created; it was Box-allocated by `RingNode::boxed` and is
+            // retired exactly once (only the winning head-CAS retires).
+            unsafe { hp.retire(lhead) };
+        }
+    }
+
+    fn enqueue_tid(&self, tid: usize, hp: &HpHandle<'_>, mut v: T) {
         loop {
-            let ltail = self.tail.load(SeqCst);
-            // SAFETY: a ring is retired only after `head` *and* `tail`
-            // have moved past it (the tail-advance step in `dequeue_tid`),
-            // `tail` never moves backward, and `collect` frees only rings
-            // retired before the last `ops_active == 0` check — so a
-            // freshly loaded `tail` cannot reference freed memory.
+            let ltail = hp.protect(HP_TAIL, &self.tail);
+            // SAFETY: `ltail` was re-validated against `tail` after the
+            // hazard was published, and a ring is retired only once
+            // `tail` has moved past it (which it never un-does), so the
+            // validated pointer was not yet retired and the standing
+            // hazard now blocks its reclamation.
             let node = unsafe { &*ltail };
             node.check_canary();
-            let next = node.next.load(SeqCst);
-            if !next.is_null() {
-                let _ = self.tail.compare_exchange(ltail, next, SeqCst, SeqCst);
+            if self.help_tail(node, ltail) {
                 continue;
             }
             match node.enqueue(tid, v) {
                 Ok(()) => break,
                 Err(back) => v = back,
             }
-            // Ring closed: append a successor seeded with v.
-            let fresh = RingNode::<T, R>::boxed(self.order, self.max_threads, &self.cfg);
-            // SAFETY: we own `fresh` until it is linked.
-            let seeded = unsafe { (*fresh).enqueue(tid, v).is_ok() };
-            debug_assert!(seeded, "fresh ring cannot be full");
-            if node
-                .next
-                .compare_exchange(ptr::null_mut(), fresh, SeqCst, SeqCst)
-                .is_ok()
-            {
-                let _ = self.tail.compare_exchange(ltail, fresh, SeqCst, SeqCst);
-                break;
+            // Ring closed. If a successor appeared meanwhile, help tail
+            // over and retry there; otherwise append one seeded with `v`.
+            if self.help_tail(node, ltail) {
+                continue;
             }
-            // Lost the race: take the value back out of our unpublished
-            // ring and retry on the winner's ring.
-            // SAFETY: `fresh` never became visible to other threads.
-            let boxed = unsafe { Box::from_raw(fresh) };
-            v = boxed
-                .ring
-                .ring_dequeue(tid)
-                .expect("unpublished ring holds exactly our element");
-            drop(boxed);
+            match self.append_ring(node, ltail, tid, v) {
+                Ok(()) => break,
+                Err(back) => v = back,
+            }
         }
-        self.ops_active.fetch_sub(1, SeqCst);
+        hp.clear_slot(HP_TAIL);
     }
 
-    fn dequeue_tid(&self, tid: usize) -> Option<T> {
-        self.ops_active.fetch_add(1, SeqCst);
-        let result = loop {
-            let lhead = self.head.load(SeqCst);
-            // SAFETY: see enqueue_tid.
+    /// The dequeuer's ring walk, shared by the singleton and batch paths:
+    /// protects `head`, calls `drain` on the protected ring, and — when
+    /// the ring is empty — runs the hand-off protocol (bounded spin then
+    /// yield while inserts are in flight, conclusive re-drain, unlink and
+    /// retire through the hazard domain). Returns `drain`'s count on the
+    /// first call that makes progress, or 0 once the queue is observed
+    /// empty.
+    fn dequeue_walk<F>(&self, hp: &mut HpHandle<'_>, mut drain: F) -> usize
+    where
+        F: FnMut(&R) -> usize,
+    {
+        let mut spins = 0u32;
+        let got = loop {
+            let lhead = hp.protect(HP_HEAD, &self.head);
+            // SAFETY: as in `enqueue_tid` — validated against `head`, and
+            // retirement requires `head` to have moved past the ring.
             let node = unsafe { &*lhead };
             node.check_canary();
-            if let Some(v) = node.ring.ring_dequeue(tid) {
-                break Some(v);
+            let got = drain(&node.ring);
+            if got > 0 {
+                break got;
             }
             let next = node.next.load(SeqCst);
             if next.is_null() {
-                break None; // genuinely empty
+                break 0; // genuinely empty
             }
             // A successor exists. Re-drain unless the hand-off conditions
-            // hold (closed, no in-flight inserts, and still empty).
+            // hold (closed, no in-flight inserts, and still empty). The
+            // wait is bounded: a preempted in-flight enqueuer holds
+            // `inflight` up for a whole quantum, so burn a few spins and
+            // then donate ours.
             if !node.drained() {
-                std::hint::spin_loop();
+                spins += 1;
+                if spins <= DRAIN_SPIN_BOUND {
+                    std::hint::spin_loop();
+                } else {
+                    std::thread::yield_now();
+                }
                 continue;
             }
-            if let Some(v) = node.ring.ring_dequeue(tid) {
-                break Some(v);
+            let got = drain(&node.ring);
+            if got > 0 {
+                break got;
             }
-            // Tail-lag invariant (tests/unbounded_reclaim.rs): a drained
-            // ring may still be the published `tail` (the appender's tail
-            // CAS is lazy), and enqueuers dereference `tail` — so a ring
-            // must be unreachable from *both* ends before it is retired.
-            // Help `tail` past us first; it only ever moves forward, so
-            // after this it can never point at `lhead` again. Do NOT lean
-            // on the `ops_active` gate for this: `collect` frees after a
-            // check-then-act on the counter (outside the lock), so an
-            // enqueuer can start and load `tail` between the zero check
-            // and the free — this invariant is what keeps that load off
-            // freed memory, and any concurrent reclamation scheme (hazard
-            // pointers) relies on it outright.
-            if self.tail.load(SeqCst) == lhead {
-                let _ = self.tail.compare_exchange(lhead, next, SeqCst, SeqCst);
-            }
-            if self
-                .head
-                .compare_exchange(lhead, next, SeqCst, SeqCst)
-                .is_ok()
-            {
-                self.retired.lock().unwrap().push(lhead);
-            }
+            self.unlink_and_retire(lhead, next, hp);
+            spins = 0; // progress: the next ring gets a fresh spin budget
         };
-        self.ops_active.fetch_sub(1, SeqCst);
-        self.collect();
-        result
+        hp.clear_slot(HP_HEAD);
+        got
     }
 
-    /// Frees retired rings when no operation is in flight. Coarse but
-    /// sufficient: ring turnover happens once per `2^order` inserts —
-    /// exactly the paper's argument for why outer-layer costs are noise.
-    fn collect(&self) {
-        let drained: Vec<_> = {
-            let Ok(mut r) = self.retired.try_lock() else {
-                return;
-            };
-            if r.is_empty() || self.ops_active.load(SeqCst) != 0 {
-                return;
+    fn dequeue_tid(&self, tid: usize, hp: &mut HpHandle<'_>) -> Option<T> {
+        let mut out = None;
+        self.dequeue_walk(hp, |ring| match ring.ring_dequeue(tid) {
+            Some(v) => {
+                out = Some(v);
+                1
             }
-            r.drain(..).collect()
-        };
-        for p in drained {
-            // SAFETY: head moved past `p` (unreachable from the list) and no
-            // operation was active while we held the lock and drained, so no
-            // thread still holds a reference into it.
-            unsafe { drop(Box::from_raw(p)) };
+            None => 0,
+        });
+        out
+    }
+
+    fn enqueue_batch_tid(&self, tid: usize, hp: &HpHandle<'_>, items: &mut Vec<T>) -> usize {
+        let total = items.len();
+        // Feed the rings one ring-sized chunk at a time. A ring crossing
+        // costs O(chunk) (front shifts and the inner batch path's remainder
+        // rebuild both touch only the chunk), so the whole call stays
+        // O(total) instead of O(crossings × remaining). `rest` is reversed
+        // once so each chunk splits off its own tail in O(chunk).
+        let chunk_cap = 1usize << self.order;
+        let mut rest = std::mem::take(items);
+        rest.reverse();
+        let mut chunk: Vec<T> = Vec::new();
+        while !rest.is_empty() || !chunk.is_empty() {
+            if chunk.is_empty() {
+                let take = rest.len().min(chunk_cap);
+                chunk = rest.split_off(rest.len() - take);
+                chunk.reverse();
+            }
+            let ltail = hp.protect(HP_TAIL, &self.tail);
+            // SAFETY: as in `enqueue_tid`.
+            let node = unsafe { &*ltail };
+            node.check_canary();
+            if self.help_tail(node, ltail) {
+                continue;
+            }
+            node.enqueue_batch(tid, &mut chunk);
+            if chunk.is_empty() {
+                continue;
+            }
+            // Ring closed mid-chunk: move to (or create) the successor and
+            // continue with the remainder there, preserving order.
+            if self.help_tail(node, ltail) {
+                continue;
+            }
+            let v = chunk.remove(0);
+            if let Err(back) = self.append_ring(node, ltail, tid, v) {
+                chunk.insert(0, back);
+            }
         }
+        hp.clear_slot(HP_TAIL);
+        total
+    }
+
+    fn dequeue_batch_tid(
+        &self,
+        tid: usize,
+        hp: &mut HpHandle<'_>,
+        out: &mut Vec<T>,
+        max: usize,
+    ) -> usize {
+        let mut total = 0;
+        while total < max {
+            let want = max - total;
+            let got = self.dequeue_walk(hp, |ring| ring.ring_dequeue_batch(tid, out, want));
+            if got == 0 {
+                break; // observed empty
+            }
+            total += got;
+        }
+        total
     }
 }
 
 impl<T, R: InnerRing<T>> Drop for Unbounded<T, R> {
     fn drop(&mut self) {
-        for p in self.retired.lock().unwrap().drain(..) {
-            // SAFETY: exclusive access in drop.
-            unsafe { drop(Box::from_raw(p)) };
-        }
+        // Retired rings are owned by the hazard domain (freed when the
+        // `domain` field drops, right after this); here we free the list
+        // that is still linked.
         let mut p = *self.head.get_mut();
         while !p.is_null() {
             // SAFETY: exclusive access in drop.
@@ -339,27 +589,49 @@ impl<T, R: InnerRing<T>> Drop for Unbounded<T, R> {
     }
 }
 
-/// Per-thread handle to an [`Unbounded`] queue.
+/// Per-thread handle to an [`Unbounded`] queue. Carries the thread's
+/// hazard pointers; dropping it releases both the hazard slots and the
+/// ring thread id, and hands any still-protected retired rings to the
+/// domain's orphan list.
 pub struct UnboundedHandle<'q, T, R: InnerRing<T>> {
     q: &'q Unbounded<T, R>,
+    hp: HpHandle<'q>,
     tid: usize,
 }
 
 impl<T: Send, R: InnerRing<T>> UnboundedHandle<'_, T, R> {
     /// Enqueues `v`; never fails (capacity grows by appending rings).
     pub fn enqueue(&mut self, v: T) {
-        self.q.enqueue_tid(self.tid, v)
+        self.q.enqueue_tid(self.tid, &self.hp, v)
     }
 
     /// Dequeues; `None` when empty.
     pub fn dequeue(&mut self) -> Option<T> {
-        self.q.dequeue_tid(self.tid)
+        self.q.dequeue_tid(self.tid, &mut self.hp)
     }
-}
 
-impl<T, R: InnerRing<T>> Drop for UnboundedHandle<'_, T, R> {
-    fn drop(&mut self) {
-        self.q.slots[self.tid].store(false, SeqCst);
+    /// Batch enqueue: drains **all** of `items` into the queue (appending
+    /// rings as needed — unlike the bounded queues nothing is left behind)
+    /// and returns how many were enqueued, i.e. the initial `items.len()`.
+    ///
+    /// Within the current ring the batch claims contiguous ticket runs
+    /// through the inner ring's batch path (one F&A per run on wCQ rings);
+    /// crossing a ring boundary costs one list append, after which the
+    /// remainder continues batched in the successor. Order is preserved.
+    pub fn enqueue_batch(&mut self, items: &mut Vec<T>) -> usize {
+        self.q.enqueue_batch_tid(self.tid, &self.hp, items)
+    }
+
+    /// Batch dequeue: appends up to `max` elements to `out` in queue order
+    /// and returns how many were appended (0 means observed empty). Drains
+    /// across ring boundaries, retiring drained rings as it goes.
+    pub fn dequeue_batch(&mut self, out: &mut Vec<T>, max: usize) -> usize {
+        self.q.dequeue_batch_tid(self.tid, &mut self.hp, out, max)
+    }
+
+    /// The thread slot this handle occupies (diagnostics).
+    pub fn tid(&self) -> usize {
+        self.tid
     }
 }
 
@@ -393,6 +665,16 @@ mod tests {
     }
 
     #[test]
+    fn register_exhaustion_and_reuse() {
+        let q: UnboundedWcq<u64> = Unbounded::new(3, 2);
+        let h1 = q.register().unwrap();
+        let _h2 = q.register().unwrap();
+        assert!(q.register().is_none());
+        drop(h1);
+        assert!(q.register().is_some());
+    }
+
+    #[test]
     fn interleaved_growth_and_drain() {
         let q: UnboundedWcq<u64> = Unbounded::new(2, 2);
         let mut h = q.register().unwrap();
@@ -409,6 +691,63 @@ mod tests {
             next_out += 1;
         }
         assert_eq!(next_out, 2000);
+    }
+
+    fn batch_roundtrip<R: InnerRing<u64>>() {
+        let q: Unbounded<u64, R> = Unbounded::new(2, 2); // 4-slot rings
+        let mut h = q.register().unwrap();
+        let mut items: Vec<u64> = (0..23).collect();
+        // Crosses at least five ring boundaries; nothing may be left over.
+        assert_eq!(h.enqueue_batch(&mut items), 23);
+        assert!(items.is_empty(), "unbounded enqueue_batch takes everything");
+        let mut out = Vec::new();
+        assert_eq!(h.dequeue_batch(&mut out, 10), 10);
+        assert_eq!(h.dequeue_batch(&mut out, 100), 13);
+        assert_eq!(out, (0..23).collect::<Vec<_>>(), "FIFO across rings");
+        assert_eq!(h.dequeue_batch(&mut out, 1), 0, "observed empty");
+    }
+
+    #[test]
+    fn batch_roundtrip_across_rings_scq() {
+        batch_roundtrip::<ScqQueue<u64>>();
+    }
+
+    #[test]
+    fn batch_roundtrip_across_rings_wcq() {
+        batch_roundtrip::<WcqInner<u64>>();
+    }
+
+    #[test]
+    fn batch_interleaves_with_singletons() {
+        let q: UnboundedWcq<u64> = Unbounded::new(2, 1);
+        let mut h = q.register().unwrap();
+        let mut next = 0u64;
+        let mut expect = std::collections::VecDeque::new();
+        for round in 0..200 {
+            if round % 3 == 0 {
+                let mut batch: Vec<u64> = (next..next + 5).collect();
+                let n = h.enqueue_batch(&mut batch) as u64;
+                assert_eq!(n, 5);
+                for v in next..next + n {
+                    expect.push_back(v);
+                }
+                next += n;
+            } else {
+                h.enqueue(next);
+                expect.push_back(next);
+                next += 1;
+            }
+            if round % 2 == 0 {
+                let mut out = Vec::new();
+                h.dequeue_batch(&mut out, 3);
+                for v in out {
+                    assert_eq!(Some(v), expect.pop_front());
+                }
+            } else {
+                let got = h.dequeue();
+                assert_eq!(got, expect.pop_front());
+            }
+        }
     }
 
     fn mpmc<R: InnerRing<u64> + 'static>() {

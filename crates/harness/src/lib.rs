@@ -3,7 +3,7 @@
 //! This crate provides everything the figure-regeneration binaries and the
 //! integration tests share:
 //!
-//! * [`queues`] — a uniform [`BenchQueue`](queues::BenchQueue) trait with
+//! * [`queues`] — a uniform [`BenchQueue`] trait with
 //!   adapters for every queue in the evaluation (wCQ, SCQ, LCRQ, YMC,
 //!   CRTurn, CCQueue, MSQueue, FAA);
 //! * [`workload`] — the paper's three workloads (§6): pairwise

@@ -6,7 +6,8 @@
 //! on the hot path, as the perf guide prescribes.
 
 use baselines::{CcQueue, CrTurnQueue, FaaQueue, Lcrq, MsQueue, YmcQueue};
-use wcq::{ScqQueue, WcqConfig, WcqQueue};
+use wcq::unbounded::{InnerRing, Unbounded, UnboundedHandle, WcqInner};
+use wcq::{ScqQueue, UnboundedScq, UnboundedWcq, WcqConfig, WcqQueue};
 
 /// A queue that can run the paper's workloads.
 pub trait BenchQueue: Sync {
@@ -40,6 +41,13 @@ pub struct QueueSpec {
     /// Total capacity stays `2^ring_order`: each shard gets
     /// `ring_order - log2(shards)`, floored so `max_threads` still fits.
     pub shards: usize,
+    /// Per-node ring order for the unbounded adapters
+    /// ([`UnboundedWcqBench`]/[`UnboundedScqBench`]): each list node holds
+    /// `2^node_order` slots. `None` reuses `ring_order`. Sweeping this is
+    /// the Appendix-A cost trade (bigger nodes amortize list traffic,
+    /// smaller nodes bound idle memory) — see the `figure_unbounded`
+    /// binary.
+    pub node_order: Option<u32>,
     /// Tuning knobs for wCQ/SCQ.
     pub cfg: WcqConfig,
 }
@@ -50,8 +58,25 @@ impl Default for QueueSpec {
             max_threads: 8,
             ring_order: 16,
             shards: 1,
+            node_order: None,
             cfg: WcqConfig::default(),
         }
+    }
+}
+
+/// Smallest ring order whose `2^order` slots admit `max_threads`
+/// registered threads under the paper's `k <= n` assumption (one bit above
+/// the thread count, so the bound holds even off powers of two).
+fn min_order_for_threads(max_threads: usize) -> u32 {
+    usize::BITS - max_threads.max(2).leading_zeros()
+}
+
+impl QueueSpec {
+    /// The per-node ring order the unbounded adapters will use, floored so
+    /// `max_threads` respects the wCQ rings' `k <= n` assumption.
+    pub fn unbounded_order(&self) -> u32 {
+        let wanted = self.node_order.unwrap_or(self.ring_order);
+        wanted.max(min_order_for_threads(self.max_threads))
     }
 }
 
@@ -116,17 +141,37 @@ impl WcqHandleExt for wcq::WcqHandle<'_, u64> {
 pub struct ShardedWcqBench(pub wcq::ShardedWcq<u64>);
 
 impl ShardedWcqBench {
-    /// Builds from a [`QueueSpec`], dividing `2^ring_order` total capacity
-    /// across `spec.shards` sub-rings.
-    pub fn new(spec: &QueueSpec) -> Self {
+    /// Resolved geometry for `spec`: `(shards, per_shard_order)`. Total
+    /// capacity is `shards << per_shard_order`; it equals `2^ring_order`
+    /// unless the per-shard floor (shards must each fit `max_threads`, the
+    /// paper's `k <= n` assumption) forced it larger.
+    pub fn geometry(spec: &QueueSpec) -> (usize, u32) {
         let shards = spec.shards.max(1).next_power_of_two();
-        // Keep total capacity at 2^ring_order, but never shrink a shard
-        // below what max_threads requires (the paper's k <= n assumption).
-        let min_order = usize::BITS - spec.max_threads.max(2).leading_zeros();
         let per_shard = spec
             .ring_order
             .saturating_sub(shards.trailing_zeros())
-            .max(min_order);
+            .max(min_order_for_threads(spec.max_threads));
+        (shards, per_shard)
+    }
+
+    /// Builds from a [`QueueSpec`], dividing `2^ring_order` total capacity
+    /// across `spec.shards` sub-rings. If the per-shard `max_threads`
+    /// floor inflates total capacity beyond `2^ring_order`, the actual
+    /// geometry is reported on stderr so shard sweeps cannot silently stop
+    /// being like-for-like.
+    pub fn new(spec: &QueueSpec) -> Self {
+        let (shards, per_shard) = Self::geometry(spec);
+        let actual = shards << per_shard;
+        if actual != 1usize << spec.ring_order {
+            eprintln!(
+                "ShardedWcqBench: geometry adjusted to {shards} x 2^{per_shard} = {actual} \
+                 slots (requested 2^{} = {}): per-shard order floored so \
+                 max_threads = {} fits each shard (k <= n)",
+                spec.ring_order,
+                1usize << spec.ring_order,
+                spec.max_threads,
+            );
+        }
         ShardedWcqBench(wcq::ShardedWcq::with_config(
             shards,
             per_shard,
@@ -190,6 +235,76 @@ impl QueueHandle for ScqHandle<'_> {
     #[inline]
     fn dequeue(&mut self) -> Option<u64> {
         self.0.dequeue()
+    }
+}
+
+// ----------------------------------------------------- unbounded wCQ ------
+
+/// Adapter: the unbounded wCQ (Appendix A list of wait-free rings behind a
+/// lock-free outer list, hazard-pointer reclamation). Never reports full.
+pub struct UnboundedWcqBench(pub UnboundedWcq<u64>);
+
+impl UnboundedWcqBench {
+    /// Builds from a [`QueueSpec`]; each list node holds
+    /// `2^spec.unbounded_order()` slots.
+    pub fn new(spec: &QueueSpec) -> Self {
+        UnboundedWcqBench(Unbounded::with_config(
+            spec.unbounded_order(),
+            spec.max_threads,
+            &spec.cfg,
+        ))
+    }
+}
+
+impl BenchQueue for UnboundedWcqBench {
+    type Handle<'a> = UnboundedHandle<'a, u64, WcqInner<u64>>;
+    fn name(&self) -> &'static str {
+        "wCQ-unbounded"
+    }
+    fn handle(&self) -> Self::Handle<'_> {
+        self.0
+            .register()
+            .expect("unbounded wCQ thread slots exhausted")
+    }
+}
+
+// ----------------------------------------------------------- LSCQ ---------
+
+/// Adapter: LSCQ (unbounded list of lock-free SCQ rings, the paper's §6
+/// baseline shape), hazard-pointer reclamation.
+pub struct UnboundedScqBench(pub UnboundedScq<u64>);
+
+impl UnboundedScqBench {
+    /// Builds from a [`QueueSpec`]; each list node holds
+    /// `2^spec.unbounded_order()` slots.
+    pub fn new(spec: &QueueSpec) -> Self {
+        UnboundedScqBench(Unbounded::with_config(
+            spec.unbounded_order(),
+            spec.max_threads,
+            &spec.cfg,
+        ))
+    }
+}
+
+impl BenchQueue for UnboundedScqBench {
+    type Handle<'a> = UnboundedHandle<'a, u64, ScqQueue<u64>>;
+    fn name(&self) -> &'static str {
+        "LSCQ"
+    }
+    fn handle(&self) -> Self::Handle<'_> {
+        self.0.register().expect("LSCQ thread slots exhausted")
+    }
+}
+
+impl<R: InnerRing<u64>> QueueHandle for UnboundedHandle<'_, u64, R> {
+    #[inline]
+    fn enqueue(&mut self, v: u64) -> bool {
+        UnboundedHandle::enqueue(self, v);
+        true // capacity grows by appending rings
+    }
+    #[inline]
+    fn dequeue(&mut self) -> Option<u64> {
+        UnboundedHandle::dequeue(self)
     }
 }
 
@@ -418,11 +533,14 @@ mod tests {
             max_threads: 2,
             ring_order: 6,
             shards: 2,
+            node_order: Some(2),
             cfg: WcqConfig::default(),
         };
         roundtrip(&WcqBench::new(&spec));
         roundtrip(&ShardedWcqBench::new(&spec));
         roundtrip(&ScqBench::new(&spec));
+        roundtrip(&UnboundedWcqBench::new(&spec));
+        roundtrip(&UnboundedScqBench::new(&spec));
         roundtrip(&MsBench::new(&spec));
         roundtrip(&LcrqBench::new(&spec));
         roundtrip(&YmcBench::new(&spec));
@@ -441,6 +559,8 @@ mod tests {
         assert_eq!(WcqBench::new(&spec).name(), "wCQ");
         assert_eq!(YmcBench::new(&spec).name(), "YMC (bug)");
         assert_eq!(ShardedWcqBench::new(&spec).name(), "wCQ-sharded");
+        assert_eq!(UnboundedWcqBench::new(&spec).name(), "wCQ-unbounded");
+        assert_eq!(UnboundedScqBench::new(&spec).name(), "LSCQ");
     }
 
     #[test]
@@ -449,19 +569,48 @@ mod tests {
             max_threads: 4,
             ring_order: 10,
             shards: 4,
-            cfg: WcqConfig::default(),
+            ..QueueSpec::default()
         };
         let q = ShardedWcqBench::new(&spec);
         assert_eq!(q.0.shards(), 4);
         assert_eq!(q.0.capacity(), 1 << 10, "capacity split, not multiplied");
-        // Tiny rings still fit max_threads per shard.
+        let (shards, per_shard) = ShardedWcqBench::geometry(&spec);
+        assert_eq!(shards << per_shard, 1 << 10, "geometry reports the split");
+        // Tiny rings still fit max_threads per shard — and the resulting
+        // capacity inflation is visible through `geometry`, not silent.
         let spec = QueueSpec {
             max_threads: 16,
             ring_order: 4,
             shards: 8,
-            cfg: WcqConfig::default(),
+            ..QueueSpec::default()
         };
         let q = ShardedWcqBench::new(&spec);
         assert!(q.0.capacity() / q.0.shards() >= 16);
+        let (shards, per_shard) = ShardedWcqBench::geometry(&spec);
+        assert_eq!(shards << per_shard, q.0.capacity());
+        assert!(
+            (shards << per_shard) > 1 << 4,
+            "the floor case must be detectable as capacity != 2^ring_order"
+        );
+    }
+
+    #[test]
+    fn unbounded_order_respects_thread_floor() {
+        // node_order 1 (2-slot rings) cannot admit 8 threads under k <= n;
+        // the resolved order must grow to fit them.
+        let spec = QueueSpec {
+            max_threads: 8,
+            ring_order: 10,
+            node_order: Some(1),
+            ..QueueSpec::default()
+        };
+        assert!(1usize << spec.unbounded_order() >= 8);
+        // Without the knob, ring_order passes through.
+        let spec = QueueSpec {
+            max_threads: 4,
+            ring_order: 10,
+            ..QueueSpec::default()
+        };
+        assert_eq!(spec.unbounded_order(), 10);
     }
 }

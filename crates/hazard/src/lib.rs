@@ -52,9 +52,21 @@ pub struct Domain {
 }
 
 impl Domain {
-    /// Creates a domain for up to `max_threads` concurrent handles.
+    /// Creates a domain for up to `max_threads` concurrent handles, with
+    /// the default scan threshold (`2 × slots`, floored at 64 — tuned for
+    /// small per-node allocations like list links).
     pub fn new(max_threads: usize) -> Self {
+        Self::with_scan_threshold(max_threads, (2 * max_threads * HP_PER_THREAD).max(64))
+    }
+
+    /// Creates a domain with an explicit scan threshold: each thread's
+    /// retire list is scanned (and unprotected retirees freed) once it
+    /// exceeds `scan_threshold` entries. Structures whose retirees are
+    /// large (e.g. whole rings) want a low threshold — the un-reclaimed
+    /// backlog is bounded by `threads × scan_threshold` retirees.
+    pub fn with_scan_threshold(max_threads: usize, scan_threshold: usize) -> Self {
         assert!(max_threads >= 1);
+        assert!(scan_threshold >= 1);
         let slots = (0..max_threads)
             .map(|_| Slot {
                 active: AtomicBool::new(false),
@@ -62,7 +74,7 @@ impl Domain {
             })
             .collect::<Box<[Slot]>>();
         Domain {
-            scan_threshold: (2 * max_threads * HP_PER_THREAD).max(64),
+            scan_threshold,
             slots,
             orphans: Mutex::new(Vec::new()),
         }
@@ -194,6 +206,18 @@ impl<'d> HpHandle<'d> {
         if self.retired.len() >= self.domain.scan_threshold {
             self.domain.scan_list(&mut self.retired);
         }
+    }
+
+    /// The slot index this handle occupies, in `0..max_threads`.
+    ///
+    /// Indices are handed out exclusively (one live handle per index), so
+    /// composed structures can reuse them as their per-thread id — the
+    /// unbounded list-of-rings drives its inner rings' raw thread-id API
+    /// with exactly this value, making one registration cover both the
+    /// hazard slots and the ring thread slots.
+    #[inline]
+    pub fn idx(&self) -> usize {
+        self.idx
     }
 
     /// Forces a scan of this thread's retire list (tests/teardown).

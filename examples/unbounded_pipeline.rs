@@ -1,0 +1,112 @@
+//! Unbounded pipeline: bursty producers feed batch-draining consumers
+//! through `wcq::UnboundedWcq` — the Appendix A list of wait-free rings
+//! with hazard-pointer reclamation.
+//!
+//! ```text
+//! cargo run --release --example unbounded_pipeline
+//! ```
+//!
+//! Demonstrates:
+//! * unbounded capacity: producers burst far past a single ring's size and
+//!   `enqueue_batch` never rejects — the list grows by appending rings,
+//! * batch operations riding the inner rings' ticket-run claims across
+//!   ring boundaries (order preserved),
+//! * reclamation: drained rings are retired through the hazard domain as
+//!   consumers advance, so memory tracks the live backlog instead of the
+//!   total traffic (no epoch pauses, no leaked rings — the queue drop
+//!   would loudly fail destructor-conservation tests otherwise).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::SeqCst};
+use wcq::UnboundedWcq;
+
+fn main() {
+    const PRODUCERS: usize = 2;
+    const CONSUMERS: usize = 2;
+    const PER_PRODUCER: u64 = 200_000;
+    const BURST: usize = 512; // 2 rings' worth per burst
+    const NODE_ORDER: u32 = 8; // 256-slot rings: growth is constant
+
+    let q: UnboundedWcq<u64> = UnboundedWcq::new(NODE_ORDER, PRODUCERS + CONSUMERS + 1);
+    println!(
+        "unbounded pipeline: 2^{NODE_ORDER}-slot ring nodes, {} thread slots, \
+         bursts of {BURST}",
+        q.max_threads()
+    );
+
+    let received = AtomicU64::new(0);
+    let done = AtomicBool::new(false);
+
+    std::thread::scope(|s| {
+        let mut workers = Vec::new();
+        for p in 0..PRODUCERS as u64 {
+            let q = &q;
+            workers.push(s.spawn(move || {
+                let mut h = q.register().expect("producer slot");
+                let mut burst = Vec::with_capacity(BURST);
+                let mut next = 0u64;
+                while next < PER_PRODUCER {
+                    while burst.len() < BURST && next < PER_PRODUCER {
+                        burst.push(p << 32 | next);
+                        next += 1;
+                    }
+                    // Unlike the bounded queues there is no backpressure:
+                    // the whole burst always lands (rings are appended).
+                    let n = h.enqueue_batch(&mut burst);
+                    assert!(burst.is_empty(), "unbounded enqueue left {n} behind");
+                }
+                println!("producer {p} done ({PER_PRODUCER} values, zero rejects)");
+            }));
+        }
+        for c in 0..CONSUMERS {
+            let q = &q;
+            let received = &received;
+            let done = &done;
+            workers.push(s.spawn(move || {
+                let mut h = q.register().expect("consumer slot");
+                let mut out = Vec::with_capacity(BURST);
+                let mut last_seen = [0u64; PRODUCERS];
+                let mut got = 0u64;
+                loop {
+                    let n = h.dequeue_batch(&mut out, BURST);
+                    if n == 0 {
+                        if done.load(SeqCst) {
+                            break;
+                        }
+                        std::thread::yield_now();
+                        continue;
+                    }
+                    for v in out.drain(..) {
+                        // Per-producer FIFO survives ring hand-offs.
+                        let (p, i) = ((v >> 32) as usize, v & 0xffff_ffff);
+                        assert!(
+                            i + 1 > last_seen[p],
+                            "consumer {c}: producer {p} out of order"
+                        );
+                        last_seen[p] = i + 1;
+                    }
+                    got += n as u64;
+                }
+                received.fetch_add(got, SeqCst);
+                println!("consumer {c} drained {got} values");
+            }));
+        }
+        for w in workers.drain(..PRODUCERS) {
+            w.join().unwrap();
+        }
+        done.store(true, SeqCst);
+        for w in workers {
+            w.join().unwrap();
+        }
+    });
+
+    // Stragglers raced the done flag; drain them with a fresh handle.
+    let mut h = q.register().unwrap();
+    let mut rest = Vec::new();
+    while h.dequeue_batch(&mut rest, BURST) > 0 {}
+    let total = received.load(SeqCst) + rest.len() as u64;
+    assert_eq!(total, PRODUCERS as u64 * PER_PRODUCER, "lost values");
+    println!(
+        "delivered {total} values exactly once across {} ring turnovers (min)",
+        total >> NODE_ORDER
+    );
+}

@@ -6,7 +6,7 @@
 use harness::model::{check_delivery, tag, DeliveryLog};
 use harness::queues::{
     BenchQueue, CcBench, CrTurnBench, LcrqBench, MsBench, QueueHandle, QueueSpec, ScqBench,
-    ShardedWcqBench, WcqBench, YmcBench,
+    ShardedWcqBench, UnboundedScqBench, UnboundedWcqBench, WcqBench, YmcBench,
 };
 use std::sync::atomic::{AtomicBool, Ordering::SeqCst};
 use std::sync::Mutex;
@@ -16,6 +16,7 @@ fn spec(threads: usize, order: u32) -> QueueSpec {
         max_threads: threads,
         ring_order: order,
         shards: 1,
+        node_order: None,
         cfg: wcq::WcqConfig::default(),
     }
 }
@@ -89,6 +90,7 @@ fn wcq_stress_config_delivers_exactly() {
         max_threads: 8,
         ring_order: 5,
         shards: 1,
+        node_order: None,
         cfg: wcq::WcqConfig::stress(),
     };
     mpmc_check(&WcqBench::new(&s), 4, 4, 2_000);
@@ -112,6 +114,7 @@ fn sharded_wcq_delivers_exactly() {
         max_threads: workers,
         ring_order: 8,
         shards: 4,
+        node_order: None,
         cfg: wcq::WcqConfig::default(),
     };
     mpmc_check(&ShardedWcqBench::new(&s), workers / 2, workers / 2, 3_000);
@@ -126,6 +129,7 @@ fn sharded_wcq_stress_config_delivers_exactly() {
         max_threads: workers,
         ring_order: 5,
         shards: 4,
+        node_order: None,
         cfg: wcq::WcqConfig::stress(),
     };
     mpmc_check(&ShardedWcqBench::new(&s), workers / 2, workers / 2, 1_500);
@@ -135,6 +139,43 @@ fn sharded_wcq_stress_config_delivers_exactly() {
 fn scq_delivers_exactly() {
     let s = spec(6, 8);
     mpmc_check(&ScqBench::new(&s), 3, 3, PER);
+}
+
+#[test]
+fn unbounded_wcq_delivers_exactly() {
+    // Producer/consumer split at 4×-core oversubscription with tiny list
+    // nodes: ring hand-offs and hazard retire/scan cycles run continuously
+    // while preemption widens every window.
+    let workers = oversubscribed_workers();
+    let s = QueueSpec {
+        max_threads: workers,
+        node_order: Some(5),
+        ..spec(workers, 8)
+    };
+    mpmc_check(&UnboundedWcqBench::new(&s), workers / 2, workers / 2, 2_000);
+}
+
+#[test]
+fn unbounded_scq_delivers_exactly() {
+    let workers = oversubscribed_workers();
+    let s = QueueSpec {
+        max_threads: workers,
+        node_order: Some(4),
+        ..spec(workers, 8)
+    };
+    mpmc_check(&UnboundedScqBench::new(&s), workers / 2, workers / 2, 2_000);
+}
+
+#[test]
+fn unbounded_wcq_stress_config_delivers_exactly() {
+    let workers = oversubscribed_workers();
+    let s = QueueSpec {
+        max_threads: workers,
+        node_order: Some(5),
+        cfg: wcq::WcqConfig::stress(),
+        ..spec(workers, 8)
+    };
+    mpmc_check(&UnboundedWcqBench::new(&s), workers / 2, workers / 2, 1_000);
 }
 
 #[test]

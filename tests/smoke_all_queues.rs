@@ -8,7 +8,7 @@
 use harness::model::{check_delivery, tag, DeliveryLog};
 use harness::queues::{
     BenchQueue, CcBench, CrTurnBench, FaaBench, LcrqBench, MsBench, QueueHandle, QueueSpec,
-    ScqBench, ShardedWcqBench, WcqBench, YmcBench,
+    ScqBench, ShardedWcqBench, UnboundedScqBench, UnboundedWcqBench, WcqBench, YmcBench,
 };
 use std::sync::{Barrier, Mutex};
 
@@ -21,6 +21,7 @@ fn spec() -> QueueSpec {
         max_threads: THREADS + 1,
         ring_order: 8,
         shards: 1,
+        node_order: None,
         cfg: wcq::WcqConfig::default(),
     }
 }
@@ -92,6 +93,26 @@ fn sharded_wcq_smoke() {
 #[test]
 fn scq_smoke() {
     smoke(&ScqBench::new(&spec()));
+}
+
+#[test]
+fn unbounded_wcq_smoke() {
+    // Tiny 8-slot nodes force constant ring hand-offs (and hazard-pointer
+    // retire/protect traffic) under the full 4-thread crowd.
+    let s = QueueSpec {
+        node_order: Some(3),
+        ..spec()
+    };
+    smoke(&UnboundedWcqBench::new(&s));
+}
+
+#[test]
+fn unbounded_scq_smoke() {
+    let s = QueueSpec {
+        node_order: Some(3),
+        ..spec()
+    };
+    smoke(&UnboundedScqBench::new(&s));
 }
 
 #[test]

@@ -16,29 +16,37 @@
 //! while yielded enqueuers hold stale `tail` reads.
 //!
 //! The original `ops_active`-counter scheme did not rule this out: its
-//! `collect` frees after a check-then-act on the counter, so an enqueuer
-//! can start — and load `tail` — between the zero check and the free. What
-//! keeps that load off freed memory is the **tail-advance-before-retire
-//! invariant** these tests pin down: a ring is retired only once both
-//! `head` and `tail` have moved past it. Hazard-pointer reclamation relies
-//! on the same invariant outright — its protect-validate loop on `tail` is
-//! only conclusive if a retired ring can never be the published `tail`.
+//! `collect` freed after a check-then-act on the counter, so an enqueuer
+//! could start — and load `tail` — between the zero check and the free.
+//! The hazard-pointer scheme closes the window structurally: operations
+//! protect `head`/`tail` before dereferencing, and a drained ring is
+//! unlinked from **both** ends (tail first) before it is retired, so the
+//! protect-validate loop can never conclude on a retired ring
+//! (`unlink_and_retire` in `unbounded.rs`).
 //!
-//! A silent use-after-free would not fail a multiset assertion — freed
-//! `Box` memory usually stays readable, so the victim just reads stale but
-//! plausible bytes. The regression signal is therefore the ring-node
-//! **canary**: every node carries a magic word that its destructor
-//! poisons, and (in debug builds, which is how the test suite runs) every
-//! ring operation asserts the canary before touching the ring. Any
-//! reclamation regression that frees a ring still reachable from `head`
-//! or `tail` panics deterministically here instead of relying on
-//! ASan/Miri to notice.
+//! Three mechanisms make these tests a real tripwire rather than a
+//! statement of hope:
+//!
+//! * **Canary.** A silent use-after-free would not fail a multiset
+//!   assertion — freed `Box` memory usually stays readable, so the victim
+//!   reads stale but plausible bytes. Every ring node carries a magic word
+//!   that its destructor poisons, and (in debug builds, which is how the
+//!   suite runs) every ring operation asserts it, so touching a freed ring
+//!   panics deterministically instead of relying on ASan/Miri to notice.
+//! * **Window widening.** Debug builds yield *inside* the tail-lag window
+//!   (between the appender's next-CAS and tail-CAS), stretching a
+//!   nanosecond race across a scheduler quantum on every ring turnover.
+//! * **Fast reclamation.** The unbounded queue runs its hazard domain at a
+//!   low scan threshold, so retired rings are freed within a couple of
+//!   turnovers of being abandoned — a reclamation bug cannot hide behind a
+//!   long deferral.
 
 mod common;
 
 use common::{churn, ChurnCfg};
-use wcq::unbounded::WcqInner;
-use wcq::ScqQueue;
+use std::sync::atomic::Ordering::SeqCst;
+use wcq::unbounded::{Unbounded, UnboundedWcq, WcqInner};
+use wcq::{ScqQueue, WcqConfig};
 
 /// SCQ rings carry no `k <= n` thread bound, so tiny 2-slot rings can be
 /// hammered by a full crowd: maximum ring turnover, maximum retire rate.
@@ -81,4 +89,81 @@ fn tail_lag_uaf_single_lagging_enqueuer() {
         yield_stride: 16,
         check_fifo: false,
     });
+}
+
+/// Destructor conservation with rings retired *through the hazard domain*:
+/// every element with a `Drop` impl must be dropped exactly once, with
+/// consumer handles dropped mid-stream so their pending retirees take the
+/// domain's orphan hand-off path (`HpHandle::drop` → orphan list → freed
+/// by a later scan or at domain drop) while other threads still hold
+/// hazards into the list.
+#[test]
+fn destructors_conserved_through_domain_orphans() {
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+
+    static DROPS: AtomicUsize = AtomicUsize::new(0);
+    struct D(#[allow(dead_code)] u64);
+    impl Drop for D {
+        fn drop(&mut self) {
+            DROPS.fetch_add(1, SeqCst);
+        }
+    }
+
+    const PRODUCERS: usize = 2;
+    const CONSUMER_WAVES: usize = 3;
+    const CONSUMERS_PER_WAVE: usize = 2;
+    const PER: u64 = 2_000;
+    {
+        let q: Arc<UnboundedWcq<D>> = Arc::new(Unbounded::with_config(
+            2, // 4-slot rings: maximum retire traffic
+            PRODUCERS + CONSUMERS_PER_WAVE,
+            &WcqConfig::stress(),
+        ));
+        let producers: Vec<_> = (0..PRODUCERS as u64)
+            .map(|p| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    let mut h = q.register().unwrap();
+                    for i in 0..PER {
+                        h.enqueue(D(p << 32 | i));
+                    }
+                })
+            })
+            .collect();
+        // Consumers arrive in waves: each wave drains a while and then
+        // drops its handles *mid-stream* — with producers still appending
+        // and the next wave still protecting rings, a departing handle's
+        // unreclaimed retirees must go through the orphan list rather than
+        // being freed or leaked.
+        for _ in 0..CONSUMER_WAVES {
+            let wave: Vec<_> = (0..CONSUMERS_PER_WAVE)
+                .map(|_| {
+                    let q = Arc::clone(&q);
+                    std::thread::spawn(move || {
+                        let mut h = q.register().unwrap();
+                        for _ in 0..PER / 2 {
+                            drop(h.dequeue());
+                        }
+                        // h drops here, possibly with pending retirees.
+                    })
+                })
+                .collect();
+            for w in wave {
+                w.join().unwrap();
+            }
+        }
+        for p in producers {
+            p.join().unwrap();
+        }
+        // Drain what is left so the final count is deterministic, then
+        // drop the queue (frees the live list and the domain's orphans).
+        let mut h = q.register().unwrap();
+        while h.dequeue().is_some() {}
+    }
+    assert_eq!(
+        DROPS.load(SeqCst),
+        PRODUCERS * PER as usize,
+        "elements lost, leaked, or double-dropped across domain reclamation"
+    );
 }

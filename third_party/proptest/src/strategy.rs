@@ -138,7 +138,7 @@ macro_rules! signed_range_strategy {
 
 signed_range_strategy!(i8 as i64, i16 as i64, i32 as i64, i64 as i64, isize as i64);
 
-/// Strategy returned by [`vec`].
+/// Strategy returned by [`vec()`].
 pub struct VecStrategy<S> {
     element: S,
     len: Range<usize>,
