@@ -7,6 +7,8 @@
 //! the hardware-CAS2 variant.
 
 use bench::{print_env_banner, run_figure, BenchOpts, QueueSet, LADDER_PPC, LADDER_X86};
+use harness::blocking::{run_burst, BurstCfg, ConsumerMode};
+use harness::stats::fmt_ns;
 use harness::workload::Workload;
 
 #[global_allocator]
@@ -45,4 +47,23 @@ fn main() {
         .print_tput(&format!("Figure 12b: Pairwise{tag}"));
     run_figure(Workload::Mixed5050, QueueSet::NoLcrq, &opts, false)
         .print_tput(&format!("Figure 12c: 50%/50%{tag}"));
+
+    // Figure W (beyond the paper): one 4×-oversubscribed spin-vs-block
+    // point; the full sweep lives in the `figure_wakeup` binary.
+    let opts = BenchOpts::from_env(&[1]);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let workers = (4 * cores).max(4);
+    println!("\n== Figure W: blocking facade at 4x oversubscription ({workers} workers) ==");
+    for mode in [ConsumerMode::Spin, ConsumerMode::Block] {
+        let r = run_burst(&BurstCfg::figure_shape(mode, workers, opts.ops, opts.pin));
+        println!(
+            "  {mode:?}: {:.0} items/s, wakeup mean {} p99 {}, cpu {:.2}s",
+            r.items_per_sec(),
+            fmt_ns(r.wakeup.mean_ns),
+            fmt_ns(r.wakeup.p99_ns as f64),
+            r.cpu.as_secs_f64()
+        );
+    }
 }

@@ -1,0 +1,106 @@
+//! Wakeup sweep — beyond the paper: park/unpark overhead of the blocking
+//! facade (`wcq::sync`, DESIGN.md §9) vs pure spin, under a bursty
+//! producer at 1×–4× core oversubscription.
+//!
+//! Workload: `harness::blocking::run_burst` — producers emit fixed-size
+//! bursts separated by idle gaps; consumers either spin on `dequeue` or
+//! park via `dequeue_blocking`. Three panels per point:
+//!
+//! * throughput (items/s, wall clock),
+//! * wakeup latency (enqueue→dequeue ns; mean / p99 — parking pays here),
+//! * process CPU time (utime+stime; spinning pays here, and the gap is
+//!   what a 4×-oversubscribed host gets back for its other threads).
+//!
+//! Usage: `cargo run --release --bin figure_wakeup`
+//! (respects the `WCQ_BENCH_*` knobs; see the bench crate docs.
+//! `WCQ_BENCH_OPS` is items per producer per run.)
+
+use bench::{print_env_banner, BenchOpts};
+use harness::blocking::{run_burst, BurstCfg, BurstResult, ConsumerMode};
+use harness::stats::fmt_ns;
+
+const OVERSUB: &[usize] = &[1, 2, 4];
+
+fn run(mode: ConsumerMode, workers: usize, opts: &BenchOpts) -> BurstResult {
+    run_burst(&BurstCfg::figure_shape(mode, workers, opts.ops, opts.pin))
+}
+
+fn main() {
+    // The ladder argument is unused (this sweep is over oversubscription,
+    // not raw thread count), but keeps the env-knob handling uniform.
+    let opts = BenchOpts::from_env(&[1]);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    print_env_banner("Figure W: wakeup sweep (bursty producers, spin vs parked consumers)");
+    println!("# burst 64 items, 500us gap; workers = cores x oversubscription");
+
+    let mut rows = Vec::new();
+    for &mult in OVERSUB {
+        let workers = (cores * mult).max(2);
+        for mode in [ConsumerMode::Spin, ConsumerMode::Block] {
+            let r = run(mode, workers, &opts);
+            eprintln!(
+                "  {mult}x ({workers:>3} workers) {mode:?}: {:>10.0} items/s  wakeup mean {:>9} p99 {:>9}  cpu {:>7.2?}s",
+                r.items_per_sec(),
+                fmt_ns(r.wakeup.mean_ns),
+                fmt_ns(r.wakeup.p99_ns as f64),
+                r.cpu.as_secs_f64(),
+            );
+            rows.push((mult, workers, mode, r));
+        }
+    }
+
+    println!("\n== Wakeup sweep: spin vs blocked consumers ==");
+    println!(
+        "{:>7} {:>8} {:>6} {:>12} {:>12} {:>12} {:>10}",
+        "oversub", "workers", "mode", "items/s", "wake-mean", "wake-p99", "cpu-s"
+    );
+    for (mult, workers, mode, r) in &rows {
+        println!(
+            "{:>6}x {workers:>8} {:>6} {:>12.0} {:>12} {:>12} {:>10.2}",
+            mult,
+            match mode {
+                ConsumerMode::Spin => "spin",
+                ConsumerMode::Block => "block",
+            },
+            r.items_per_sec(),
+            fmt_ns(r.wakeup.mean_ns),
+            fmt_ns(r.wakeup.p99_ns as f64),
+            r.cpu.as_secs_f64(),
+        );
+    }
+    println!("-- CSV --");
+    println!("oversub,workers,mode,items_per_sec,wake_mean_ns,wake_p50_ns,wake_p99_ns,wake_max_ns,cpu_seconds");
+    for (mult, workers, mode, r) in &rows {
+        println!(
+            "{mult},{workers},{},{:.0},{:.0},{},{},{},{:.4}",
+            match mode {
+                ConsumerMode::Spin => "spin",
+                ConsumerMode::Block => "block",
+            },
+            r.items_per_sec(),
+            r.wakeup.mean_ns,
+            r.wakeup.p50_ns,
+            r.wakeup.p99_ns,
+            r.wakeup.max_ns,
+            r.cpu.as_secs_f64(),
+        );
+    }
+
+    // The headline claim of DESIGN.md §9, checked where it matters most.
+    let spin4 = rows
+        .iter()
+        .find(|(m, _, mode, _)| *m == 4 && *mode == ConsumerMode::Spin);
+    let block4 = rows
+        .iter()
+        .find(|(m, _, mode, _)| *m == 4 && *mode == ConsumerMode::Block);
+    if let (Some((_, _, _, s)), Some((_, _, _, b))) = (spin4, block4) {
+        if !s.cpu.is_zero() {
+            println!(
+                "\n# 4x oversubscription: blocked consumers used {:.1}% of the spin run's CPU time",
+                100.0 * b.cpu.as_secs_f64() / s.cpu.as_secs_f64()
+            );
+        }
+    }
+}

@@ -36,17 +36,26 @@
 //! Wait-freedom of the slow path relies on hardware double-width CAS; see
 //! [`dwcas::HARDWARE_CAS2`] and `DESIGN.md` §3.5 for the portable fallback
 //! semantics.
+//!
+//! Every queue also exposes a **blocking/async facade** through the
+//! [`sync::SyncQueue`] trait (parking on the empty/full edge only — the
+//! wait-free fast path is untouched; see [`sync`] and `DESIGN.md` §9).
+//!
+//! The paper-to-code map — which figure/algorithm lives in which module —
+//! is `PAPER_MAP.md` at the repository root.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod pack;
 pub mod scq;
 pub mod shard;
+pub mod sync;
 pub mod unbounded;
 pub mod wcq;
 
 pub use scq::{ScqQueue, ScqRing};
 pub use shard::{ShardedHandle, ShardedWcq};
+pub use sync::{RecvError, SendError, SyncQueue};
 pub use unbounded::{UnboundedHandle, UnboundedScq, UnboundedWcq};
 pub use wcq::{WcqHandle, WcqQueue, WcqRing};
 

@@ -25,6 +25,7 @@
 //! contract the handle layer upholds across all shards at once — the same
 //! pattern the unbounded list-of-rings uses.
 
+use crate::sync::{SyncQueue, SyncState};
 use crate::wcq::queue::WcqQueue;
 use crate::WcqConfig;
 use std::sync::atomic::{AtomicBool, Ordering::SeqCst};
@@ -46,6 +47,9 @@ use std::sync::atomic::{AtomicBool, Ordering::SeqCst};
 pub struct ShardedWcq<T> {
     shards: Box<[WcqQueue<T>]>,
     slots: Box<[AtomicBool]>,
+    /// Sharded-level parking state ([`crate::sync`]): blocking consumers
+    /// wait here, not on the per-shard states (which stay idle).
+    sync: SyncState,
 }
 
 impl<T> ShardedWcq<T> {
@@ -66,6 +70,7 @@ impl<T> ShardedWcq<T> {
                 .map(|_| WcqQueue::with_config(order, max_threads, cfg))
                 .collect(),
             slots: (0..max_threads).map(|_| AtomicBool::new(false)).collect(),
+            sync: SyncState::new(),
         }
     }
 
@@ -88,6 +93,22 @@ impl<T> ShardedWcq<T> {
     /// per-shard O(1) threshold probes. Advisory, like any concurrent probe.
     pub fn is_empty_hint(&self) -> bool {
         self.shards.iter().all(|s| s.is_empty_hint())
+    }
+
+    /// Closes the blocking/async facade (see [`crate::WcqQueue::close`]);
+    /// the spin API is unaffected.
+    pub fn close(&self) {
+        self.sync.close();
+    }
+
+    /// `true` once [`Self::close`] has run.
+    pub fn is_closed(&self) -> bool {
+        self.sync.is_closed()
+    }
+
+    /// The queue's parking state (see [`crate::sync`]).
+    pub fn sync_state(&self) -> &SyncState {
+        &self.sync
     }
 
     /// Registers the calling thread; its enqueue affinity is
@@ -129,14 +150,25 @@ impl<'q, T> ShardedHandle<'q, T> {
     pub fn enqueue(&mut self, v: T) -> Result<(), T> {
         // SAFETY: `register` hands out each tid exclusively and the handle
         // is !Sync with &mut methods, so this tid drives every shard alone.
-        unsafe { self.q.shards[self.affinity].enqueue_raw(self.tid, v) }
+        let r = unsafe { self.q.shards[self.affinity].enqueue_raw(self.tid, v) };
+        if r.is_ok() {
+            // Blocking consumers park on the sharded-level state; the raw
+            // path deliberately skips the shard's own (always waiter-less)
+            // parking state.
+            self.q.sync.notify_not_empty();
+        }
+        r
     }
 
     /// Batch enqueue into the affinity shard; semantics of
     /// [`crate::WcqHandle::enqueue_batch`].
     pub fn enqueue_batch(&mut self, items: &mut Vec<T>) -> usize {
         // SAFETY: as in `enqueue`.
-        unsafe { self.q.shards[self.affinity].enqueue_batch_raw(self.tid, items) }
+        let n = unsafe { self.q.shards[self.affinity].enqueue_batch_raw(self.tid, items) };
+        if n > 0 {
+            self.q.sync.notify_not_empty();
+        }
+        n
     }
 
     /// Dequeue, visiting every shard (starting at the sticky cursor) before
@@ -148,6 +180,7 @@ impl<'q, T> ShardedHandle<'q, T> {
             // SAFETY: as in `enqueue`.
             if let Some(v) = unsafe { self.q.shards[shard].dequeue_raw(self.tid) } {
                 self.cursor = shard;
+                self.q.sync.notify_not_full();
                 return Some(v);
             }
         }
@@ -174,6 +207,9 @@ impl<'q, T> ShardedHandle<'q, T> {
                 total += got;
             }
         }
+        if total > 0 {
+            self.q.sync.notify_not_full();
+        }
         total
     }
 
@@ -196,6 +232,25 @@ impl<'q, T> ShardedHandle<'q, T> {
 impl<T> Drop for ShardedHandle<'_, T> {
     fn drop(&mut self) {
         self.q.slots[self.tid].store(false, SeqCst);
+    }
+}
+
+/// Blocking/async facade over the sharded queue: parked enqueuers wake on
+/// any shard's dequeue (then retry their own affinity shard), parked
+/// dequeuers wake on any enqueue (their sweep visits every shard).
+impl<T> SyncQueue for ShardedHandle<'_, T> {
+    type Item = T;
+
+    fn sync_state(&self) -> &SyncState {
+        &self.q.sync
+    }
+
+    fn try_enqueue(&mut self, v: T) -> Result<(), T> {
+        self.enqueue(v)
+    }
+
+    fn try_dequeue(&mut self) -> Option<T> {
+        self.dequeue()
     }
 }
 

@@ -1,0 +1,876 @@
+//! Blocking and async facade over the spin-only queues (DESIGN.md §9).
+//!
+//! Every queue in the suite is non-blocking by construction: `dequeue` on an
+//! empty queue returns immediately, so a consumer that wants to *wait* for
+//! data must spin. Under oversubscription — exactly the regime wait-freedom
+//! is for — a spinning consumer burns its whole scheduler quantum polling.
+//! This module adds the standard remedy, an **eventcount** (futex-style
+//! parking built on [`std::thread::park`], zero dependencies): consumers and
+//! producers park on the empty/full *edge* only, while every successful
+//! queue operation stays the untouched wait-free fast path plus one
+//! `SeqCst` load to check for sleepers.
+//!
+//! The entry points live on the [`SyncQueue`] trait, implemented by
+//! [`crate::WcqHandle`], [`crate::ShardedHandle`], and
+//! [`crate::UnboundedHandle`]:
+//!
+//! * [`SyncQueue::enqueue_blocking`] / [`SyncQueue::dequeue_blocking`] —
+//!   park until space/data or [`close`](crate::WcqQueue::close);
+//! * [`SyncQueue::enqueue_timeout`] / [`SyncQueue::dequeue_timeout`] —
+//!   the same with a deadline; timeouts are element-conserving (a timed-out
+//!   enqueue hands the value back, a timed-out dequeue takes one last look);
+//! * [`SyncQueue::enqueue_async`] / [`SyncQueue::dequeue_async`] —
+//!   `Future`s registering a [`Waker`] instead of a thread, driven by any
+//!   executor; [`block_on`] is a minimal vendored one for examples/tests.
+//!
+//! # Blocking example
+//!
+//! ```
+//! use wcq::sync::{RecvError, SyncQueue};
+//! use wcq::WcqQueue;
+//!
+//! let q: WcqQueue<u64> = WcqQueue::new(4, 2);
+//! std::thread::scope(|s| {
+//!     s.spawn(|| {
+//!         let mut h = q.register().unwrap();
+//!         h.enqueue_blocking(7).unwrap();
+//!         q.close(); // wakes everyone; dequeuers drain, then see Closed
+//!     });
+//!     let mut h = q.register().unwrap();
+//!     assert_eq!(h.dequeue_blocking(), Ok(7)); // parks until the send
+//!     assert_eq!(h.dequeue_blocking(), Err(RecvError::Closed));
+//! });
+//! ```
+//!
+//! # Async example
+//!
+//! ```
+//! use wcq::sync::{block_on, SyncQueue};
+//! use wcq::UnboundedWcq;
+//!
+//! let q: UnboundedWcq<String> = UnboundedWcq::new(4, 2);
+//! std::thread::scope(|s| {
+//!     s.spawn(|| {
+//!         let mut h = q.register().unwrap();
+//!         block_on(async { h.enqueue_async("ping".to_string()).await }).unwrap();
+//!     });
+//!     let mut h = q.register().unwrap();
+//!     let got = block_on(async { h.dequeue_async().await });
+//!     assert_eq!(got.as_deref(), Ok("ping"));
+//! });
+//! ```
+//!
+//! # Why wait-freedom survives
+//!
+//! The queue operations themselves are untouched: an element is enqueued by
+//! the same bounded-step ring protocol as before, and only *after* it is
+//! visible does the producer glance at the waiter counter (one `SeqCst`
+//! load; no RMW, no lock when nobody sleeps). Parking happens strictly on
+//! the empty/full edge, where the caller has — by definition — no work to
+//! do; a parked thread holds no queue state, so it can never wedge another
+//! thread's operation. The waiter list's mutex is touched only by threads
+//! that are about to sleep or are waking sleepers, never on the per-element
+//! path. The no-lost-wakeup argument is a Dekker-style flag pair, spelled
+//! out in DESIGN.md §9 and stress-tested at 4× oversubscription in
+//! `tests/blocking_facade.rs`.
+
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering::SeqCst};
+use std::sync::{Arc, Mutex};
+use std::task::{Context, Poll, Wake, Waker};
+use std::time::{Duration, Instant};
+
+// ===================================================================
+// Eventcount
+// ===================================================================
+
+/// What a registered waiter wants woken: a parked thread or a task waker.
+enum WaiterKind {
+    Thread(std::thread::Thread),
+    Task(Waker),
+}
+
+impl WaiterKind {
+    fn wake(self) {
+        match self {
+            WaiterKind::Thread(t) => t.unpark(),
+            WaiterKind::Task(w) => w.wake(),
+        }
+    }
+}
+
+/// Registered waiters, keyed by a monotone token so timed-out or dropped
+/// waiters can deregister themselves exactly.
+#[derive(Default)]
+struct WaiterList {
+    next_token: u64,
+    entries: Vec<(u64, WaiterKind)>,
+}
+
+/// A futex-style eventcount: `listen` snapshots an epoch, `notify_all`
+/// bumps it and wakes every registered waiter, and waiters park only after
+/// re-checking their condition *post-registration*.
+///
+/// The lost-wakeup argument is the classic Dekker pair: a notifier makes
+/// its state change visible (`SeqCst`), then loads the waiter count; a
+/// waiter registers (a `SeqCst` store of the count), then re-checks the
+/// state. In the `SeqCst` total order one of the two must see the other,
+/// so either the notifier wakes the waiter or the waiter never parks.
+///
+/// `notify_all` with no waiters is a single `SeqCst` load — cheap enough
+/// to sit after every successful queue operation.
+pub struct Eventcount {
+    /// Bumped on every delivered notification; `listen` keys against it.
+    epoch: AtomicU64,
+    /// Mirror of `waiters.entries.len()`, readable without the lock.
+    nwaiters: AtomicUsize,
+    waiters: Mutex<WaiterList>,
+}
+
+impl Default for Eventcount {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Eventcount {
+    /// Creates an eventcount with no waiters.
+    pub fn new() -> Self {
+        Eventcount {
+            epoch: AtomicU64::new(0),
+            nwaiters: AtomicUsize::new(0),
+            waiters: Mutex::new(WaiterList::default()),
+        }
+    }
+
+    /// Snapshots the epoch. Take the snapshot **before** probing the
+    /// condition you are about to wait on.
+    #[inline]
+    pub fn listen(&self) -> u64 {
+        self.epoch.load(SeqCst)
+    }
+
+    /// Wakes every registered waiter. A no-op (single load) when nobody is
+    /// registered. Call it **after** the state change it advertises.
+    #[inline]
+    pub fn notify_all(&self) {
+        if self.nwaiters.load(SeqCst) == 0 {
+            return;
+        }
+        self.notify_slow();
+    }
+
+    #[cold]
+    fn notify_slow(&self) {
+        let woken = {
+            let mut l = self.waiters.lock().unwrap();
+            // The bump must happen INSIDE the critical section: it makes
+            // "my entry was drained ⇒ the epoch moved past my key" an
+            // invariant. Bumping before the lock opens a window where a
+            // thread registers for the post-bump epoch, gets drained by
+            // this very notification, wakes, sees its key still current,
+            // and re-parks with nobody left to wake it.
+            self.epoch.fetch_add(1, SeqCst);
+            self.nwaiters.store(0, SeqCst);
+            std::mem::take(&mut l.entries)
+        };
+        // Wake outside the lock: `Waker::wake` may run executor code.
+        for (_, w) in woken {
+            w.wake();
+        }
+    }
+
+    /// Registers the calling thread as a waiter, or returns `None` if the
+    /// epoch already moved past `key` (a notification slipped in — retry
+    /// the condition instead of parking).
+    pub fn register_thread(&self, key: u64) -> Option<u64> {
+        let mut l = self.waiters.lock().unwrap();
+        if self.epoch.load(SeqCst) != key {
+            return None;
+        }
+        let token = l.next_token;
+        l.next_token += 1;
+        l.entries.push((token, WaiterKind::Thread(std::thread::current())));
+        self.nwaiters.store(l.entries.len(), SeqCst);
+        Some(token)
+    }
+
+    /// Parks the registered calling thread until the epoch moves past
+    /// `key` (returns `true`) or `deadline` passes (deregisters and
+    /// returns `false`). Spurious unparks re-check and re-park.
+    pub fn park_registered(&self, token: u64, key: u64, deadline: Option<Instant>) -> bool {
+        loop {
+            if self.epoch.load(SeqCst) != key {
+                return true;
+            }
+            match deadline {
+                None => std::thread::park(),
+                Some(d) => {
+                    let now = Instant::now();
+                    if now >= d {
+                        self.cancel(token);
+                        return false;
+                    }
+                    std::thread::park_timeout(d - now);
+                }
+            }
+        }
+    }
+
+    /// Registers (or refreshes) a task waker under `slot`, or returns
+    /// `false` if the epoch already moved past `key` (deregistering any
+    /// stale entry — the caller re-polls its condition).
+    pub fn register_task(&self, key: u64, waker: &Waker, slot: &mut Option<u64>) -> bool {
+        let mut l = self.waiters.lock().unwrap();
+        if self.epoch.load(SeqCst) != key {
+            if let Some(token) = slot.take() {
+                l.entries.retain(|(t, _)| *t != token);
+                self.nwaiters.store(l.entries.len(), SeqCst);
+            }
+            return false;
+        }
+        match *slot {
+            Some(token) => {
+                // Re-poll without an interleaving notify: refresh the waker
+                // in place (the old one may belong to a moved task).
+                if let Some(e) = l.entries.iter_mut().find(|(t, _)| *t == token) {
+                    e.1 = WaiterKind::Task(waker.clone());
+                } else {
+                    l.entries.push((token, WaiterKind::Task(waker.clone())));
+                }
+            }
+            None => {
+                let token = l.next_token;
+                l.next_token += 1;
+                l.entries.push((token, WaiterKind::Task(waker.clone())));
+                *slot = Some(token);
+            }
+        }
+        self.nwaiters.store(l.entries.len(), SeqCst);
+        true
+    }
+
+    /// Deregisters `token` if it is still queued (timed-out threads,
+    /// dropped futures, and waiters whose condition resolved mid-register).
+    pub fn cancel(&self, token: u64) {
+        let mut l = self.waiters.lock().unwrap();
+        l.entries.retain(|(t, _)| *t != token);
+        self.nwaiters.store(l.entries.len(), SeqCst);
+    }
+
+    /// Number of currently registered waiters (diagnostics/tests).
+    pub fn waiters(&self) -> usize {
+        self.nwaiters.load(SeqCst)
+    }
+}
+
+// ===================================================================
+// Per-queue parking state
+// ===================================================================
+
+/// The parking state a queue embeds to support the blocking/async facade:
+/// one [`Eventcount`] per edge (empty and full) plus the shutdown flag.
+///
+/// Constructed by the queues themselves; users only see it through
+/// [`SyncQueue::sync_state`].
+pub struct SyncState {
+    not_empty: Eventcount,
+    not_full: Eventcount,
+    closed: AtomicBool,
+}
+
+impl Default for SyncState {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SyncState {
+    /// Fresh state: open, no waiters.
+    pub fn new() -> Self {
+        SyncState {
+            not_empty: Eventcount::new(),
+            not_full: Eventcount::new(),
+            closed: AtomicBool::new(false),
+        }
+    }
+
+    /// The eventcount dequeuers park on (producers notify it).
+    #[inline]
+    pub fn not_empty(&self) -> &Eventcount {
+        &self.not_empty
+    }
+
+    /// The eventcount enqueuers park on (consumers notify it).
+    #[inline]
+    pub fn not_full(&self) -> &Eventcount {
+        &self.not_full
+    }
+
+    /// Advertise "an element was enqueued" to parked dequeuers.
+    #[inline]
+    pub fn notify_not_empty(&self) {
+        self.not_empty.notify_all();
+    }
+
+    /// Advertise "a slot was freed" to parked enqueuers.
+    #[inline]
+    pub fn notify_not_full(&self) {
+        self.not_full.notify_all();
+    }
+
+    /// Closes the facade: blocking/async enqueues fail with `Closed`,
+    /// dequeues drain the backlog and then fail with `Closed`, and every
+    /// parked waiter is woken. Idempotent. The spin API is unaffected.
+    pub fn close(&self) {
+        self.closed.store(true, SeqCst);
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// `true` once [`Self::close`] has run.
+    #[inline]
+    pub fn is_closed(&self) -> bool {
+        self.closed.load(SeqCst)
+    }
+}
+
+// ===================================================================
+// Errors
+// ===================================================================
+
+/// Why a blocking/async enqueue did not take the value. Both variants hand
+/// the value back — the facade never drops an element.
+#[derive(Debug, PartialEq, Eq)]
+pub enum SendError<T> {
+    /// The deadline passed while the queue stayed full.
+    Timeout(T),
+    /// The queue was closed.
+    Closed(T),
+}
+
+impl<T> SendError<T> {
+    /// Recovers the value that was not enqueued.
+    pub fn into_inner(self) -> T {
+        match self {
+            SendError::Timeout(v) | SendError::Closed(v) => v,
+        }
+    }
+}
+
+impl<T> std::fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SendError::Timeout(_) => write!(f, "enqueue timed out (queue full)"),
+            SendError::Closed(_) => write!(f, "enqueue on closed queue"),
+        }
+    }
+}
+
+impl<T: std::fmt::Debug> std::error::Error for SendError<T> {}
+
+/// Why a blocking/async dequeue returned no value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvError {
+    /// The deadline passed while the queue stayed empty.
+    Timeout,
+    /// The queue was closed **and** drained.
+    Closed,
+}
+
+impl std::fmt::Display for RecvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecvError::Timeout => write!(f, "dequeue timed out (queue empty)"),
+            RecvError::Closed => write!(f, "queue closed and drained"),
+        }
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+// ===================================================================
+// The facade trait
+// ===================================================================
+
+/// Blocking and async operations over a queue handle.
+///
+/// Implementors supply the non-blocking attempts plus access to the
+/// queue's [`SyncState`]; the blocking, timeout, and async entry points
+/// are provided methods sharing one parking protocol (module docs).
+///
+/// Implemented by [`crate::WcqHandle`], [`crate::ShardedHandle`], and
+/// [`crate::UnboundedHandle`] (whose `try_enqueue` never fails — the list
+/// grows instead, so its blocking enqueue only parks when closed… never).
+pub trait SyncQueue {
+    /// Element type.
+    type Item;
+
+    /// The queue's parking state (eventcounts + closed flag).
+    fn sync_state(&self) -> &SyncState;
+
+    /// One non-blocking enqueue attempt; `Err(v)` hands the value back
+    /// when the queue is full.
+    fn try_enqueue(&mut self, v: Self::Item) -> Result<(), Self::Item>;
+
+    /// One non-blocking dequeue attempt; `None` when observed empty.
+    fn try_dequeue(&mut self) -> Option<Self::Item>;
+
+    /// Enqueues, parking while the queue is full. Fails only when the
+    /// queue is [closed](SyncState::close) (the value comes back).
+    ///
+    /// ```
+    /// use wcq::sync::SyncQueue;
+    /// let q: wcq::WcqQueue<u32> = wcq::WcqQueue::new(4, 1);
+    /// let mut h = q.register().unwrap();
+    /// h.enqueue_blocking(1).unwrap(); // space available: no parking
+    /// assert_eq!(h.dequeue_blocking(), Ok(1));
+    /// ```
+    fn enqueue_blocking(&mut self, v: Self::Item) -> Result<(), SendError<Self::Item>>
+    where
+        Self: Sized,
+    {
+        enqueue_deadline(self, v, None)
+    }
+
+    /// Like [`Self::enqueue_blocking`] with a deadline. A timeout is
+    /// element-conserving: the value rides back in
+    /// [`SendError::Timeout`].
+    ///
+    /// ```
+    /// use std::time::Duration;
+    /// use wcq::sync::{SendError, SyncQueue};
+    /// let q: wcq::WcqQueue<u32> = wcq::WcqQueue::new(2, 1); // 4 slots
+    /// let mut h = q.register().unwrap();
+    /// for i in 0..4 { h.enqueue_blocking(i).unwrap(); }
+    /// let r = h.enqueue_timeout(99, Duration::from_millis(1));
+    /// assert_eq!(r, Err(SendError::Timeout(99))); // value handed back
+    /// ```
+    fn enqueue_timeout(
+        &mut self,
+        v: Self::Item,
+        timeout: Duration,
+    ) -> Result<(), SendError<Self::Item>>
+    where
+        Self: Sized,
+    {
+        enqueue_deadline(self, v, Some(Instant::now() + timeout))
+    }
+
+    /// Dequeues, parking while the queue is empty. After
+    /// [`close`](SyncState::close), drains the backlog and then reports
+    /// [`RecvError::Closed`].
+    fn dequeue_blocking(&mut self) -> Result<Self::Item, RecvError>
+    where
+        Self: Sized,
+    {
+        dequeue_deadline(self, None)
+    }
+
+    /// Like [`Self::dequeue_blocking`] with a deadline; takes one last
+    /// look at the queue before reporting [`RecvError::Timeout`].
+    ///
+    /// ```
+    /// use std::time::Duration;
+    /// use wcq::sync::{RecvError, SyncQueue};
+    /// let q: wcq::WcqQueue<u32> = wcq::WcqQueue::new(4, 1);
+    /// let mut h = q.register().unwrap();
+    /// let r = h.dequeue_timeout(Duration::from_millis(1));
+    /// assert_eq!(r, Err(RecvError::Timeout));
+    /// ```
+    fn dequeue_timeout(&mut self, timeout: Duration) -> Result<Self::Item, RecvError>
+    where
+        Self: Sized,
+    {
+        dequeue_deadline(self, Some(Instant::now() + timeout))
+    }
+
+    /// Async enqueue: resolves when the value is in (or the queue closed).
+    /// Drive it with any executor, e.g. [`block_on`].
+    fn enqueue_async(&mut self, v: Self::Item) -> EnqueueFuture<'_, Self>
+    where
+        Self: Sized,
+    {
+        EnqueueFuture {
+            q: self,
+            v: Some(v),
+            token: None,
+        }
+    }
+
+    /// Async dequeue: resolves with a value, or [`RecvError::Closed`] once
+    /// the queue is closed and drained. Never times out on its own.
+    fn dequeue_async(&mut self) -> DequeueFuture<'_, Self>
+    where
+        Self: Sized,
+    {
+        DequeueFuture {
+            q: self,
+            token: None,
+        }
+    }
+}
+
+// ===================================================================
+// Blocking implementations
+// ===================================================================
+
+/// The parking loop both blocking enqueue paths share. Protocol per round:
+/// snapshot epoch → attempt → register → **re-attempt** (the Dekker step:
+/// the notifier's no-waiter fast path may have missed us, but then this
+/// attempt must see its state change) → park.
+fn enqueue_deadline<Q: SyncQueue>(
+    q: &mut Q,
+    mut v: Q::Item,
+    deadline: Option<Instant>,
+) -> Result<(), SendError<Q::Item>> {
+    loop {
+        if q.sync_state().is_closed() {
+            return Err(SendError::Closed(v));
+        }
+        let key = q.sync_state().not_full().listen();
+        match q.try_enqueue(v) {
+            Ok(()) => return Ok(()),
+            Err(back) => v = back,
+        }
+        let Some(token) = q.sync_state().not_full().register_thread(key) else {
+            continue; // a notification slipped in between listen and register
+        };
+        // Post-registration re-attempt: closes the race with a consumer
+        // whose notify ran before our registration was visible.
+        match q.try_enqueue(v) {
+            Ok(()) => {
+                q.sync_state().not_full().cancel(token);
+                return Ok(());
+            }
+            Err(back) => v = back,
+        }
+        if q.sync_state().is_closed() {
+            q.sync_state().not_full().cancel(token);
+            return Err(SendError::Closed(v));
+        }
+        if !q.sync_state().not_full().park_registered(token, key, deadline) {
+            // Timed out. One final attempt keeps the result honest: either
+            // the value goes in now or it rides back to the caller.
+            return match q.try_enqueue(v) {
+                Ok(()) => Ok(()),
+                Err(back) => Err(SendError::Timeout(back)),
+            };
+        }
+    }
+}
+
+/// See [`enqueue_deadline`]; the dequeue twin additionally re-polls after
+/// observing `closed` so a close racing a final insert cannot strand it.
+fn dequeue_deadline<Q: SyncQueue>(
+    q: &mut Q,
+    deadline: Option<Instant>,
+) -> Result<Q::Item, RecvError> {
+    loop {
+        let key = q.sync_state().not_empty().listen();
+        if let Some(v) = q.try_dequeue() {
+            return Ok(v);
+        }
+        if q.sync_state().is_closed() {
+            // Drain race: an insert may have landed between the probe and
+            // the close check.
+            return q.try_dequeue().ok_or(RecvError::Closed);
+        }
+        let Some(token) = q.sync_state().not_empty().register_thread(key) else {
+            continue;
+        };
+        if let Some(v) = q.try_dequeue() {
+            q.sync_state().not_empty().cancel(token);
+            return Ok(v);
+        }
+        if q.sync_state().is_closed() {
+            q.sync_state().not_empty().cancel(token);
+            return q.try_dequeue().ok_or(RecvError::Closed);
+        }
+        if !q
+            .sync_state()
+            .not_empty()
+            .park_registered(token, key, deadline)
+        {
+            return q.try_dequeue().ok_or(RecvError::Timeout);
+        }
+    }
+}
+
+// ===================================================================
+// Futures
+// ===================================================================
+
+/// Future returned by [`SyncQueue::enqueue_async`].
+///
+/// Registers the task's [`Waker`] on the queue's not-full eventcount and
+/// deregisters on completion or drop, so abandoned futures leave no stale
+/// waiters behind.
+pub struct EnqueueFuture<'a, Q: SyncQueue> {
+    q: &'a mut Q,
+    v: Option<Q::Item>,
+    token: Option<u64>,
+}
+
+// The futures never hold self-references; all fields are used by value.
+impl<Q: SyncQueue> Unpin for EnqueueFuture<'_, Q> {}
+
+impl<Q: SyncQueue> Future for EnqueueFuture<'_, Q> {
+    type Output = Result<(), SendError<Q::Item>>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let this = self.get_mut();
+        let mut v = this.v.take().expect("polled after completion");
+        loop {
+            if this.q.sync_state().is_closed() {
+                this.deregister();
+                return Poll::Ready(Err(SendError::Closed(v)));
+            }
+            let key = this.q.sync_state().not_full().listen();
+            match this.q.try_enqueue(v) {
+                Ok(()) => {
+                    this.deregister();
+                    return Poll::Ready(Ok(()));
+                }
+                Err(back) => v = back,
+            }
+            if !this
+                .q
+                .sync_state()
+                .not_full()
+                .register_task(key, cx.waker(), &mut this.token)
+            {
+                continue; // notified between listen and register: retry
+            }
+            // Post-registration re-attempt (same Dekker step as the
+            // blocking path).
+            match this.q.try_enqueue(v) {
+                Ok(()) => {
+                    this.deregister();
+                    return Poll::Ready(Ok(()));
+                }
+                Err(back) => v = back,
+            }
+            if this.q.sync_state().is_closed() {
+                this.deregister();
+                return Poll::Ready(Err(SendError::Closed(v)));
+            }
+            this.v = Some(v);
+            return Poll::Pending;
+        }
+    }
+}
+
+impl<Q: SyncQueue> EnqueueFuture<'_, Q> {
+    fn deregister(&mut self) {
+        if let Some(token) = self.token.take() {
+            self.q.sync_state().not_full().cancel(token);
+        }
+    }
+}
+
+impl<Q: SyncQueue> Drop for EnqueueFuture<'_, Q> {
+    fn drop(&mut self) {
+        self.deregister();
+    }
+}
+
+/// Future returned by [`SyncQueue::dequeue_async`]; waker bookkeeping as
+/// in [`EnqueueFuture`].
+pub struct DequeueFuture<'a, Q: SyncQueue> {
+    q: &'a mut Q,
+    token: Option<u64>,
+}
+
+impl<Q: SyncQueue> Unpin for DequeueFuture<'_, Q> {}
+
+impl<Q: SyncQueue> Future for DequeueFuture<'_, Q> {
+    type Output = Result<Q::Item, RecvError>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let this = self.get_mut();
+        loop {
+            let key = this.q.sync_state().not_empty().listen();
+            if let Some(v) = this.q.try_dequeue() {
+                this.deregister();
+                return Poll::Ready(Ok(v));
+            }
+            if this.q.sync_state().is_closed() {
+                this.deregister();
+                return Poll::Ready(this.q.try_dequeue().ok_or(RecvError::Closed));
+            }
+            if !this
+                .q
+                .sync_state()
+                .not_empty()
+                .register_task(key, cx.waker(), &mut this.token)
+            {
+                continue;
+            }
+            if let Some(v) = this.q.try_dequeue() {
+                this.deregister();
+                return Poll::Ready(Ok(v));
+            }
+            if this.q.sync_state().is_closed() {
+                this.deregister();
+                return Poll::Ready(this.q.try_dequeue().ok_or(RecvError::Closed));
+            }
+            return Poll::Pending;
+        }
+    }
+}
+
+impl<Q: SyncQueue> DequeueFuture<'_, Q> {
+    fn deregister(&mut self) {
+        if let Some(token) = self.token.take() {
+            self.q.sync_state().not_empty().cancel(token);
+        }
+    }
+}
+
+impl<Q: SyncQueue> Drop for DequeueFuture<'_, Q> {
+    fn drop(&mut self) {
+        self.deregister();
+    }
+}
+
+// ===================================================================
+// Minimal executor
+// ===================================================================
+
+struct ThreadWaker(std::thread::Thread);
+
+impl Wake for ThreadWaker {
+    fn wake(self: Arc<Self>) {
+        self.0.unpark();
+    }
+
+    fn wake_by_ref(self: &Arc<Self>) {
+        self.0.unpark();
+    }
+}
+
+/// Drives a future to completion on the calling thread, parking between
+/// polls — the minimal executor the async API needs for examples and
+/// tests. Any real executor works the same way; the futures only require
+/// `Waker` semantics.
+///
+/// ```
+/// use wcq::sync::block_on;
+/// assert_eq!(block_on(async { 21 * 2 }), 42);
+/// ```
+pub fn block_on<F: Future>(fut: F) -> F::Output {
+    let waker = Waker::from(Arc::new(ThreadWaker(std::thread::current())));
+    let mut cx = Context::from_waker(&waker);
+    let mut fut = std::pin::pin!(fut);
+    loop {
+        match fut.as_mut().poll(&mut cx) {
+            Poll::Ready(v) => return v,
+            // A wake between poll and park leaves an unpark permit, so the
+            // park returns immediately — no lost wakeup.
+            Poll::Pending => std::thread::park(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn notify_with_no_waiters_is_cheap_and_sound() {
+        let ec = Eventcount::new();
+        let key = ec.listen();
+        ec.notify_all(); // nobody registered: epoch must NOT advance
+        assert_eq!(ec.listen(), key);
+        assert_eq!(ec.waiters(), 0);
+    }
+
+    #[test]
+    fn register_then_notify_wakes_and_drains() {
+        let ec = Arc::new(Eventcount::new());
+        let hits = Arc::new(AtomicU32::new(0));
+        let mut threads = Vec::new();
+        for _ in 0..3 {
+            let ec = Arc::clone(&ec);
+            let hits = Arc::clone(&hits);
+            threads.push(std::thread::spawn(move || {
+                let key = ec.listen();
+                let token = ec.register_thread(key).expect("fresh epoch");
+                if ec.park_registered(token, key, None) {
+                    hits.fetch_add(1, SeqCst);
+                }
+            }));
+        }
+        // Wait for all three to register, then wake them together.
+        while ec.waiters() < 3 {
+            std::thread::yield_now();
+        }
+        ec.notify_all();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(hits.load(SeqCst), 3);
+        assert_eq!(ec.waiters(), 0, "notify drained the list");
+    }
+
+    #[test]
+    fn stale_key_refuses_registration() {
+        let ec = Eventcount::new();
+        let key = ec.listen();
+        // Force a bump via a real waiter cycle.
+        let token = ec.register_thread(key).unwrap();
+        ec.notify_all();
+        assert!(ec.register_thread(key).is_none(), "epoch moved past key");
+        ec.cancel(token); // already drained: harmless no-op
+    }
+
+    #[test]
+    fn park_timeout_deregisters() {
+        let ec = Eventcount::new();
+        let key = ec.listen();
+        let token = ec.register_thread(key).unwrap();
+        assert_eq!(ec.waiters(), 1);
+        let signaled =
+            ec.park_registered(token, key, Some(Instant::now() + Duration::from_millis(10)));
+        assert!(!signaled);
+        assert_eq!(ec.waiters(), 0, "timed-out waiter removed itself");
+    }
+
+    #[test]
+    fn close_is_idempotent_and_sticky() {
+        let s = SyncState::new();
+        assert!(!s.is_closed());
+        s.close();
+        s.close();
+        assert!(s.is_closed());
+    }
+
+    #[test]
+    fn send_error_roundtrips_value() {
+        assert_eq!(SendError::Timeout(7).into_inner(), 7);
+        assert_eq!(SendError::Closed("x").into_inner(), "x");
+        assert!(SendError::Timeout(0u8).to_string().contains("full"));
+        assert!(RecvError::Closed.to_string().contains("closed"));
+    }
+
+    #[test]
+    fn block_on_drives_a_manually_pending_future() {
+        struct YieldOnce(bool);
+        impl Future for YieldOnce {
+            type Output = u32;
+            fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<u32> {
+                if self.0 {
+                    Poll::Ready(99)
+                } else {
+                    self.0 = true;
+                    cx.waker().wake_by_ref();
+                    Poll::Pending
+                }
+            }
+        }
+        assert_eq!(block_on(YieldOnce(false)), 99);
+    }
+}

@@ -58,6 +58,7 @@
 //! `max_threads × HP_PER_THREAD` protected rings plus the scan threshold
 //! (see DESIGN.md §8).
 
+use crate::sync::{SyncQueue, SyncState};
 use crate::{ScqQueue, WcqConfig, WcqQueue};
 use hazard::{Domain, HpHandle};
 use std::ptr;
@@ -266,6 +267,10 @@ pub struct Unbounded<T, R: InnerRing<T>> {
     max_threads: usize,
     /// Hazard-pointer domain; its slot indices double as ring thread ids.
     domain: Domain,
+    /// Parking state for the blocking/async facade ([`crate::sync`]).
+    /// Only the not-empty side is ever waited on: enqueue never reports
+    /// full (the list grows instead).
+    sync: SyncState,
 }
 
 // SAFETY: ring nodes are shared via atomics and reclaimed through the
@@ -303,7 +308,24 @@ impl<T: Send, R: InnerRing<T>> Unbounded<T, R> {
                 max_threads,
                 (2 * hazard::HP_PER_THREAD).max(max_threads / 2),
             ),
+            sync: SyncState::new(),
         }
+    }
+
+    /// Closes the blocking/async facade (see [`crate::WcqQueue::close`]);
+    /// the spin API is unaffected.
+    pub fn close(&self) {
+        self.sync.close();
+    }
+
+    /// `true` once [`Self::close`] has run.
+    pub fn is_closed(&self) -> bool {
+        self.sync.is_closed()
+    }
+
+    /// The queue's parking state (see [`crate::sync`]).
+    pub fn sync_state(&self) -> &SyncState {
+        &self.sync
     }
 
     /// Per-node ring order (`2^order` slots per ring).
@@ -448,6 +470,9 @@ impl<T: Send, R: InnerRing<T>> Unbounded<T, R> {
             }
         }
         hp.clear_slot(HP_TAIL);
+        // The element is visible; wake any parked dequeuer (one load when
+        // nobody sleeps).
+        self.sync.notify_not_empty();
     }
 
     /// The dequeuer's ring walk, shared by the singleton and batch paths:
@@ -552,6 +577,9 @@ impl<T: Send, R: InnerRing<T>> Unbounded<T, R> {
             }
         }
         hp.clear_slot(HP_TAIL);
+        if total > 0 {
+            self.sync.notify_not_empty(); // whole batch visible: wake once
+        }
         total
     }
 
@@ -618,6 +646,19 @@ impl<T: Send, R: InnerRing<T>> UnboundedHandle<'_, T, R> {
     /// through the inner ring's batch path (one F&A per run on wCQ rings);
     /// crossing a ring boundary costs one list append, after which the
     /// remainder continues batched in the successor. Order is preserved.
+    ///
+    /// # Example
+    /// ```
+    /// use wcq::UnboundedWcq;
+    /// let q: UnboundedWcq<u64> = UnboundedWcq::new(3, 1); // 8-slot rings
+    /// let mut h = q.register().unwrap();
+    /// let mut items: Vec<u64> = (0..20).collect(); // spans several rings
+    /// assert_eq!(h.enqueue_batch(&mut items), 20);
+    /// assert!(items.is_empty(), "nothing is ever left behind");
+    /// let mut out = Vec::new();
+    /// assert_eq!(h.dequeue_batch(&mut out, 64), 20);
+    /// assert_eq!(out, (0..20).collect::<Vec<_>>()); // FIFO across rings
+    /// ```
     pub fn enqueue_batch(&mut self, items: &mut Vec<T>) -> usize {
         self.q.enqueue_batch_tid(self.tid, &self.hp, items)
     }
@@ -632,6 +673,26 @@ impl<T: Send, R: InnerRing<T>> UnboundedHandle<'_, T, R> {
     /// The thread slot this handle occupies (diagnostics).
     pub fn tid(&self) -> usize {
         self.tid
+    }
+}
+
+/// Blocking/async facade: only the dequeue side ever parks — `try_enqueue`
+/// cannot fail (the list grows), so a blocking enqueue completes on its
+/// first attempt unless the queue is closed.
+impl<T: Send, R: InnerRing<T>> SyncQueue for UnboundedHandle<'_, T, R> {
+    type Item = T;
+
+    fn sync_state(&self) -> &SyncState {
+        &self.q.sync
+    }
+
+    fn try_enqueue(&mut self, v: T) -> Result<(), T> {
+        self.enqueue(v);
+        Ok(())
+    }
+
+    fn try_dequeue(&mut self) -> Option<T> {
+        self.dequeue()
     }
 }
 

@@ -2,6 +2,7 @@
 //! (the paper's Fig. 2 indirection), with per-thread handles enforcing the
 //! thread-id discipline the rings require.
 
+use crate::sync::{SyncQueue, SyncState};
 use crate::wcq::ring::WcqRing;
 use crate::WcqConfig;
 use std::cell::UnsafeCell;
@@ -33,6 +34,9 @@ pub struct WcqQueue<T> {
     fq: WcqRing,
     data: Box<[UnsafeCell<MaybeUninit<T>>]>,
     slots: Box<[AtomicBool]>,
+    /// Parking state for the blocking/async facade ([`crate::sync`]).
+    /// Pure spin users pay one `SeqCst` load per op to check for sleepers.
+    sync: SyncState,
 }
 
 // SAFETY: identical argument to `ScqQueue` — ring indices are exclusive slot
@@ -60,6 +64,7 @@ impl<T> WcqQueue<T> {
                 .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
                 .collect(),
             slots: (0..max_threads).map(|_| AtomicBool::new(false)).collect(),
+            sync: SyncState::new(),
         }
     }
 
@@ -93,7 +98,30 @@ impl<T> WcqQueue<T> {
         self.aq.threshold() < 0
     }
 
+    /// Closes the blocking/async facade: parked waiters wake, blocking
+    /// enqueues fail with [`crate::sync::SendError::Closed`], blocking
+    /// dequeues drain the backlog and then fail with
+    /// [`crate::sync::RecvError::Closed`]. The spin API is unaffected.
+    pub fn close(&self) {
+        self.sync.close();
+    }
+
+    /// `true` once [`Self::close`] has run.
+    pub fn is_closed(&self) -> bool {
+        self.sync.is_closed()
+    }
+
+    /// The queue's parking state (see [`crate::sync`]).
+    pub fn sync_state(&self) -> &SyncState {
+        &self.sync
+    }
+
     /// Raw enqueue under an explicit thread id, bypassing the handle layer.
+    ///
+    /// Raw operations do **not** ping this queue's own parking state: every
+    /// raw caller (the sharded front-end, the unbounded list-of-rings) runs
+    /// its own facade-level [`SyncState`] and notifies that instead, so the
+    /// inner queue's state can never have waiters.
     ///
     /// # Safety
     /// `tid < max_threads`, and no other thread may use the same `tid` on
@@ -101,7 +129,7 @@ impl<T> WcqQueue<T> {
     /// exclusive driver per id). Used by the unbounded list-of-rings, whose
     /// own handle layer provides the exclusivity across every ring.
     pub unsafe fn enqueue_raw(&self, tid: usize, v: T) -> Result<(), T> {
-        self.enqueue_tid(tid, v)
+        self.enqueue_tid_quiet(tid, v)
     }
 
     /// Raw dequeue under an explicit thread id.
@@ -109,10 +137,10 @@ impl<T> WcqQueue<T> {
     /// # Safety
     /// Same contract as [`Self::enqueue_raw`].
     pub unsafe fn dequeue_raw(&self, tid: usize) -> Option<T> {
-        self.dequeue_tid(tid)
+        self.dequeue_tid_quiet(tid)
     }
 
-    fn enqueue_tid(&self, tid: usize, v: T) -> Result<(), T> {
+    fn enqueue_tid_quiet(&self, tid: usize, v: T) -> Result<(), T> {
         let Some(i) = self.fq.dequeue(tid) else {
             return Err(v); // no free slot: full
         };
@@ -123,7 +151,7 @@ impl<T> WcqQueue<T> {
         Ok(())
     }
 
-    fn dequeue_tid(&self, tid: usize) -> Option<T> {
+    fn dequeue_tid_quiet(&self, tid: usize) -> Option<T> {
         let i = self.aq.dequeue(tid)?;
         // SAFETY: `i` came from `aq`; the matching enqueuer initialized the
         // slot before publishing it.
@@ -132,13 +160,31 @@ impl<T> WcqQueue<T> {
         Some(v)
     }
 
+    fn enqueue_tid(&self, tid: usize, v: T) -> Result<(), T> {
+        let r = self.enqueue_tid_quiet(tid, v);
+        if r.is_ok() {
+            // The element is visible; wake any parked dequeuer (one load
+            // when nobody sleeps).
+            self.sync.notify_not_empty();
+        }
+        r
+    }
+
+    fn dequeue_tid(&self, tid: usize) -> Option<T> {
+        let v = self.dequeue_tid_quiet(tid)?;
+        // The slot is recycled; wake any parked enqueuer.
+        self.sync.notify_not_full();
+        Some(v)
+    }
+
     /// Raw batch enqueue under an explicit thread id; see
-    /// [`WcqHandle::enqueue_batch`] for semantics.
+    /// [`WcqHandle::enqueue_batch`] for semantics and [`Self::enqueue_raw`]
+    /// for why raw operations skip the parking-state ping.
     ///
     /// # Safety
     /// Same contract as [`Self::enqueue_raw`].
     pub unsafe fn enqueue_batch_raw(&self, tid: usize, items: &mut Vec<T>) -> usize {
-        self.enqueue_batch_tid(tid, items)
+        self.enqueue_batch_tid_quiet(tid, items)
     }
 
     /// Raw batch dequeue under an explicit thread id; see
@@ -147,10 +193,26 @@ impl<T> WcqQueue<T> {
     /// # Safety
     /// Same contract as [`Self::enqueue_raw`].
     pub unsafe fn dequeue_batch_raw(&self, tid: usize, out: &mut Vec<T>, max: usize) -> usize {
-        self.dequeue_batch_tid(tid, out, max)
+        self.dequeue_batch_tid_quiet(tid, out, max)
     }
 
     fn enqueue_batch_tid(&self, tid: usize, items: &mut Vec<T>) -> usize {
+        let n = self.enqueue_batch_tid_quiet(tid, items);
+        if n > 0 {
+            self.sync.notify_not_empty(); // whole batch visible: wake once
+        }
+        n
+    }
+
+    fn dequeue_batch_tid(&self, tid: usize, out: &mut Vec<T>, max: usize) -> usize {
+        let n = self.dequeue_batch_tid_quiet(tid, out, max);
+        if n > 0 {
+            self.sync.notify_not_full(); // slots recycled: wake once
+        }
+        n
+    }
+
+    fn enqueue_batch_tid_quiet(&self, tid: usize, items: &mut Vec<T>) -> usize {
         // Consume by iterator, not repeated front-drains: keeps the whole
         // batch O(len) while still leaving rejects behind in order.
         let mut it = std::mem::take(items).into_iter();
@@ -187,7 +249,7 @@ impl<T> WcqQueue<T> {
         total
     }
 
-    fn dequeue_batch_tid(&self, tid: usize, out: &mut Vec<T>, max: usize) -> usize {
+    fn dequeue_batch_tid_quiet(&self, tid: usize, out: &mut Vec<T>, max: usize) -> usize {
         let mut total = 0;
         let mut idxs = [0u64; BATCH_CHUNK];
         while total < max {
@@ -223,8 +285,9 @@ const BATCH_CHUNK: usize = 64;
 impl<T> Drop for WcqQueue<T> {
     fn drop(&mut self) {
         // Drain so remaining elements are dropped. tid 0 is safe here: we
-        // hold `&mut self`, no other thread can be active.
-        while self.dequeue_tid(0).is_some() {}
+        // hold `&mut self`, no other thread can be active (so no waiters
+        // to notify either — use the quiet path).
+        while self.dequeue_tid_quiet(0).is_some() {}
     }
 }
 
@@ -234,6 +297,23 @@ impl<T> Drop for WcqQueue<T> {
 /// take `&mut self`: exactly one thread can drive a given thread record at a
 /// time, which is the precondition of the helping protocol. Dropping the
 /// handle frees its slot for another thread.
+///
+/// Besides the wait-free [`enqueue`](Self::enqueue)/[`dequeue`](Self::dequeue)
+/// pair and the batch API, handles implement [`crate::sync::SyncQueue`],
+/// which adds blocking, timeout, and async variants that park on the
+/// empty/full edge instead of spinning.
+///
+/// # Example
+/// ```
+/// use wcq::WcqQueue;
+/// let q: WcqQueue<&str> = WcqQueue::new(4, 2);
+/// let mut h = q.register().unwrap();
+/// h.enqueue("a").unwrap();
+/// h.enqueue("b").unwrap();
+/// assert_eq!(h.dequeue(), Some("a"));
+/// assert_eq!(h.dequeue(), Some("b"));
+/// assert_eq!(h.dequeue(), None);
+/// ```
 pub struct WcqHandle<'q, T> {
     q: &'q WcqQueue<T>,
     tid: usize,
@@ -300,6 +380,24 @@ impl<'q, T> WcqHandle<'q, T> {
 impl<T> Drop for WcqHandle<'_, T> {
     fn drop(&mut self) {
         self.q.slots[self.tid].store(false, SeqCst);
+    }
+}
+
+/// Blocking/async facade: parks on the empty/full edge only; the wait-free
+/// spin operations above are the fast path (see [`crate::sync`]).
+impl<T> SyncQueue for WcqHandle<'_, T> {
+    type Item = T;
+
+    fn sync_state(&self) -> &SyncState {
+        &self.q.sync
+    }
+
+    fn try_enqueue(&mut self, v: T) -> Result<(), T> {
+        self.q.enqueue_tid(self.tid, v)
+    }
+
+    fn try_dequeue(&mut self) -> Option<T> {
+        self.q.dequeue_tid(self.tid)
     }
 }
 

@@ -9,8 +9,10 @@
 //! * [`workload`] — the paper's three workloads (§6): pairwise
 //!   enqueue–dequeue, 50%/50% random, and empty-queue dequeue, plus the
 //!   memory-test variant with tiny random inter-operation delays;
+//! * [`blocking`] — the burst workload for the blocking facade (parked vs
+//!   spinning consumers): wakeup-latency samples and a process CPU census;
 //! * [`stats`] — repetition, mean/stddev and the coefficient of variation
-//!   the paper reports (CoV < 0.01);
+//!   the paper reports (CoV < 0.01), plus latency percentiles;
 //! * [`alloc`] — a counting global allocator for the Fig. 10a memory census;
 //! * [`pin`] — best-effort thread pinning (`sched_setaffinity`);
 //! * [`model`] — a sequential reference model and MPMC delivery checkers
@@ -19,6 +21,7 @@
 #![warn(missing_docs)]
 
 pub mod alloc;
+pub mod blocking;
 pub mod model;
 pub mod pin;
 pub mod queues;

@@ -53,6 +53,54 @@ pub fn fmt_mb(bytes: usize) -> String {
     format!("{:.2}", bytes as f64 / (1024.0 * 1024.0))
 }
 
+/// Latency distribution summary (nanosecond samples) for the wakeup-latency
+/// measurements of the blocking facade: unlike throughput, wakeup latency is
+/// long-tailed (a parked consumer pays the scheduler), so the tail
+/// percentiles carry the signal the mean hides.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LatencyStats {
+    /// Number of samples.
+    pub n: usize,
+    /// Arithmetic mean, ns.
+    pub mean_ns: f64,
+    /// Median, ns.
+    pub p50_ns: u64,
+    /// 99th percentile, ns.
+    pub p99_ns: u64,
+    /// Maximum, ns.
+    pub max_ns: u64,
+}
+
+impl LatencyStats {
+    /// Summarizes `samples` (consumed: sorted in place).
+    pub fn from_ns_samples(mut samples: Vec<u64>) -> LatencyStats {
+        if samples.is_empty() {
+            return LatencyStats::default();
+        }
+        samples.sort_unstable();
+        let n = samples.len();
+        let pct = |p: f64| samples[((n - 1) as f64 * p) as usize];
+        LatencyStats {
+            n,
+            mean_ns: samples.iter().map(|&s| s as f64).sum::<f64>() / n as f64,
+            p50_ns: pct(0.50),
+            p99_ns: pct(0.99),
+            max_ns: samples[n - 1],
+        }
+    }
+}
+
+/// Formats nanoseconds with an adaptive unit (`ns`/`µs`/`ms`).
+pub fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.0}ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.1}µs", ns / 1_000.0)
+    } else {
+        format!("{:.2}ms", ns / 1_000_000.0)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -87,5 +135,25 @@ mod tests {
     fn mb_formatting() {
         assert_eq!(fmt_mb(1024 * 1024), "1.00");
         assert_eq!(fmt_mb(1536 * 1024), "1.50");
+    }
+
+    #[test]
+    fn latency_percentiles() {
+        let s = LatencyStats::from_ns_samples((1..=100).collect());
+        assert_eq!(s.n, 100);
+        assert!((s.mean_ns - 50.5).abs() < 1e-9);
+        assert_eq!(s.p50_ns, 50);
+        assert_eq!(s.p99_ns, 99);
+        assert_eq!(s.max_ns, 100);
+        let empty = LatencyStats::from_ns_samples(Vec::new());
+        assert_eq!(empty.n, 0);
+        assert_eq!(empty.max_ns, 0);
+    }
+
+    #[test]
+    fn ns_formatting_units() {
+        assert_eq!(fmt_ns(500.0), "500ns");
+        assert_eq!(fmt_ns(1_500.0), "1.5µs");
+        assert_eq!(fmt_ns(2_500_000.0), "2.50ms");
     }
 }

@@ -1,0 +1,114 @@
+//! Async producer/consumer pipeline over the wCQ facade.
+//!
+//! ```text
+//! cargo run --release --example async_pipeline
+//! ```
+//!
+//! `wcq::sync` exposes `enqueue_async`/`dequeue_async` futures that
+//! register the task's waker on the queue's eventcount instead of parking
+//! a thread, so the queues drop into any async runtime. This example needs
+//! no external executor: each stage drives its futures with the vendored
+//! single-future `block_on`, which is the whole waker contract the futures
+//! rely on — a real executor only adds scheduling on top.
+//!
+//! Shape: N async producers feed an unbounded wCQ; one async aggregator
+//! consumes it, batches per-key counts, and forwards summaries through a
+//! *bounded* 16-slot queue (so the aggregator sees backpressure as pending
+//! `enqueue_async` futures) to an async sink.
+
+use wcq::sync::{block_on, RecvError, SyncQueue};
+use wcq::{UnboundedWcq, WcqQueue};
+
+const PRODUCERS: usize = 3;
+const ITEMS_PER_PRODUCER: u64 = 100_000;
+const KEYS: u64 = 16;
+const SUMMARY_EVERY: u64 = 4096;
+
+fn main() {
+    let events: UnboundedWcq<u64> = UnboundedWcq::new(10, PRODUCERS + 1);
+    let summaries: WcqQueue<(u64, u64)> = WcqQueue::new(4, 2); // 16 slots
+
+    let t0 = std::time::Instant::now();
+    let grand_total = std::thread::scope(|s| {
+        let producers: Vec<_> = (0..PRODUCERS as u64)
+            .map(|p| {
+                let events = &events;
+                s.spawn(move || {
+                    let mut h = events.register().expect("producer slot");
+                    block_on(async move {
+                        for i in 0..ITEMS_PER_PRODUCER {
+                            // Unbounded enqueue never waits: the future is
+                            // always immediately ready.
+                            h.enqueue_async((p << 32) | (i % KEYS)).await.unwrap();
+                        }
+                    });
+                })
+            })
+            .collect();
+        let events = &events;
+        let summaries = &summaries;
+        let aggregator = s.spawn(move || {
+            let mut rx = events.register().expect("aggregator slot");
+            let mut tx = summaries.register().expect("summary slot");
+            block_on(async move {
+                let mut counts = [0u64; KEYS as usize];
+                let mut seen = 0u64;
+                loop {
+                    match rx.dequeue_async().await {
+                        Ok(v) => {
+                            counts[(v & 0xffff_ffff) as usize % KEYS as usize] += 1;
+                            seen += 1;
+                            if seen.is_multiple_of(SUMMARY_EVERY) {
+                                for (k, c) in counts.iter_mut().enumerate() {
+                                    if *c > 0 {
+                                        // Bounded queue: parks the *task*
+                                        // (Pending) while full.
+                                        tx.enqueue_async((k as u64, *c)).await.unwrap();
+                                        *c = 0;
+                                    }
+                                }
+                            }
+                        }
+                        Err(RecvError::Closed) => break,
+                        Err(RecvError::Timeout) => unreachable!("no deadline"),
+                    }
+                }
+                // Flush the remainder, then close the summary stream.
+                for (k, c) in counts.iter().enumerate() {
+                    if *c > 0 {
+                        tx.enqueue_async((k as u64, *c)).await.unwrap();
+                    }
+                }
+                summaries.close();
+            });
+        });
+        let sink = s.spawn(move || {
+            let mut rx = summaries.register().expect("sink slot");
+            block_on(async move {
+                let mut total = 0u64;
+                loop {
+                    match rx.dequeue_async().await {
+                        Ok((_key, count)) => total += count,
+                        Err(RecvError::Closed) => break total,
+                        Err(RecvError::Timeout) => unreachable!("no deadline"),
+                    }
+                }
+            })
+        });
+        // Close the event stream only after every producer finished; the
+        // aggregator then drains the backlog and closes the summaries.
+        for p in producers {
+            p.join().unwrap();
+        }
+        events.close();
+        aggregator.join().unwrap();
+        sink.join().unwrap()
+    });
+
+    let expect = PRODUCERS as u64 * ITEMS_PER_PRODUCER;
+    println!(
+        "async pipeline aggregated {grand_total} events from {PRODUCERS} producers in {:?}",
+        t0.elapsed()
+    );
+    assert_eq!(grand_total, expect, "every event must be counted exactly once");
+}

@@ -7,91 +7,78 @@
 //! The paper's introduction motivates wCQ with language runtimes: "Go needs
 //! a queue for its buffered channel implementation". This example builds a
 //! minimal `chan T`-alike — bounded buffer, blocking send/recv, close
-//! semantics — where the buffer is a wait-free `WcqQueue`, so a preempted
-//! peer can never wedge the queue itself; only the channel layer's honest
-//! blocking remains.
+//! semantics — where the buffer is a wait-free `WcqQueue` and the blocking
+//! comes from the queue's own eventcount facade (`wcq::sync`, DESIGN.md
+//! §9): senders park while the buffer is full, receivers while it is empty
+//! and open, and `close` wakes everyone. Earlier revisions hand-rolled this
+//! with `yield_now` spin loops; the facade replaces them with honest
+//! parking while the queue underneath stays wait-free — a preempted peer
+//! can still never wedge the queue itself.
 //!
 //! A three-stage pipeline (generator → worker pool → sink) moves a million
 //! items through two channels.
 
-use std::sync::atomic::{AtomicBool, Ordering::SeqCst};
+use wcq::sync::{RecvError, SendError, SyncQueue};
 use wcq::WcqQueue;
 
-/// A bounded, closable MPMC channel. `send` blocks while full, `recv`
-/// blocks while empty-and-open (both yield-based — the queue underneath
-/// never blocks).
+/// A bounded, closable MPMC channel: a thin veneer over [`WcqQueue`]'s
+/// blocking facade mapping Go's semantics (`send` on closed panics, `recv`
+/// on closed-and-drained returns `None`).
 struct Channel<T> {
     buf: WcqQueue<T>,
-    closed: AtomicBool,
 }
 
 impl<T: Send> Channel<T> {
     fn new(order: u32, max_threads: usize) -> Self {
         Channel {
             buf: WcqQueue::new(order, max_threads),
-            closed: AtomicBool::new(false),
         }
     }
 
     fn sender(&self) -> Sender<'_, T> {
         Sender {
-            ch: self,
             h: self.buf.register().expect("thread slot"),
         }
     }
 
     fn receiver(&self) -> Receiver<'_, T> {
         Receiver {
-            ch: self,
             h: self.buf.register().expect("thread slot"),
         }
     }
 
     fn close(&self) {
-        self.closed.store(true, SeqCst);
+        self.buf.close();
     }
 }
 
 struct Sender<'c, T> {
-    ch: &'c Channel<T>,
     h: wcq::WcqHandle<'c, T>,
 }
 
 impl<T: Send> Sender<'_, T> {
-    /// Blocks (yielding) while the buffer is full.
+    /// Parks while the buffer is full — `ch <- v`.
     fn send(&mut self, v: T) {
-        let mut v = v;
-        loop {
-            assert!(!self.ch.closed.load(SeqCst), "send on closed channel");
-            match self.h.enqueue(v) {
-                Ok(()) => return,
-                Err(back) => {
-                    v = back;
-                    std::thread::yield_now();
-                }
-            }
+        match self.h.enqueue_blocking(v) {
+            Ok(()) => {}
+            Err(SendError::Closed(_)) => panic!("send on closed channel"),
+            Err(SendError::Timeout(_)) => unreachable!("no deadline"),
         }
     }
 }
 
 struct Receiver<'c, T> {
-    ch: &'c Channel<T>,
     h: wcq::WcqHandle<'c, T>,
 }
 
 impl<T: Send> Receiver<'_, T> {
-    /// Blocks (yielding) while empty; returns `None` once the channel is
-    /// closed *and* drained — Go's `v, ok := <-ch`.
+    /// Parks while empty; returns `None` once the channel is closed *and*
+    /// drained — Go's `v, ok := <-ch`.
     fn recv(&mut self) -> Option<T> {
-        loop {
-            if let Some(v) = self.h.dequeue() {
-                return Some(v);
-            }
-            if self.ch.closed.load(SeqCst) {
-                // Drain race: check once more after observing the close.
-                return self.h.dequeue();
-            }
-            std::thread::yield_now();
+        match self.h.dequeue_blocking() {
+            Ok(v) => Some(v),
+            Err(RecvError::Closed) => None,
+            Err(RecvError::Timeout) => unreachable!("no deadline"),
         }
     }
 }

@@ -1,0 +1,386 @@
+//! Stress suite for the blocking/async facade (`wcq::sync`, DESIGN.md §9).
+//!
+//! The claims under test, at 4× core oversubscription (the regime the
+//! facade exists for — parked threads give their quantum away, preempted
+//! notifiers must still not lose wakeups):
+//!
+//! * **No lost wakeups**: every element a producer blocks in is delivered
+//!   exactly once to a blocking consumer, across full *and* empty edges,
+//!   for all three queue families behind the facade.
+//! * **Shutdown drains cleanly**: `close` wakes every parked thread;
+//!   producers get their values back, consumers drain the backlog before
+//!   seeing `Closed`.
+//! * **Timeouts are element-conserving**: a timed-out enqueue returns the
+//!   value, a timed-out dequeue leaves the queue intact — the global count
+//!   balances exactly.
+
+use std::future::Future;
+use std::sync::atomic::{AtomicU64, Ordering::SeqCst};
+use std::time::Duration;
+use wcq::sync::{block_on, RecvError, SendError, SyncQueue};
+use wcq::{ShardedWcq, UnboundedWcq, WcqQueue};
+
+/// 4× the host's cores, at least 4, split evenly between the two roles.
+fn oversubscribed_split() -> (usize, usize) {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let workers = (4 * cores).max(4);
+    (workers / 2, workers - workers / 2)
+}
+
+/// Exact-delivery blocking stress shared by the three queue families: all
+/// producers `enqueue_blocking` tagged values, consumers `dequeue_blocking`
+/// until `Closed`, and the result must be the exact multiset in
+/// per-producer FIFO order (each family preserves it per consumer).
+macro_rules! blocking_stress_test {
+    ($name:ident, $mk:expr) => {
+        #[test]
+        fn $name() {
+            let (producers, consumers) = oversubscribed_split();
+            let per: u64 = 30_000;
+            let q = $mk(producers + consumers);
+            let delivered = AtomicU64::new(0);
+            std::thread::scope(|s| {
+                let q = &q;
+                let handles: Vec<_> = (0..producers as u64)
+                    .map(|p| {
+                        s.spawn(move || {
+                            let mut h = q.register().expect("producer slot");
+                            for i in 0..per {
+                                h.enqueue_blocking((p << 32) | i)
+                                    .expect("queue closed under producer");
+                            }
+                        })
+                    })
+                    .collect();
+                for _ in 0..consumers {
+                    let delivered = &delivered;
+                    s.spawn(move || {
+                        let mut h = q.register().expect("consumer slot");
+                        // Per-producer FIFO: sequence numbers from any one
+                        // producer must arrive in order at this consumer.
+                        let mut last = vec![None::<u64>; producers];
+                        let mut n = 0u64;
+                        loop {
+                            match h.dequeue_blocking() {
+                                Ok(v) => {
+                                    let (p, i) = ((v >> 32) as usize, v & 0xffff_ffff);
+                                    if let Some(prev) = last[p] {
+                                        assert!(i > prev, "per-producer FIFO violated");
+                                    }
+                                    last[p] = Some(i);
+                                    n += 1;
+                                }
+                                Err(RecvError::Closed) => break,
+                                Err(RecvError::Timeout) => unreachable!("no deadline"),
+                            }
+                        }
+                        delivered.fetch_add(n, SeqCst);
+                    });
+                }
+                for h in handles {
+                    h.join().unwrap();
+                }
+                q.close(); // wakes the consumers once the backlog drains
+            });
+            assert_eq!(
+                delivered.load(SeqCst),
+                producers as u64 * per,
+                "lost or duplicated elements (lost wakeup?)"
+            );
+        }
+    };
+}
+
+// Tiny capacities relative to the in-flight volume, so both the full edge
+// (producers park) and the empty edge (consumers park) cycle constantly.
+blocking_stress_test!(
+    wcq_no_lost_wakeups_4x_oversubscribed,
+    |threads| WcqQueue::<u64>::new(6, threads)
+);
+blocking_stress_test!(
+    sharded_no_lost_wakeups_4x_oversubscribed,
+    |threads| ShardedWcq::<u64>::new(2, 5, threads)
+);
+blocking_stress_test!(
+    unbounded_no_lost_wakeups_4x_oversubscribed,
+    |threads| UnboundedWcq::<u64>::new(4, threads)
+);
+
+/// Spin producers (plain wait-free `enqueue`) must still wake blocking
+/// consumers: the notify hook rides the plain path, not just the facade.
+#[test]
+fn spin_producer_wakes_blocking_consumer() {
+    let q: WcqQueue<u64> = WcqQueue::new(6, 4);
+    let delivered = AtomicU64::new(0);
+    const PER: u64 = 20_000;
+    std::thread::scope(|s| {
+        let q = &q;
+        for _ in 0..2 {
+            let delivered = &delivered;
+            s.spawn(move || {
+                let mut h = q.register().unwrap();
+                let mut n = 0u64;
+                loop {
+                    match h.dequeue_blocking() {
+                        Ok(_) => n += 1,
+                        Err(RecvError::Closed) => break,
+                        Err(RecvError::Timeout) => unreachable!(),
+                    }
+                }
+                delivered.fetch_add(n, SeqCst);
+            });
+        }
+        let producer = s.spawn(move || {
+            let mut h = q.register().unwrap();
+            for i in 0..PER {
+                let mut v = i;
+                // The spin API: retry on full, never park.
+                while let Err(back) = h.enqueue(v) {
+                    v = back;
+                    std::thread::yield_now();
+                }
+            }
+        });
+        producer.join().unwrap();
+        q.close();
+    });
+    assert_eq!(delivered.load(SeqCst), PER);
+}
+
+/// `close` must wake producers parked on a full queue and hand their
+/// values back; nothing in flight may be lost.
+#[test]
+fn shutdown_returns_values_to_blocked_producers() {
+    let q: WcqQueue<u64> = WcqQueue::new(2, 3); // 4 slots
+    let accepted = AtomicU64::new(0);
+    let returned = AtomicU64::new(0);
+    const ATTEMPTS: u64 = 100;
+    std::thread::scope(|s| {
+        let q = &q;
+        for p in 0..2u64 {
+            let accepted = &accepted;
+            let returned = &returned;
+            s.spawn(move || {
+                let mut h = q.register().unwrap();
+                for i in 0..ATTEMPTS {
+                    match h.enqueue_blocking((p << 32) | i) {
+                        Ok(()) => {
+                            accepted.fetch_add(1, SeqCst);
+                        }
+                        Err(SendError::Closed(v)) => {
+                            assert_eq!(v, (p << 32) | i, "wrong value handed back");
+                            returned.fetch_add(1, SeqCst);
+                        }
+                        Err(SendError::Timeout(_)) => unreachable!("no deadline"),
+                    }
+                }
+            });
+        }
+        // Wait until both producers are parked on the full queue, then pull
+        // the plug.
+        while q.sync_state().not_full().waiters() < 2 {
+            std::thread::yield_now();
+        }
+        q.close();
+    });
+    assert_eq!(
+        accepted.load(SeqCst) + returned.load(SeqCst),
+        2 * ATTEMPTS,
+        "every attempt must either enqueue or come back"
+    );
+    // Everything accepted is still in the queue (spin API ignores close).
+    let mut h = q.register().unwrap();
+    let mut drained = 0;
+    while h.dequeue().is_some() {
+        drained += 1;
+    }
+    assert_eq!(drained, accepted.load(SeqCst), "accepted values retained");
+}
+
+/// Consumers parked on an empty queue must wake on `close` and report
+/// `Closed` — after draining any backlog that raced in.
+#[test]
+fn shutdown_wakes_parked_consumers_after_drain() {
+    let q: WcqQueue<u64> = WcqQueue::new(4, 3);
+    std::thread::scope(|s| {
+        let q = &q;
+        let consumers: Vec<_> = (0..2)
+            .map(|_| {
+                s.spawn(move || {
+                    let mut h = q.register().unwrap();
+                    let mut got = Vec::new();
+                    loop {
+                        match h.dequeue_blocking() {
+                            Ok(v) => got.push(v),
+                            Err(RecvError::Closed) => break,
+                            Err(RecvError::Timeout) => unreachable!(),
+                        }
+                    }
+                    got
+                })
+            })
+            .collect();
+        while q.sync_state().not_empty().waiters() < 2 {
+            std::thread::yield_now();
+        }
+        // Land a backlog *before* the close: it must all be delivered.
+        let mut h = q.register().unwrap();
+        for i in 0..8 {
+            h.enqueue(i).unwrap();
+        }
+        q.close();
+        let got: Vec<u64> = consumers
+            .into_iter()
+            .flat_map(|c| c.join().unwrap())
+            .collect();
+        assert_eq!(got.len(), 8, "backlog must drain before Closed");
+    });
+}
+
+/// Concurrent timeout churn balances exactly: successful enqueues equal
+/// successful dequeues plus what is left in the queue, and every timed-out
+/// enqueue handed its value back.
+#[test]
+fn timeouts_are_element_conserving() {
+    let q: WcqQueue<u64> = WcqQueue::new(3, 4); // 8 slots: both edges hit
+    let enq_ok = AtomicU64::new(0);
+    let deq_ok = AtomicU64::new(0);
+    std::thread::scope(|s| {
+        let q = &q;
+        for p in 0..2u64 {
+            let enq_ok = &enq_ok;
+            s.spawn(move || {
+                let mut h = q.register().unwrap();
+                for i in 0..4_000u64 {
+                    match h.enqueue_timeout((p << 32) | i, Duration::from_micros(50)) {
+                        Ok(()) => {
+                            enq_ok.fetch_add(1, SeqCst);
+                        }
+                        Err(SendError::Timeout(v)) => {
+                            assert_eq!(v, (p << 32) | i, "timeout must return the value");
+                        }
+                        Err(SendError::Closed(_)) => unreachable!("never closed"),
+                    }
+                }
+            });
+        }
+        for _ in 0..2 {
+            let deq_ok = &deq_ok;
+            s.spawn(move || {
+                let mut h = q.register().unwrap();
+                let mut idle = 0;
+                while idle < 200 {
+                    match h.dequeue_timeout(Duration::from_micros(50)) {
+                        Ok(_) => {
+                            deq_ok.fetch_add(1, SeqCst);
+                            idle = 0;
+                        }
+                        Err(RecvError::Timeout) => idle += 1,
+                        Err(RecvError::Closed) => unreachable!("never closed"),
+                    }
+                }
+            });
+        }
+    });
+    let mut h = q.register().unwrap();
+    let mut leftover = 0;
+    while h.dequeue().is_some() {
+        leftover += 1;
+    }
+    assert_eq!(
+        enq_ok.load(SeqCst),
+        deq_ok.load(SeqCst) + leftover,
+        "timeout paths leaked or duplicated elements"
+    );
+}
+
+/// The async facade under thread parallelism: every future-driven element
+/// is delivered exactly once, with bounded-queue backpressure (pending
+/// enqueue futures) in the loop.
+#[test]
+fn async_exact_delivery_with_backpressure() {
+    let q: WcqQueue<u64> = WcqQueue::new(3, 4); // 8 slots
+    let delivered = AtomicU64::new(0);
+    const PER: u64 = 10_000;
+    std::thread::scope(|s| {
+        let q = &q;
+        let producers: Vec<_> = (0..2u64)
+            .map(|p| {
+                s.spawn(move || {
+                    let mut h = q.register().unwrap();
+                    block_on(async move {
+                        for i in 0..PER {
+                            h.enqueue_async((p << 32) | i).await.expect("not closed");
+                        }
+                    });
+                })
+            })
+            .collect();
+        for _ in 0..2 {
+            let delivered = &delivered;
+            s.spawn(move || {
+                let mut h = q.register().unwrap();
+                block_on(async move {
+                    let mut last = [None::<u64>; 2];
+                    loop {
+                        match h.dequeue_async().await {
+                            Ok(v) => {
+                                let (p, i) = ((v >> 32) as usize, v & 0xffff_ffff);
+                                if let Some(prev) = last[p] {
+                                    assert!(i > prev, "per-producer FIFO violated");
+                                }
+                                last[p] = Some(i);
+                                delivered.fetch_add(1, SeqCst);
+                            }
+                            Err(RecvError::Closed) => break,
+                            Err(RecvError::Timeout) => unreachable!(),
+                        }
+                    }
+                });
+            });
+        }
+        for p in producers {
+            p.join().unwrap();
+        }
+        q.close(); // consumers drain the backlog, then exit on Closed
+    });
+    assert_eq!(delivered.load(SeqCst), 2 * PER);
+}
+
+/// A dropped pending future must deregister its waker: later traffic may
+/// not wake a dead task, and the waiter list may not grow.
+#[test]
+fn dropped_future_leaves_no_stale_waiter() {
+    let q: WcqQueue<u64> = WcqQueue::new(4, 2);
+    let mut h = q.register().unwrap();
+    {
+        let fut = h.dequeue_async();
+        // Poll once manually so the future registers, then drop it.
+        let waker = futures_noop_waker();
+        let mut cx = std::task::Context::from_waker(&waker);
+        let mut fut = std::pin::pin!(fut);
+        assert!(fut.as_mut().poll(&mut cx).is_pending());
+        assert_eq!(q.sync_state().not_empty().waiters(), 1);
+    } // dropped here
+    assert_eq!(
+        q.sync_state().not_empty().waiters(),
+        0,
+        "dropped future must deregister"
+    );
+    // And the queue still works.
+    h.enqueue(5).unwrap();
+    assert_eq!(h.dequeue_blocking(), Ok(5));
+}
+
+/// A no-op waker for driving futures manually in tests.
+fn futures_noop_waker() -> std::task::Waker {
+    use std::sync::Arc;
+    use std::task::Wake;
+    struct Noop;
+    impl Wake for Noop {
+        fn wake(self: Arc<Self>) {}
+    }
+    std::task::Waker::from(Arc::new(Noop))
+}

@@ -5,6 +5,8 @@
 
 use harness::model::SeqModel;
 use proptest::prelude::*;
+use std::time::Duration;
+use wcq::sync::{RecvError, SendError, SyncQueue};
 
 #[derive(Clone, Debug)]
 enum Op {
@@ -274,6 +276,43 @@ proptest! {
         }
         prop_assert_eq!(balance, drained, "lost or duplicated values");
         prop_assert!(oracle.iter().all(|d| d.is_empty()));
+    }
+
+    #[test]
+    fn wcq_zero_timeout_facade_matches_model(ops in ops(400), order in 2u32..7) {
+        // Single-threaded, a zero deadline makes the blocking facade a
+        // pure try-op with the full registration/cancel machinery in the
+        // loop: enqueue_timeout(v, 0) must agree with the oracle's full
+        // answer (returning the value), dequeue_timeout(0) with its empty
+        // answer — the sequential half of the element-conservation claim.
+        let q: wcq::WcqQueue<u64> = wcq::WcqQueue::new(order, 1);
+        let mut h = q.register().unwrap();
+        let mut model = SeqModel::bounded(1 << order);
+        for op in ops {
+            match op {
+                Op::Enq(v) => {
+                    let got = h.enqueue_timeout(v, Duration::ZERO);
+                    if model.enqueue(v) {
+                        prop_assert_eq!(got, Ok(()));
+                    } else {
+                        prop_assert_eq!(got, Err(SendError::Timeout(v)),
+                            "full must time out and conserve the value");
+                    }
+                }
+                Op::Deq => {
+                    match h.dequeue_timeout(Duration::ZERO) {
+                        Ok(v) => prop_assert_eq!(Some(v), model.dequeue()),
+                        Err(e) => {
+                            prop_assert_eq!(e, RecvError::Timeout, "open queue: only Timeout");
+                            prop_assert_eq!(model.dequeue(), None, "timed out with data present");
+                        }
+                    }
+                }
+            }
+        }
+        // No waiter bookkeeping may survive the op string.
+        prop_assert_eq!(q.sync_state().not_empty().waiters(), 0);
+        prop_assert_eq!(q.sync_state().not_full().waiters(), 0);
     }
 
     #[test]

@@ -16,6 +16,10 @@ pub type pid_t = i32;
 /// `sysconf` selector for the system page size (Linux value).
 pub const _SC_PAGESIZE: c_int = 30;
 
+/// `sysconf` selector for clock ticks per second (Linux value) — the unit
+/// of the `utime`/`stime` fields in `/proc/<pid>/stat`.
+pub const _SC_CLK_TCK: c_int = 2;
+
 const CPU_SETSIZE: usize = 1024;
 const BITS_PER_WORD: usize = 64;
 
