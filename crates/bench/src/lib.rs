@@ -18,7 +18,8 @@
 #![warn(missing_docs)]
 
 use harness::queues::{
-    CcBench, CrTurnBench, FaaBench, LcrqBench, MsBench, QueueSpec, ScqBench, WcqBench, YmcBench,
+    CcBench, ChannelBench, CrTurnBench, FaaBench, LcrqBench, MsBench, QueueSpec, ScqBench,
+    WcqBench, YmcBench,
 };
 use harness::stats::Stats;
 use harness::workload::{repeat, Workload, WorkloadCfg};
@@ -188,6 +189,7 @@ fn run_one(
         "CRTurn" => measure(&CrTurnBench::new(spec), wl, threads, opts),
         "MSQueue" => measure(&MsBench::new(spec), wl, threads, opts),
         "LCRQ" => measure(&LcrqBench::new(spec), wl, threads, opts),
+        "wCQ-channel" => measure(&ChannelBench::new(spec), wl, threads, opts),
         other => panic!("unknown queue {other}"),
     };
     let mem = if census {

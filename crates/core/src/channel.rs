@@ -1,0 +1,575 @@
+//! Owned, cloneable channel endpoints over the queue stack (DESIGN.md §10).
+//!
+//! The per-thread handles ([`crate::WcqHandle`] & co.) are deliberately
+//! minimal: they borrow the queue, pin one thread record, and expose the
+//! raw wait-free surface. That shape traps every consumer inside
+//! `std::thread::scope`. This module is the production face of the stack —
+//! `Arc`-owned queues behind cloneable [`Sender`]/[`Receiver`] endpoints
+//! that move freely into `std::thread::spawn` closures and `'static`
+//! futures, with two pieces of lifecycle automation the raw handles leave
+//! to the caller:
+//!
+//! * **Lazy thread-slot acquisition.** Cloning an endpoint costs nothing:
+//!   a clone holds no thread slot until its first operation, which
+//!   registers an owned handle ([`crate::WcqQueue::register_owned`] & co.)
+//!   cached inside the endpoint for its lifetime. Dropping the endpoint
+//!   quiesces and releases the slot (the `Drop` protocol in
+//!   `wcq/queue.rs`). At most `max_threads` endpoints can therefore be
+//!   *operating* concurrently; an operation on an endpoint beyond that
+//!   waits until another endpoint drops — see [`bounded`].
+//! * **Refcount-driven close.** The channel counts live senders and
+//!   receivers. When the last [`Sender`] drops, the queue closes:
+//!   receivers drain the backlog and then see [`RecvError::Closed`]. When
+//!   the last [`Receiver`] drops, senders see [`SendError::Closed`] (and
+//!   [`TrySendError::Closed`]) — no element can be silently parked against
+//!   a queue nobody will ever read. Explicit `close()` calls are never
+//!   needed; pipelines shut down by dropping endpoints.
+//!
+//! Three constructors pick the backend; the endpoint types are identical:
+//!
+//! | Constructor | Backend | Full behavior |
+//! |---|---|---|
+//! | [`bounded`] | [`crate::WcqQueue`] (wait-free, bounded) | `send` parks / `try_send` returns [`TrySendError::Full`] |
+//! | [`sharded`] | [`crate::ShardedWcq`] (per-shard FIFO) | as above, per affinity shard |
+//! | [`unbounded`] | [`crate::UnboundedWcq`] (list of rings) | `send` never blocks on capacity |
+//!
+//! Every endpoint forwards the full facade surface: spinning `try_*`,
+//! parking `send`/`recv`, deadline variants, `Future`-returning
+//! `send_async`/`recv_async`, and the batch operations.
+//!
+//! # Example
+//!
+//! ```
+//! use wcq::channel;
+//!
+//! let (tx, mut rx) = channel::bounded::<u64>(6, 4);
+//! let producers: Vec<_> = (0..2)
+//!     .map(|p| {
+//!         let mut tx = tx.clone(); // no slot taken until first send
+//!         std::thread::spawn(move || {
+//!             for i in 0..100 {
+//!                 tx.send(p * 100 + i).unwrap();
+//!             }
+//!         })
+//!     })
+//!     .collect();
+//! drop(tx); // the producers' clones keep the channel open
+//! let mut got = 0;
+//! while rx.recv().is_ok() {
+//!     got += 1; // drains until the last producer clone drops
+//! }
+//! for t in producers {
+//!     t.join().unwrap();
+//! }
+//! assert_eq!(got, 200);
+//! ```
+
+use crate::shard::OwnedShardedHandle;
+use crate::sync::{
+    DequeueFuture, EnqueueFuture, RecvError, SendError, SyncQueue, SyncState,
+};
+use crate::unbounded::{OwnedUnboundedHandle, WcqInner};
+use crate::wcq::queue::OwnedWcqHandle;
+use crate::{ShardedWcq, UnboundedWcq, WcqConfig, WcqQueue};
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::atomic::{AtomicUsize, Ordering::SeqCst};
+use std::sync::Arc;
+use std::task::{Context, Poll};
+use std::time::Duration;
+
+// ===================================================================
+// Constructors
+// ===================================================================
+
+/// Creates a bounded channel over a [`WcqQueue`] with `2^order` slots and
+/// room for `max_threads` concurrently *operating* endpoints.
+///
+/// `max_threads` bounds live thread slots, not clones: endpoints register
+/// lazily on first use and release on drop, so any number of idle clones
+/// is free. An operation that needs a slot while all `max_threads` are
+/// taken **waits** (yielding) until another endpoint drops — size
+/// `max_threads` to the peak number of threads concurrently touching the
+/// channel. Undersizing it is not detected: if `max_threads` endpoints
+/// are held live and never dropped, a further endpoint's first operation
+/// waits forever. `max_threads` must be at least 1 (and at most
+/// `2^order`, the paper's `k <= n` assumption); violations panic here,
+/// at construction.
+pub fn bounded<T: Send>(order: u32, max_threads: usize) -> (Sender<T>, Receiver<T>) {
+    bounded_with_config(order, max_threads, &WcqConfig::default())
+}
+
+/// [`bounded`] with explicit ring tuning knobs.
+pub fn bounded_with_config<T: Send>(
+    order: u32,
+    max_threads: usize,
+    cfg: &WcqConfig,
+) -> (Sender<T>, Receiver<T>) {
+    endpoints(Backend::Bounded(Arc::new(WcqQueue::with_config(
+        order,
+        max_threads,
+        cfg,
+    ))))
+}
+
+/// Creates a bounded channel over a [`ShardedWcq`]: `shards` sub-queues
+/// (a power of two) of `2^order` slots each. Senders keep per-sender FIFO
+/// within their affinity shard; cross-sender ordering is relaxed exactly
+/// as documented on [`ShardedWcq`].
+pub fn sharded<T: Send>(
+    shards: usize,
+    order: u32,
+    max_threads: usize,
+) -> (Sender<T>, Receiver<T>) {
+    sharded_with_config(shards, order, max_threads, &WcqConfig::default())
+}
+
+/// [`sharded`] with explicit ring tuning knobs.
+pub fn sharded_with_config<T: Send>(
+    shards: usize,
+    order: u32,
+    max_threads: usize,
+    cfg: &WcqConfig,
+) -> (Sender<T>, Receiver<T>) {
+    endpoints(Backend::Sharded(Arc::new(ShardedWcq::with_config(
+        shards,
+        order,
+        max_threads,
+        cfg,
+    ))))
+}
+
+/// Creates an unbounded channel over a [`UnboundedWcq`] whose list nodes
+/// hold `2^node_order` slots each. `send` never blocks on capacity (the
+/// list grows); it fails only once every receiver is gone.
+pub fn unbounded<T: Send>(node_order: u32, max_threads: usize) -> (Sender<T>, Receiver<T>) {
+    unbounded_with_config(node_order, max_threads, &WcqConfig::default())
+}
+
+/// [`unbounded`] with explicit ring tuning knobs.
+pub fn unbounded_with_config<T: Send>(
+    node_order: u32,
+    max_threads: usize,
+    cfg: &WcqConfig,
+) -> (Sender<T>, Receiver<T>) {
+    endpoints(Backend::Unbounded(Arc::new(UnboundedWcq::with_config(
+        node_order,
+        max_threads,
+        cfg,
+    ))))
+}
+
+fn endpoints<T: Send>(backend: Backend<T>) -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        backend,
+        senders: AtomicUsize::new(1),
+        receivers: AtomicUsize::new(1),
+    });
+    (
+        Sender {
+            shared: Arc::clone(&shared),
+            cache: None,
+        },
+        Receiver {
+            shared,
+            cache: None,
+        },
+    )
+}
+
+// ===================================================================
+// Errors
+// ===================================================================
+
+/// Why [`Sender::try_send`] did not take the value. Both variants hand the
+/// value back — the channel never drops an element.
+#[derive(Debug, PartialEq, Eq)]
+pub enum TrySendError<T> {
+    /// The queue was observed full (bounded backends only).
+    Full(T),
+    /// Every [`Receiver`] has been dropped (or the backlog side closed).
+    Closed(T),
+}
+
+impl<T> TrySendError<T> {
+    /// Recovers the value that was not sent.
+    pub fn into_inner(self) -> T {
+        match self {
+            TrySendError::Full(v) | TrySendError::Closed(v) => v,
+        }
+    }
+}
+
+impl<T> std::fmt::Display for TrySendError<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrySendError::Full(_) => write!(f, "channel full"),
+            TrySendError::Closed(_) => write!(f, "channel closed (no receivers)"),
+        }
+    }
+}
+
+impl<T: std::fmt::Debug> std::error::Error for TrySendError<T> {}
+
+/// Why [`Receiver::try_recv`] returned no value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// The channel was observed empty but senders remain.
+    Empty,
+    /// Every [`Sender`] has been dropped **and** the backlog is drained.
+    Closed,
+}
+
+impl std::fmt::Display for TryRecvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TryRecvError::Empty => write!(f, "channel empty"),
+            TryRecvError::Closed => write!(f, "channel closed and drained"),
+        }
+    }
+}
+
+impl std::error::Error for TryRecvError {}
+
+// ===================================================================
+// Shared state
+// ===================================================================
+
+/// The `Arc`-owned queue behind a channel.
+enum Backend<T: Send> {
+    Bounded(Arc<WcqQueue<T>>),
+    Sharded(Arc<ShardedWcq<T>>),
+    Unbounded(Arc<UnboundedWcq<T>>),
+}
+
+impl<T: Send> Backend<T> {
+    fn sync_state(&self) -> &SyncState {
+        match self {
+            Backend::Bounded(q) => q.sync_state(),
+            Backend::Sharded(q) => q.sync_state(),
+            Backend::Unbounded(q) => q.sync_state(),
+        }
+    }
+
+    fn register(&self) -> Option<Endpoint<T>> {
+        match self {
+            Backend::Bounded(q) => q.register_owned().map(Endpoint::Bounded),
+            Backend::Sharded(q) => q.register_owned().map(Endpoint::Sharded),
+            Backend::Unbounded(q) => q.register_owned().map(Endpoint::Unbounded),
+        }
+    }
+}
+
+/// Channel state shared by every endpoint: the queue plus the endpoint
+/// refcounts that drive auto-close.
+struct Shared<T: Send> {
+    backend: Backend<T>,
+    senders: AtomicUsize,
+    receivers: AtomicUsize,
+}
+
+impl<T: Send> Shared<T> {
+    /// Registers an owned handle, waiting (yield loop) while all
+    /// `max_threads` slots are taken — slots free whenever an endpoint
+    /// drops, so the wait is bounded by the caller's own endpoint
+    /// discipline (documented on [`bounded`]).
+    fn acquire(&self) -> Endpoint<T> {
+        let mut spins = 0u32;
+        loop {
+            if let Some(e) = self.backend.register() {
+                return e;
+            }
+            spins += 1;
+            if spins <= 64 {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    fn is_closed(&self) -> bool {
+        self.backend.sync_state().is_closed()
+    }
+
+    fn close(&self) {
+        self.backend.sync_state().close();
+    }
+}
+
+/// A lazily registered owned handle, cached inside an endpoint. One
+/// endpoint drives one thread record at a time (endpoints take `&mut self`
+/// and are not `Sync`), which is the owned handles' contract.
+enum Endpoint<T: Send> {
+    Bounded(OwnedWcqHandle<T>),
+    Sharded(OwnedShardedHandle<T>),
+    Unbounded(OwnedUnboundedHandle<T, WcqInner<T>>),
+}
+
+impl<T: Send> Endpoint<T> {
+    fn enqueue_batch(&mut self, items: &mut Vec<T>) -> usize {
+        match self {
+            Endpoint::Bounded(h) => h.enqueue_batch(items),
+            Endpoint::Sharded(h) => h.enqueue_batch(items),
+            Endpoint::Unbounded(h) => h.enqueue_batch(items),
+        }
+    }
+
+    fn dequeue_batch(&mut self, out: &mut Vec<T>, max: usize) -> usize {
+        match self {
+            Endpoint::Bounded(h) => h.dequeue_batch(out, max),
+            Endpoint::Sharded(h) => h.dequeue_batch(out, max),
+            Endpoint::Unbounded(h) => h.dequeue_batch(out, max),
+        }
+    }
+}
+
+impl<T: Send> SyncQueue for Endpoint<T> {
+    type Item = T;
+
+    fn sync_state(&self) -> &SyncState {
+        match self {
+            Endpoint::Bounded(h) => h.sync_state(),
+            Endpoint::Sharded(h) => h.sync_state(),
+            Endpoint::Unbounded(h) => h.sync_state(),
+        }
+    }
+
+    fn try_enqueue(&mut self, v: T) -> Result<(), T> {
+        match self {
+            Endpoint::Bounded(h) => h.try_enqueue(v),
+            Endpoint::Sharded(h) => h.try_enqueue(v),
+            Endpoint::Unbounded(h) => h.try_enqueue(v),
+        }
+    }
+
+    fn try_dequeue(&mut self) -> Option<T> {
+        match self {
+            Endpoint::Bounded(h) => h.try_dequeue(),
+            Endpoint::Sharded(h) => h.try_dequeue(),
+            Endpoint::Unbounded(h) => h.try_dequeue(),
+        }
+    }
+}
+
+// ===================================================================
+// Sender
+// ===================================================================
+
+/// The sending half of a channel. Cloneable (each clone is an independent
+/// endpoint); dropping the last sender closes the channel for receivers
+/// once they drain the backlog.
+pub struct Sender<T: Send> {
+    shared: Arc<Shared<T>>,
+    cache: Option<Endpoint<T>>,
+}
+
+impl<T: Send> Sender<T> {
+    fn endpoint(&mut self) -> &mut Endpoint<T> {
+        if self.cache.is_none() {
+            self.cache = Some(self.shared.acquire());
+        }
+        self.cache.as_mut().expect("just filled")
+    }
+
+    /// Non-blocking send. [`TrySendError::Full`] hands the value back when
+    /// the queue is full (never on [`unbounded`] channels);
+    /// [`TrySendError::Closed`] when every receiver is gone.
+    ///
+    /// Caveat: this endpoint's **first** operation acquires its thread
+    /// slot and waits while all `max_threads` are taken (see [`bounded`]);
+    /// once registered, `try_send` never waits.
+    pub fn try_send(&mut self, v: T) -> Result<(), TrySendError<T>> {
+        if self.shared.is_closed() {
+            return Err(TrySendError::Closed(v));
+        }
+        self.endpoint().try_enqueue(v).map_err(TrySendError::Full)
+    }
+
+    /// Sends, parking while the queue is full. Fails only when every
+    /// receiver is gone (the value rides back in [`SendError::Closed`]).
+    pub fn send(&mut self, v: T) -> Result<(), SendError<T>> {
+        if self.shared.is_closed() {
+            return Err(SendError::Closed(v));
+        }
+        self.endpoint().enqueue_blocking(v)
+    }
+
+    /// Like [`Self::send`] with a deadline; a timeout is
+    /// element-conserving ([`SendError::Timeout`] carries the value).
+    pub fn send_timeout(&mut self, v: T, timeout: Duration) -> Result<(), SendError<T>> {
+        if self.shared.is_closed() {
+            return Err(SendError::Closed(v));
+        }
+        self.endpoint().enqueue_timeout(v, timeout)
+    }
+
+    /// Async send: resolves when the value is in, or with
+    /// [`SendError::Closed`] when every receiver is gone (the future's
+    /// first poll checks the closed flag, so a closed channel resolves
+    /// without ever parking the task). Drive it with any executor, e.g.
+    /// [`crate::sync::block_on`].
+    pub fn send_async(&mut self, v: T) -> SendFuture<'_, T> {
+        SendFuture(self.endpoint().enqueue_async(v))
+    }
+
+    /// Batch send: drains as many items as fit from the **front** of
+    /// `items` (preserving order) and returns how many were sent; items
+    /// left behind did not fit (queue full) or the channel is closed
+    /// (check [`Self::is_closed`] to distinguish).
+    pub fn send_batch(&mut self, items: &mut Vec<T>) -> usize {
+        if self.shared.is_closed() {
+            return 0;
+        }
+        self.endpoint().enqueue_batch(items)
+    }
+
+    /// `true` once every [`Receiver`] has been dropped (sends can no
+    /// longer succeed).
+    pub fn is_closed(&self) -> bool {
+        self.shared.is_closed()
+    }
+}
+
+impl<T: Send> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.shared.senders.fetch_add(1, SeqCst);
+        Sender {
+            shared: Arc::clone(&self.shared),
+            cache: None, // clones take a thread slot lazily, on first use
+        }
+    }
+}
+
+impl<T: Send> Drop for Sender<T> {
+    fn drop(&mut self) {
+        // Release the thread slot first (quiesced, via the owned handle's
+        // drop), then retire from the refcount; last sender out closes the
+        // channel so receivers drain and see `Closed`.
+        self.cache = None;
+        if self.shared.senders.fetch_sub(1, SeqCst) == 1 {
+            self.shared.close();
+        }
+    }
+}
+
+// ===================================================================
+// Receiver
+// ===================================================================
+
+/// The receiving half of a channel. Cloneable (competing consumers);
+/// dropping the last receiver closes the channel so senders stop
+/// accumulating values nobody will read.
+pub struct Receiver<T: Send> {
+    shared: Arc<Shared<T>>,
+    cache: Option<Endpoint<T>>,
+}
+
+impl<T: Send> Receiver<T> {
+    fn endpoint(&mut self) -> &mut Endpoint<T> {
+        if self.cache.is_none() {
+            self.cache = Some(self.shared.acquire());
+        }
+        self.cache.as_mut().expect("just filled")
+    }
+
+    /// Non-blocking receive. Drains the backlog even after close:
+    /// [`TryRecvError::Closed`] is reported only once the channel is both
+    /// closed and empty.
+    ///
+    /// Caveat: this endpoint's **first** operation acquires its thread
+    /// slot and waits while all `max_threads` are taken (see [`bounded`]);
+    /// once registered, `try_recv` never waits.
+    pub fn try_recv(&mut self) -> Result<T, TryRecvError> {
+        match self.endpoint().try_dequeue() {
+            Some(v) => Ok(v),
+            None if self.shared.is_closed() => {
+                // Drain race: an insert may have landed between the probe
+                // and the close check.
+                self.endpoint().try_dequeue().ok_or(TryRecvError::Closed)
+            }
+            None => Err(TryRecvError::Empty),
+        }
+    }
+
+    /// Receives, parking while the channel is empty. After the last
+    /// [`Sender`] drops, drains the backlog and then reports
+    /// [`RecvError::Closed`].
+    pub fn recv(&mut self) -> Result<T, RecvError> {
+        self.endpoint().dequeue_blocking()
+    }
+
+    /// Like [`Self::recv`] with a deadline; takes one last look before
+    /// reporting [`RecvError::Timeout`].
+    pub fn recv_timeout(&mut self, timeout: Duration) -> Result<T, RecvError> {
+        self.endpoint().dequeue_timeout(timeout)
+    }
+
+    /// Async receive: resolves with a value, or [`RecvError::Closed`] once
+    /// the channel is closed and drained.
+    pub fn recv_async(&mut self) -> RecvFuture<'_, T> {
+        RecvFuture(self.endpoint().dequeue_async())
+    }
+
+    /// Batch receive: appends up to `max` elements to `out` in queue order
+    /// and returns how many were appended (0 means observed empty —
+    /// check [`Self::is_closed`] to distinguish "for now" from "forever").
+    pub fn recv_batch(&mut self, out: &mut Vec<T>, max: usize) -> usize {
+        self.endpoint().dequeue_batch(out, max)
+    }
+
+    /// `true` once every [`Sender`] has been dropped. The backlog may
+    /// still hold values; [`Self::try_recv`]/[`Self::recv`] drain it.
+    pub fn is_closed(&self) -> bool {
+        self.shared.is_closed()
+    }
+}
+
+impl<T: Send> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.shared.receivers.fetch_add(1, SeqCst);
+        Receiver {
+            shared: Arc::clone(&self.shared),
+            cache: None,
+        }
+    }
+}
+
+impl<T: Send> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        self.cache = None;
+        if self.shared.receivers.fetch_sub(1, SeqCst) == 1 {
+            // Last reader gone: fail senders fast instead of letting them
+            // fill (or grow) a queue nobody will drain.
+            self.shared.close();
+        }
+    }
+}
+
+// ===================================================================
+// Futures
+// ===================================================================
+
+/// Future returned by [`Sender::send_async`]; wraps the facade's
+/// [`EnqueueFuture`] (waker registration, deregister-on-drop).
+pub struct SendFuture<'a, T: Send>(EnqueueFuture<'a, Endpoint<T>>);
+
+impl<T: Send> Future for SendFuture<'_, T> {
+    type Output = Result<(), SendError<T>>;
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        Pin::new(&mut self.0).poll(cx)
+    }
+}
+
+/// Future returned by [`Receiver::recv_async`]; wraps the facade's
+/// [`DequeueFuture`].
+pub struct RecvFuture<'a, T: Send>(DequeueFuture<'a, Endpoint<T>>);
+
+impl<T: Send> Future for RecvFuture<'_, T> {
+    type Output = Result<T, RecvError>;
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        Pin::new(&mut self.0).poll(cx)
+    }
+}

@@ -39,13 +39,18 @@
 //!
 //! Every queue also exposes a **blocking/async facade** through the
 //! [`sync::SyncQueue`] trait (parking on the empty/full edge only — the
-//! wait-free fast path is untouched; see [`sync`] and `DESIGN.md` §9).
+//! wait-free fast path is untouched; see [`sync`] and `DESIGN.md` §9),
+//! and a **channel API** ([`channel`]) of cloneable, `Arc`-owning
+//! [`Sender`]/[`Receiver`] endpoints with lazy thread-slot acquisition and
+//! refcount-driven close — the surface to reach for first when threads are
+//! spawned rather than scoped (`DESIGN.md` §10).
 //!
 //! The paper-to-code map — which figure/algorithm lives in which module —
 //! is `PAPER_MAP.md` at the repository root.
 
 #![deny(missing_docs)]
 
+pub mod channel;
 pub mod pack;
 pub mod scq;
 pub mod shard;
@@ -53,11 +58,12 @@ pub mod sync;
 pub mod unbounded;
 pub mod wcq;
 
+pub use channel::{Receiver, Sender};
 pub use scq::{ScqQueue, ScqRing};
-pub use shard::{ShardedHandle, ShardedWcq};
+pub use shard::{OwnedShardedHandle, ShardedHandle, ShardedWcq};
 pub use sync::{RecvError, SendError, SyncQueue};
-pub use unbounded::{UnboundedHandle, UnboundedScq, UnboundedWcq};
-pub use wcq::{WcqHandle, WcqQueue, WcqRing};
+pub use unbounded::{OwnedUnboundedHandle, UnboundedHandle, UnboundedScq, UnboundedWcq};
+pub use wcq::{OwnedWcqHandle, WcqHandle, WcqQueue, WcqRing};
 
 /// Tuning knobs for SCQ/wCQ rings. Defaults follow the paper's evaluation
 /// (§6): patience 16 for enqueue and 64 for dequeue; `HELP_DELAY` and the

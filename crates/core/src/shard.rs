@@ -26,9 +26,10 @@
 //! pattern the unbounded list-of-rings uses.
 
 use crate::sync::{SyncQueue, SyncState};
-use crate::wcq::queue::WcqQueue;
+use crate::wcq::queue::{acquire_slot, WcqQueue};
 use crate::WcqConfig;
 use std::sync::atomic::{AtomicBool, Ordering::SeqCst};
+use std::sync::Arc;
 
 /// Sharded wait-free bounded MPMC queue: `S` independent [`WcqQueue`]
 /// sub-queues behind per-handle enqueue affinity and rotating dequeue.
@@ -114,18 +115,122 @@ impl<T> ShardedWcq<T> {
     /// Registers the calling thread; its enqueue affinity is
     /// `tid mod shards`. `None` when all `max_threads` slots are taken.
     pub fn register(&self) -> Option<ShardedHandle<'_, T>> {
-        for (tid, slot) in self.slots.iter().enumerate() {
-            if slot.compare_exchange(false, true, SeqCst, SeqCst).is_ok() {
-                let affinity = tid & (self.shards.len() - 1);
-                return Some(ShardedHandle {
-                    q: self,
-                    tid,
-                    affinity,
-                    cursor: affinity,
-                });
+        let tid = self.claim_slot()?;
+        let affinity = tid & (self.shards.len() - 1);
+        Some(ShardedHandle {
+            q: self,
+            tid,
+            affinity,
+            cursor: affinity,
+        })
+    }
+
+    /// Registers the calling thread on an `Arc`-owned queue; the owning
+    /// twin of [`Self::register`] (see [`crate::OwnedWcqHandle`] for the
+    /// pattern). The handle moves freely into `'static` spawned threads.
+    pub fn register_owned(self: &Arc<Self>) -> Option<OwnedShardedHandle<T>> {
+        let tid = self.claim_slot()?;
+        let affinity = tid & (self.shards.len() - 1);
+        Some(OwnedShardedHandle {
+            q: Arc::clone(self),
+            tid,
+            affinity,
+            cursor: affinity,
+        })
+    }
+
+    /// Claims a free global thread slot, asserting (debug builds) that the
+    /// per-shard records the registrant inherits are quiet — the invariant
+    /// [`Self::release_slot`]'s quiesce establishes.
+    fn claim_slot(&self) -> Option<usize> {
+        let tid = acquire_slot(&self.slots)?;
+        debug_assert!(
+            self.shards.iter().all(|s| s.records_are_quiet(tid)),
+            "acquired sharded thread slot {tid} while a helper is still driving a record"
+        );
+        for shard in self.shards.iter() {
+            shard.note_registration(tid);
+        }
+        Some(tid)
+    }
+
+    /// Releases global slot `tid`, quiescing its helping records in every
+    /// shard first (a helper in *any* shard may still be driving them —
+    /// the handle operates under the same tid everywhere).
+    fn release_slot(&self, tid: usize) {
+        for shard in self.shards.iter() {
+            shard.quiesce_records(tid);
+        }
+        self.slots[tid].store(false, SeqCst);
+    }
+
+    // ---- shared per-tid operations (both handle flavors) ---------------
+    //
+    // Exclusivity contract: `tid` came from `claim_slot` and is driven by
+    // exactly one handle at a time (handles are !Sync with &mut methods),
+    // which is what the shards' raw thread-id API requires.
+
+    fn enqueue_tid(&self, tid: usize, affinity: usize, v: T) -> Result<(), T> {
+        // SAFETY: exclusivity contract above.
+        let r = unsafe { self.shards[affinity].enqueue_raw(tid, v) };
+        if r.is_ok() {
+            // Blocking consumers park on the sharded-level state; the raw
+            // path deliberately skips the shard's own (always waiter-less)
+            // parking state.
+            self.sync.notify_not_empty();
+        }
+        r
+    }
+
+    fn enqueue_batch_tid(&self, tid: usize, affinity: usize, items: &mut Vec<T>) -> usize {
+        // SAFETY: exclusivity contract above.
+        let n = unsafe { self.shards[affinity].enqueue_batch_raw(tid, items) };
+        if n > 0 {
+            self.sync.notify_not_empty();
+        }
+        n
+    }
+
+    fn dequeue_tid(&self, tid: usize, cursor: &mut usize) -> Option<T> {
+        let s = self.shards.len();
+        for i in 0..s {
+            let shard = (*cursor + i) & (s - 1);
+            // SAFETY: exclusivity contract above.
+            if let Some(v) = unsafe { self.shards[shard].dequeue_raw(tid) } {
+                *cursor = shard;
+                self.sync.notify_not_full();
+                return Some(v);
             }
         }
         None
+    }
+
+    fn dequeue_batch_tid(
+        &self,
+        tid: usize,
+        cursor: &mut usize,
+        out: &mut Vec<T>,
+        max: usize,
+    ) -> usize {
+        let s = self.shards.len();
+        let start = *cursor; // the sweep base must not move mid-sweep
+        let mut total = 0;
+        for i in 0..s {
+            if total >= max {
+                break;
+            }
+            let shard = (start + i) & (s - 1);
+            // SAFETY: exclusivity contract above.
+            let got = unsafe { self.shards[shard].dequeue_batch_raw(tid, out, max - total) };
+            if got > 0 {
+                *cursor = shard;
+                total += got;
+            }
+        }
+        if total > 0 {
+            self.sync.notify_not_full();
+        }
+        total
     }
 }
 
@@ -148,69 +253,26 @@ impl<'q, T> ShardedHandle<'q, T> {
     /// would break per-producer FIFO).
     #[inline]
     pub fn enqueue(&mut self, v: T) -> Result<(), T> {
-        // SAFETY: `register` hands out each tid exclusively and the handle
-        // is !Sync with &mut methods, so this tid drives every shard alone.
-        let r = unsafe { self.q.shards[self.affinity].enqueue_raw(self.tid, v) };
-        if r.is_ok() {
-            // Blocking consumers park on the sharded-level state; the raw
-            // path deliberately skips the shard's own (always waiter-less)
-            // parking state.
-            self.q.sync.notify_not_empty();
-        }
-        r
+        self.q.enqueue_tid(self.tid, self.affinity, v)
     }
 
     /// Batch enqueue into the affinity shard; semantics of
     /// [`crate::WcqHandle::enqueue_batch`].
     pub fn enqueue_batch(&mut self, items: &mut Vec<T>) -> usize {
-        // SAFETY: as in `enqueue`.
-        let n = unsafe { self.q.shards[self.affinity].enqueue_batch_raw(self.tid, items) };
-        if n > 0 {
-            self.q.sync.notify_not_empty();
-        }
-        n
+        self.q.enqueue_batch_tid(self.tid, self.affinity, items)
     }
 
     /// Dequeue, visiting every shard (starting at the sticky cursor) before
     /// reporting empty. Each shard miss costs its O(1) threshold probe.
     pub fn dequeue(&mut self) -> Option<T> {
-        let s = self.q.shards.len();
-        for i in 0..s {
-            let shard = (self.cursor + i) & (s - 1);
-            // SAFETY: as in `enqueue`.
-            if let Some(v) = unsafe { self.q.shards[shard].dequeue_raw(self.tid) } {
-                self.cursor = shard;
-                self.q.sync.notify_not_full();
-                return Some(v);
-            }
-        }
-        None
+        self.q.dequeue_tid(self.tid, &mut self.cursor)
     }
 
     /// Batch dequeue: appends up to `max` elements to `out`, draining
     /// shards in cursor rotation; returns how many were appended (0 means
     /// every shard was observed empty).
     pub fn dequeue_batch(&mut self, out: &mut Vec<T>, max: usize) -> usize {
-        let s = self.q.shards.len();
-        let start = self.cursor; // the sweep base must not move mid-sweep
-        let mut total = 0;
-        for i in 0..s {
-            if total >= max {
-                break;
-            }
-            let shard = (start + i) & (s - 1);
-            // SAFETY: as in `enqueue`.
-            let got =
-                unsafe { self.q.shards[shard].dequeue_batch_raw(self.tid, out, max - total) };
-            if got > 0 {
-                self.cursor = shard;
-                total += got;
-            }
-        }
-        if total > 0 {
-            self.q.sync.notify_not_full();
-        }
-        total
+        self.q.dequeue_batch_tid(self.tid, &mut self.cursor, out, max)
     }
 
     /// The thread slot this handle occupies (diagnostics).
@@ -231,7 +293,81 @@ impl<'q, T> ShardedHandle<'q, T> {
 
 impl<T> Drop for ShardedHandle<'_, T> {
     fn drop(&mut self) {
-        self.q.slots[self.tid].store(false, SeqCst);
+        self.q.release_slot(self.tid);
+    }
+}
+
+/// An owning per-thread handle to an [`Arc`]-shared [`ShardedWcq`] — the
+/// [`crate::OwnedWcqHandle`] pattern applied to the sharded front-end.
+/// Obtained from [`ShardedWcq::register_owned`].
+pub struct OwnedShardedHandle<T> {
+    q: Arc<ShardedWcq<T>>,
+    tid: usize,
+    affinity: usize,
+    /// Next shard to try first on dequeue; sticks to the last hit.
+    cursor: usize,
+}
+
+impl<T> OwnedShardedHandle<T> {
+    /// Wait-free enqueue into this handle's affinity shard; see
+    /// [`ShardedHandle::enqueue`].
+    #[inline]
+    pub fn enqueue(&mut self, v: T) -> Result<(), T> {
+        self.q.enqueue_tid(self.tid, self.affinity, v)
+    }
+
+    /// Batch enqueue into the affinity shard; see
+    /// [`ShardedHandle::enqueue_batch`].
+    pub fn enqueue_batch(&mut self, items: &mut Vec<T>) -> usize {
+        self.q.enqueue_batch_tid(self.tid, self.affinity, items)
+    }
+
+    /// Rotating dequeue; see [`ShardedHandle::dequeue`].
+    pub fn dequeue(&mut self) -> Option<T> {
+        self.q.dequeue_tid(self.tid, &mut self.cursor)
+    }
+
+    /// Rotating batch dequeue; see [`ShardedHandle::dequeue_batch`].
+    pub fn dequeue_batch(&mut self, out: &mut Vec<T>, max: usize) -> usize {
+        self.q.dequeue_batch_tid(self.tid, &mut self.cursor, out, max)
+    }
+
+    /// The thread slot this handle occupies (diagnostics).
+    pub fn tid(&self) -> usize {
+        self.tid
+    }
+
+    /// The shard this handle enqueues into.
+    pub fn affinity(&self) -> usize {
+        self.affinity
+    }
+
+    /// The queue this handle belongs to.
+    pub fn queue(&self) -> &Arc<ShardedWcq<T>> {
+        &self.q
+    }
+}
+
+impl<T> Drop for OwnedShardedHandle<T> {
+    fn drop(&mut self) {
+        self.q.release_slot(self.tid);
+    }
+}
+
+/// Blocking/async facade; see the [`ShardedHandle`] impl.
+impl<T> SyncQueue for OwnedShardedHandle<T> {
+    type Item = T;
+
+    fn sync_state(&self) -> &SyncState {
+        &self.q.sync
+    }
+
+    fn try_enqueue(&mut self, v: T) -> Result<(), T> {
+        self.enqueue(v)
+    }
+
+    fn try_dequeue(&mut self) -> Option<T> {
+        self.dequeue()
     }
 }
 

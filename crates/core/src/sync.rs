@@ -12,7 +12,9 @@
 //!
 //! The entry points live on the [`SyncQueue`] trait, implemented by
 //! [`crate::WcqHandle`], [`crate::ShardedHandle`], and
-//! [`crate::UnboundedHandle`]:
+//! [`crate::UnboundedHandle`] (and their owned twins, which also back the
+//! [`crate::channel`] endpoints — there the `close()` below is driven
+//! automatically by sender/receiver refcounts):
 //!
 //! * [`SyncQueue::enqueue_blocking`] / [`SyncQueue::dequeue_blocking`] —
 //!   park until space/data or [`close`](crate::WcqQueue::close);

@@ -63,6 +63,7 @@ use crate::{ScqQueue, WcqConfig, WcqQueue};
 use hazard::{Domain, HpHandle};
 use std::ptr;
 use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, AtomicUsize, Ordering::SeqCst};
+use std::sync::Arc;
 
 /// A bounded MPMC ring usable as the node payload of the unbounded list.
 pub trait InnerRing<T>: Sized + Send + Sync {
@@ -108,6 +109,12 @@ pub trait InnerRing<T>: Sized + Send + Sync {
         }
         n
     }
+
+    /// Waits until no helper is driving `tid`'s helping records in this
+    /// ring — called by the handle layer before `tid` (the hazard-domain
+    /// slot index) is released for reuse. Default no-op for rings without
+    /// helping machinery (SCQ).
+    fn ring_quiesce(&self, _tid: usize) {}
 }
 
 impl<T: Send> InnerRing<T> for ScqQueue<T> {
@@ -147,6 +154,9 @@ impl<T: Send> InnerRing<T> for WcqInner<T> {
     fn ring_dequeue_batch(&self, tid: usize, out: &mut Vec<T>, max: usize) -> usize {
         // SAFETY: as above.
         unsafe { self.0.dequeue_batch_raw(tid, out, max) }
+    }
+    fn ring_quiesce(&self, tid: usize) {
+        self.0.quiesce_records(tid);
     }
 }
 
@@ -344,6 +354,25 @@ impl<T: Send, R: InnerRing<T>> Unbounded<T, R> {
         let hp = self.domain.register()?;
         let tid = hp.idx();
         Some(UnboundedHandle { q: self, hp, tid })
+    }
+
+    /// Registers the calling thread on an `Arc`-owned queue; the owning
+    /// twin of [`Self::register`] (see [`crate::OwnedWcqHandle`] for the
+    /// pattern). The handle moves freely into `'static` spawned threads.
+    pub fn register_owned(self: &Arc<Self>) -> Option<OwnedUnboundedHandle<T, R>> {
+        let hp = self.domain.register()?;
+        let tid = hp.idx();
+        // SAFETY: the hazard handle borrows `self.domain`, which lives on
+        // the heap inside the `Arc` the returned handle also owns, so the
+        // borrow outlives the handle; `OwnedUnboundedHandle` declares `hp`
+        // before `q` so the lifetime-erased handle drops strictly before
+        // the `Arc` that keeps the domain alive.
+        let hp: HpHandle<'static> = unsafe { std::mem::transmute::<HpHandle<'_>, _>(hp) };
+        Some(OwnedUnboundedHandle {
+            hp,
+            tid,
+            q: Arc::clone(self),
+        })
     }
 
     /// If `node` (the ring at `ltail`) has a successor, helps `tail` over
@@ -603,6 +632,35 @@ impl<T: Send, R: InnerRing<T>> Unbounded<T, R> {
     }
 }
 
+impl<T, R: InnerRing<T>> Unbounded<T, R> {
+    /// Quiesces `tid`'s helping records in the rings a departing handle can
+    /// still safely reach — the published `head` and `tail`, protected
+    /// through the handle's own hazard slots. Called on handle drop,
+    /// **before** the hazard slot (and with it the ring thread id) is
+    /// released for reuse.
+    ///
+    /// Scope: a helper drives `tid`'s record only on a ring where `tid`
+    /// recently ran a slow-path operation, i.e. a ring that was `head` or
+    /// `tail` at that moment. By the time the handle drops, such a ring is
+    /// almost always still an end of the list (interior tenure is short:
+    /// an interior ring is by definition closed and next in line to drain
+    /// and retire). A stale helper on a ring that *did* go interior before
+    /// we got here is outside any safe traversal (interior rings cannot be
+    /// hazard-validated) and remains covered by the TAG guard exactly as
+    /// within-thread record reuse is — see DESIGN.md §10.
+    fn quiesce_tid(&self, tid: usize, hp: &HpHandle<'_>) {
+        let lhead = hp.protect(HP_HEAD, &self.head);
+        // SAFETY: validated against `head` post-publication, as in
+        // `dequeue_walk` — the standing hazard blocks reclamation.
+        unsafe { &*lhead }.ring.ring_quiesce(tid);
+        hp.clear_slot(HP_HEAD);
+        let ltail = hp.protect(HP_TAIL, &self.tail);
+        // SAFETY: as in `enqueue_tid`.
+        unsafe { &*ltail }.ring.ring_quiesce(tid);
+        hp.clear_slot(HP_TAIL);
+    }
+}
+
 impl<T, R: InnerRing<T>> Drop for Unbounded<T, R> {
     fn drop(&mut self) {
         // Retired rings are owned by the hazard domain (freed when the
@@ -618,13 +676,24 @@ impl<T, R: InnerRing<T>> Drop for Unbounded<T, R> {
 }
 
 /// Per-thread handle to an [`Unbounded`] queue. Carries the thread's
-/// hazard pointers; dropping it releases both the hazard slots and the
-/// ring thread id, and hands any still-protected retired rings to the
-/// domain's orphan list.
+/// hazard pointers; dropping it quiesces the reachable rings' helping
+/// records (see [`Unbounded`]'s module docs), releases both the hazard
+/// slots and the ring thread id, and hands any still-protected retired
+/// rings to the domain's orphan list.
 pub struct UnboundedHandle<'q, T, R: InnerRing<T>> {
     q: &'q Unbounded<T, R>,
     hp: HpHandle<'q>,
     tid: usize,
+}
+
+impl<T, R: InnerRing<T>> Drop for UnboundedHandle<'_, T, R> {
+    fn drop(&mut self) {
+        // Quiesce before the hazard handle (dropped right after this body)
+        // releases the domain slot: the slot index doubles as the ring
+        // thread id, so releasing it un-quiesced would hand a new
+        // registrant records a helper may still be driving.
+        self.q.quiesce_tid(self.tid, &self.hp);
+    }
 }
 
 impl<T: Send, R: InnerRing<T>> UnboundedHandle<'_, T, R> {
@@ -680,6 +749,77 @@ impl<T: Send, R: InnerRing<T>> UnboundedHandle<'_, T, R> {
 /// cannot fail (the list grows), so a blocking enqueue completes on its
 /// first attempt unless the queue is closed.
 impl<T: Send, R: InnerRing<T>> SyncQueue for UnboundedHandle<'_, T, R> {
+    type Item = T;
+
+    fn sync_state(&self) -> &SyncState {
+        &self.q.sync
+    }
+
+    fn try_enqueue(&mut self, v: T) -> Result<(), T> {
+        self.enqueue(v);
+        Ok(())
+    }
+
+    fn try_dequeue(&mut self) -> Option<T> {
+        self.dequeue()
+    }
+}
+
+/// An owning per-thread handle to an [`Arc`]-shared [`Unbounded`] queue —
+/// the [`crate::OwnedWcqHandle`] pattern applied to the list-of-rings.
+/// Obtained from [`Unbounded::register_owned`].
+pub struct OwnedUnboundedHandle<T, R: InnerRing<T>> {
+    /// Lifetime-erased hazard handle; its true borrow is of `q`'s domain.
+    /// MUST stay declared before `q`: fields drop in declaration order, so
+    /// the hazard handle (which touches the domain in its destructor)
+    /// drops while the `Arc` still keeps the domain alive.
+    hp: HpHandle<'static>,
+    tid: usize,
+    q: Arc<Unbounded<T, R>>,
+}
+
+impl<T: Send, R: InnerRing<T>> OwnedUnboundedHandle<T, R> {
+    /// Enqueues `v`; never fails (capacity grows by appending rings).
+    pub fn enqueue(&mut self, v: T) {
+        self.q.enqueue_tid(self.tid, &self.hp, v)
+    }
+
+    /// Dequeues; `None` when empty.
+    pub fn dequeue(&mut self) -> Option<T> {
+        self.q.dequeue_tid(self.tid, &mut self.hp)
+    }
+
+    /// Batch enqueue; see [`UnboundedHandle::enqueue_batch`].
+    pub fn enqueue_batch(&mut self, items: &mut Vec<T>) -> usize {
+        self.q.enqueue_batch_tid(self.tid, &self.hp, items)
+    }
+
+    /// Batch dequeue; see [`UnboundedHandle::dequeue_batch`].
+    pub fn dequeue_batch(&mut self, out: &mut Vec<T>, max: usize) -> usize {
+        self.q.dequeue_batch_tid(self.tid, &mut self.hp, out, max)
+    }
+
+    /// The thread slot this handle occupies (diagnostics).
+    pub fn tid(&self) -> usize {
+        self.tid
+    }
+
+    /// The queue this handle belongs to.
+    pub fn queue(&self) -> &Arc<Unbounded<T, R>> {
+        &self.q
+    }
+}
+
+impl<T, R: InnerRing<T>> Drop for OwnedUnboundedHandle<T, R> {
+    fn drop(&mut self) {
+        // As for the borrowed handle: quiesce before the hazard handle's
+        // own destructor releases the shared slot.
+        self.q.quiesce_tid(self.tid, &self.hp);
+    }
+}
+
+/// Blocking/async facade; see the [`UnboundedHandle`] impl.
+impl<T: Send, R: InnerRing<T>> SyncQueue for OwnedUnboundedHandle<T, R> {
     type Item = T;
 
     fn sync_state(&self) -> &SyncState {

@@ -7,7 +7,25 @@ use crate::wcq::ring::WcqRing;
 use crate::WcqConfig;
 use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
-use std::sync::atomic::{AtomicBool, Ordering::SeqCst};
+use std::sync::atomic::{AtomicBool, Ordering::Relaxed, Ordering::SeqCst};
+use std::sync::Arc;
+
+/// Scans `slots` for a free entry and claims it, or returns `None` when all
+/// are taken. Occupied slots are skipped with a plain load and the CAS uses
+/// a `Relaxed` failure ordering, so registration churn does not hammer
+/// SeqCst read-modify-writes on every occupied slot — only the single
+/// winning CAS pays for ordering.
+pub(crate) fn acquire_slot(slots: &[AtomicBool]) -> Option<usize> {
+    for (tid, slot) in slots.iter().enumerate() {
+        if slot.load(Relaxed) {
+            continue; // occupied: don't even attempt the CAS
+        }
+        if slot.compare_exchange(false, true, SeqCst, Relaxed).is_ok() {
+            return Some(tid);
+        }
+    }
+    None
+}
 
 /// Wait-free bounded MPMC queue of `T` values.
 ///
@@ -81,15 +99,80 @@ impl<T> WcqQueue<T> {
     /// Registers the calling thread, returning a handle bound to a free
     /// thread slot, or `None` if all `max_threads` slots are taken.
     pub fn register(&self) -> Option<WcqHandle<'_, T>> {
-        for (tid, slot) in self.slots.iter().enumerate() {
-            if slot
-                .compare_exchange(false, true, SeqCst, SeqCst)
-                .is_ok()
-            {
-                return Some(WcqHandle { q: self, tid });
-            }
-        }
-        None
+        let tid = self.claim_slot()?;
+        Some(WcqHandle { q: self, tid })
+    }
+
+    /// Registers the calling thread on an `Arc`-owned queue, returning an
+    /// [`OwnedWcqHandle`] that keeps the queue alive — the building block
+    /// for `'static` spawned threads and the [`crate::channel`] API.
+    ///
+    /// # Example
+    /// ```
+    /// use std::sync::Arc;
+    /// use wcq::WcqQueue;
+    /// let q: Arc<WcqQueue<u64>> = Arc::new(WcqQueue::new(4, 2));
+    /// let mut h = q.register_owned().unwrap();
+    /// std::thread::spawn(move || {
+    ///     h.enqueue(7).unwrap(); // no scope needed: the handle owns the queue
+    /// })
+    /// .join()
+    /// .unwrap();
+    /// let mut h = q.register_owned().unwrap();
+    /// assert_eq!(h.dequeue(), Some(7));
+    /// ```
+    pub fn register_owned(self: &Arc<Self>) -> Option<OwnedWcqHandle<T>> {
+        let tid = self.claim_slot()?;
+        Some(OwnedWcqHandle {
+            q: Arc::clone(self),
+            tid,
+        })
+    }
+
+    /// Claims a free thread slot, asserting (debug builds) that the record
+    /// the new registrant inherits is quiet — the invariant the
+    /// quiesce-on-release protocol ([`Self::release_slot`]) establishes.
+    fn claim_slot(&self) -> Option<usize> {
+        let tid = acquire_slot(&self.slots)?;
+        debug_assert!(
+            self.records_are_quiet(tid),
+            "acquired thread slot {tid} while a helper is still driving its record"
+        );
+        self.note_registration(tid);
+        Some(tid)
+    }
+
+    /// Bumps `tid`'s owner epoch in both rings (see
+    /// [`WcqRing::note_registration`]); called by every path that hands
+    /// the tid to a new owner.
+    pub fn note_registration(&self, tid: usize) {
+        self.aq.note_registration(tid);
+        self.fq.note_registration(tid);
+    }
+
+    /// Waits for any helper still driving `tid`'s records (in either ring)
+    /// to finish — see [`WcqRing::quiesce_record`]. Exposed to the layers
+    /// that drive the raw thread-id API under their own slot discipline
+    /// (the sharded front-end, the unbounded list-of-rings), which must
+    /// quiesce before recycling a tid just like the handles here do.
+    pub fn quiesce_records(&self, tid: usize) {
+        self.aq.quiesce_record(tid);
+        self.fq.quiesce_record(tid);
+    }
+
+    /// `true` while `tid`'s records in both rings are quiet (no pending
+    /// request, no active helper) — what registration paths assert on a
+    /// freshly acquired slot.
+    pub fn records_are_quiet(&self, tid: usize) -> bool {
+        self.aq.record_is_quiet(tid) && self.fq.record_is_quiet(tid)
+    }
+
+    /// Releases thread slot `tid`, quiescing its helping records first so
+    /// the next registrant can never inherit a record a helper is still
+    /// driving (the handle `Drop`s funnel through here).
+    fn release_slot(&self, tid: usize) {
+        self.quiesce_records(tid);
+        self.slots[tid].store(false, SeqCst);
     }
 
     /// `true` while no elements are observable (threshold fast check on
@@ -379,13 +462,86 @@ impl<'q, T> WcqHandle<'q, T> {
 
 impl<T> Drop for WcqHandle<'_, T> {
     fn drop(&mut self) {
-        self.q.slots[self.tid].store(false, SeqCst);
+        // Quiesce-then-release: a bare `store(false)` here would let a new
+        // registrant publish a fresh request on a record a helper is still
+        // replaying (regression: tests/handle_churn.rs).
+        self.q.release_slot(self.tid);
     }
 }
 
 /// Blocking/async facade: parks on the empty/full edge only; the wait-free
 /// spin operations above are the fast path (see [`crate::sync`]).
 impl<T> SyncQueue for WcqHandle<'_, T> {
+    type Item = T;
+
+    fn sync_state(&self) -> &SyncState {
+        &self.q.sync
+    }
+
+    fn try_enqueue(&mut self, v: T) -> Result<(), T> {
+        self.q.enqueue_tid(self.tid, v)
+    }
+
+    fn try_dequeue(&mut self) -> Option<T> {
+        self.q.dequeue_tid(self.tid)
+    }
+}
+
+/// An owning per-thread handle to an [`Arc`]-shared [`WcqQueue`].
+///
+/// Semantically identical to [`WcqHandle`] — one exclusive thread record,
+/// `&mut` methods, quiesced slot release on drop — but it keeps the queue
+/// alive instead of borrowing it, so it moves freely into
+/// `std::thread::spawn` closures and `'static` futures. Obtained from
+/// [`WcqQueue::register_owned`]; the [`crate::channel`] senders/receivers
+/// are built on these.
+pub struct OwnedWcqHandle<T> {
+    q: Arc<WcqQueue<T>>,
+    tid: usize,
+}
+
+impl<T> OwnedWcqHandle<T> {
+    /// Wait-free enqueue. `Err(v)` returns the value when the queue is full.
+    #[inline]
+    pub fn enqueue(&mut self, v: T) -> Result<(), T> {
+        self.q.enqueue_tid(self.tid, v)
+    }
+
+    /// Wait-free dequeue; `None` when empty.
+    #[inline]
+    pub fn dequeue(&mut self) -> Option<T> {
+        self.q.dequeue_tid(self.tid)
+    }
+
+    /// Batch enqueue; see [`WcqHandle::enqueue_batch`].
+    pub fn enqueue_batch(&mut self, items: &mut Vec<T>) -> usize {
+        self.q.enqueue_batch_tid(self.tid, items)
+    }
+
+    /// Batch dequeue; see [`WcqHandle::dequeue_batch`].
+    pub fn dequeue_batch(&mut self, out: &mut Vec<T>, max: usize) -> usize {
+        self.q.dequeue_batch_tid(self.tid, out, max)
+    }
+
+    /// The thread slot this handle occupies (diagnostics).
+    pub fn tid(&self) -> usize {
+        self.tid
+    }
+
+    /// The queue this handle belongs to.
+    pub fn queue(&self) -> &Arc<WcqQueue<T>> {
+        &self.q
+    }
+}
+
+impl<T> Drop for OwnedWcqHandle<T> {
+    fn drop(&mut self) {
+        self.q.release_slot(self.tid);
+    }
+}
+
+/// Blocking/async facade; see the [`WcqHandle`] impl.
+impl<T> SyncQueue for OwnedWcqHandle<T> {
     type Item = T;
 
     fn sync_state(&self) -> &SyncState {

@@ -101,6 +101,26 @@ pub struct ThreadRec {
     pub index: AtomicU64,
     /// Set to `seq1` when a request is published.
     pub seq2: AtomicU64,
+    /// Helpers currently *examining* this record, incremented **before**
+    /// the `pending` check (announce-then-check): a slot release waits for
+    /// this to reach zero ([`crate::wcq::WcqRing::quiesce_record`]), and
+    /// the ordering guarantees that any helper arriving after the wait
+    /// observes `pending == 0` and bails — so no helper can start (or
+    /// still be) driving a record once its slot has been released.
+    pub helpers: AtomicU64,
+    /// Helpers currently *replaying* this record's request (set only after
+    /// the `pending` check passed). Between a quiesced release and the
+    /// next registrant's first slow-path publish this is invariantly zero;
+    /// the registration paths assert it (the handle-churn regression
+    /// tripwire).
+    pub driving: AtomicU64,
+    /// Bumped every time the owning thread slot is (re-)registered. The
+    /// quiesce-on-release protocol guarantees no helper drive spans a
+    /// re-registration, so helpers assert (debug builds) that this value
+    /// is unchanged across their drive — the deterministic tripwire for a
+    /// reverted quiesce (tests/handle_churn.rs), independent of how short
+    /// the overlap was.
+    pub owner_epoch: AtomicU64,
 }
 
 impl ThreadRec {
@@ -122,7 +142,20 @@ impl ThreadRec {
             init_head: AtomicU64::new(FIN),
             index: AtomicU64::new(0),
             seq2: AtomicU64::new(0),
+            helpers: AtomicU64::new(0),
+            driving: AtomicU64::new(0),
+            owner_epoch: AtomicU64::new(0),
         }
+    }
+
+    /// `true` while no helper is replaying this record and no request is
+    /// pending — the state a quiesced slot release leaves behind and a new
+    /// registrant must find. (`helpers` is deliberately not part of this:
+    /// a helper may always be harmlessly *examining* the record, about to
+    /// bail on `pending == 0`.)
+    #[inline]
+    pub fn is_quiet(&self) -> bool {
+        self.driving.load(SeqCst) == 0 && self.pending.load(SeqCst) == 0
     }
 
     /// Publishes a phase-2 help request (paper `prepare_phase2`, Fig. 7

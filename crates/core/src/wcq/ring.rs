@@ -65,6 +65,10 @@ pub struct WcqRing {
 
 const NOTE_NONE: u64 = (-1i64) as u64;
 
+/// Spins a releasing thread grants an in-flight helper before yielding its
+/// quantum instead (see [`WcqRing::quiesce_record`]).
+const QUIESCE_SPIN_BOUND: u32 = 64;
+
 impl WcqRing {
     /// Creates an empty ring with `n = 2^order` usable entries and room for
     /// `max_threads` concurrently registered threads.
@@ -326,15 +330,103 @@ impl WcqRing {
         rec.next_check.store(self.cfg.help_delay as u64, Relaxed);
         let t = rec.next_tid.load(Relaxed) as usize % self.records.len();
         let thr = &self.records[t];
+        // The common no-request case stays a single load; the announce RMWs
+        // below run only when a help request was actually observed.
         if t != tid && thr.pending.load(SeqCst) == 1 {
-            if thr.enqueue.load(SeqCst) == 1 {
-                self.help_enqueue(rec, thr);
-            } else {
-                self.help_dequeue(rec, thr);
+            // Announce, then RE-CHECK `pending` before driving: a slot
+            // release stores `pending = 0` and then waits for
+            // `helpers == 0` (`quiesce_record`), so a helper whose
+            // announce lands after that wait's zero-read is ordered after
+            // the `pending = 0` store — its re-check fails and it bails.
+            // Helpers that announced earlier are waited on. Either way no
+            // drive can start after, or survive past, the release. Without
+            // the wait, a thread re-registering slot `t` could publish a
+            // fresh request on a record we are still replaying; the TAG
+            // guard makes the stale CASes fail, but only up to its 2^14
+            // wrap — the quiesce makes the argument unconditional.
+            thr.helpers.fetch_add(1, SeqCst);
+            if thr.pending.load(SeqCst) == 1 {
+                thr.driving.fetch_add(1, SeqCst);
+                #[cfg(debug_assertions)]
+                let epoch = thr.owner_epoch.load(SeqCst);
+                // Debug builds stretch the drive window across a scheduler
+                // quantum so tests/handle_churn.rs overlaps it with a drop
+                // + re-register of the helpee's slot more often — the
+                // schedule the quiesce wait exists for (same tripwire
+                // pattern as the tail-lag yield in unbounded.rs).
+                #[cfg(debug_assertions)]
+                std::thread::yield_now();
+                if thr.enqueue.load(SeqCst) == 1 {
+                    self.help_enqueue(rec, thr);
+                } else {
+                    self.help_dequeue(rec, thr);
+                }
+                // The quiesce-on-release wait guarantees no drive spans a
+                // slot recycle; a changed epoch here means a release
+                // skipped the wait (however brief the overlap was).
+                #[cfg(debug_assertions)]
+                debug_assert_eq!(
+                    thr.owner_epoch.load(SeqCst),
+                    epoch,
+                    "thread slot recycled while a helper was driving its record \
+                     (quiesce-on-release violated)"
+                );
+                thr.driving.fetch_sub(1, SeqCst);
             }
+            thr.helpers.fetch_sub(1, SeqCst);
         }
         rec.next_tid
             .store(((t + 1) % self.records.len()) as u64, Relaxed);
+    }
+
+    /// Blocks until no helper is on `tid`'s record. Called by the handle
+    /// layers **before** a thread slot is released: the owning thread has
+    /// completed all of its operations (so `pending == 0` and every
+    /// published request carries `FIN`), which means any helper still
+    /// inside the drive loop aborts within a bounded number of steps — the
+    /// wait is short and terminates.
+    ///
+    /// The wait is on the announce counter (`helpers`), not the drive
+    /// counter: a helper may only drive after a **post-announce** read of
+    /// `pending == 1`, so once this wait observes zero, every
+    /// later-announcing helper is ordered after the owner's `pending = 0`
+    /// store and bails at its re-check without driving. After it returns,
+    /// the record stays quiet until the slot's next owner publishes a
+    /// request — the invariant registration asserts.
+    pub fn quiesce_record(&self, tid: usize) {
+        let rec = &self.records[tid];
+        debug_assert_eq!(
+            rec.pending.load(SeqCst),
+            0,
+            "slot released with a pending help request"
+        );
+        let mut spins = 0u32;
+        while rec.helpers.load(SeqCst) != 0 {
+            spins += 1;
+            if spins <= QUIESCE_SPIN_BOUND {
+                std::hint::spin_loop();
+            } else {
+                // A preempted helper holds the count up for a quantum;
+                // donate ours instead of burning it.
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    /// `true` while `tid`'s record has no pending request and no helper
+    /// replaying it. Registration paths assert this on freshly acquired
+    /// slots: it is the invariant `quiesce_record` establishes at release
+    /// and nothing can break between release and the next publish
+    /// (helpers only engage while `pending == 1`).
+    pub fn record_is_quiet(&self, tid: usize) -> bool {
+        self.records[tid].is_quiet()
+    }
+
+    /// Notes a (re-)registration of thread slot `tid` by bumping the
+    /// record's owner epoch — the counterpart of the drive-spanning
+    /// assertion in `help_threads` (see [`crate::wcq::record::ThreadRec`]).
+    pub fn note_registration(&self, tid: usize) {
+        self.records[tid].owner_epoch.fetch_add(1, SeqCst);
     }
 
     /// Fig. 6 lines 13–19. `me` is the helper's own record (owner of the
@@ -648,6 +740,13 @@ impl WcqRing {
         rec.enqueue.store(1, SeqCst);
         rec.seq2.store(seq, SeqCst);
         rec.pending.store(1, SeqCst);
+        // Debug builds surrender the quantum right after publishing: on
+        // few-core hosts the slow path otherwise completes before any peer
+        // gets to observe `pending == 1`, and the helping machinery (plus
+        // the quiesce-on-release protocol it necessitates) would go
+        // untested. Production builds keep the paper's behavior.
+        #[cfg(debug_assertions)]
+        std::thread::yield_now();
         self.enqueue_slow(rec, tag | tail, index, rec, tag);
         rec.pending.store(0, SeqCst);
         rec.seq1.store(seq.wrapping_add(1), SeqCst);
@@ -678,6 +777,9 @@ impl WcqRing {
         rec.enqueue.store(0, SeqCst);
         rec.seq2.store(seq, SeqCst);
         rec.pending.store(1, SeqCst);
+        // See the publish-side yield in `enqueue`.
+        #[cfg(debug_assertions)]
+        std::thread::yield_now();
         self.dequeue_slow(rec, tag | head, rec, tag);
         rec.pending.store(0, SeqCst);
         rec.seq1.store(seq.wrapping_add(1), SeqCst);

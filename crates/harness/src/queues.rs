@@ -308,6 +308,65 @@ impl<R: InnerRing<u64>> QueueHandle for UnboundedHandle<'_, u64, R> {
     }
 }
 
+// ------------------------------------------------------------ channel -----
+
+/// Adapter: the owned channel API (`wcq::channel`) over a bounded wCQ.
+///
+/// Measures what the production-facing surface costs on top of the raw
+/// handles: the `Arc` indirection, the per-op closed check, and the lazy
+/// endpoint registration. Each worker handle is a cloned
+/// `(Sender, Receiver)` pair; endpoints take thread slots lazily on first
+/// use, so the prototype pair held here costs nothing while idle — the
+/// queue is sized at two slots per worker (sender + receiver endpoint).
+pub struct ChannelBench {
+    tx: wcq::channel::Sender<u64>,
+    rx: wcq::channel::Receiver<u64>,
+}
+
+impl ChannelBench {
+    /// Builds from a [`QueueSpec`]: capacity `2^ring_order`, two thread
+    /// slots per worker plus the drain handle's pair.
+    pub fn new(spec: &QueueSpec) -> Self {
+        let (tx, rx) = wcq::channel::bounded_with_config(
+            spec.ring_order,
+            (spec.max_threads + 1) * 2,
+            &spec.cfg,
+        );
+        ChannelBench { tx, rx }
+    }
+}
+
+/// A worker's endpoint pair for [`ChannelBench`] (owned: no borrow of the
+/// bench struct, exactly like the channel API's own users).
+pub struct ChannelEndpoints {
+    tx: wcq::channel::Sender<u64>,
+    rx: wcq::channel::Receiver<u64>,
+}
+
+impl BenchQueue for ChannelBench {
+    type Handle<'a> = ChannelEndpoints;
+    fn name(&self) -> &'static str {
+        "wCQ-channel"
+    }
+    fn handle(&self) -> Self::Handle<'_> {
+        ChannelEndpoints {
+            tx: self.tx.clone(),
+            rx: self.rx.clone(),
+        }
+    }
+}
+
+impl QueueHandle for ChannelEndpoints {
+    #[inline]
+    fn enqueue(&mut self, v: u64) -> bool {
+        self.tx.try_send(v).is_ok()
+    }
+    #[inline]
+    fn dequeue(&mut self) -> Option<u64> {
+        self.rx.try_recv().ok()
+    }
+}
+
 // ---------------------------------------------------------------- FAA -----
 
 /// Adapter: the F&A upper-bound pseudo-queue.
@@ -561,6 +620,7 @@ mod tests {
         assert_eq!(ShardedWcqBench::new(&spec).name(), "wCQ-sharded");
         assert_eq!(UnboundedWcqBench::new(&spec).name(), "wCQ-unbounded");
         assert_eq!(UnboundedScqBench::new(&spec).name(), "LSCQ");
+        assert_eq!(ChannelBench::new(&spec).name(), "wCQ-channel");
     }
 
     #[test]

@@ -21,7 +21,7 @@
 #![warn(missing_docs)]
 
 use std::collections::HashSet;
-use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicUsize, Ordering::SeqCst};
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicUsize, Ordering::Relaxed, Ordering::SeqCst};
 use std::sync::Mutex;
 
 /// Hazard slots per thread. MSQueue needs 2, LCRQ 2, CRTurn 3; 4 gives
@@ -40,8 +40,14 @@ struct Retired {
 }
 
 // SAFETY: a retired pointer is unlinked (caller contract) and owned by the
-// retire list; moving it across threads is sound.
+// retire list; moving it across threads is sound. Shared references are
+// sound too (`Sync`): `&Retired` only permits reading the pointer *value*
+// — all dereferencing and freeing goes through owning (`&mut`/by-value)
+// paths. Without `Sync`, every structure embedding an `HpHandle` (the
+// owned unbounded handles, the channel endpoints) would be `!Sync` for no
+// reason.
 unsafe impl Send for Retired {}
+unsafe impl Sync for Retired {}
 
 /// A reclamation domain: a fixed set of hazard slots plus an orphan list.
 pub struct Domain {
@@ -81,10 +87,18 @@ impl Domain {
     }
 
     /// Acquires a per-thread handle, or `None` if all slots are taken.
+    ///
+    /// Occupied slots are skipped with a plain load and the claiming CAS
+    /// uses a `Relaxed` failure ordering, so registration churn (handles
+    /// acquired and dropped per work item) does not hammer SeqCst
+    /// read-modify-writes on every occupied slot.
     pub fn register(&self) -> Option<HpHandle<'_>> {
         for (idx, s) in self.slots.iter().enumerate() {
+            if s.active.load(Relaxed) {
+                continue; // occupied: don't even attempt the CAS
+            }
             if s.active
-                .compare_exchange(false, true, SeqCst, SeqCst)
+                .compare_exchange(false, true, SeqCst, Relaxed)
                 .is_ok()
             {
                 return Some(HpHandle {

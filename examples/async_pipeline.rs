@@ -1,23 +1,29 @@
-//! Async producer/consumer pipeline over the wCQ facade.
+//! Async producer/consumer pipeline over the channel API, on spawned
+//! threads.
 //!
 //! ```text
 //! cargo run --release --example async_pipeline
 //! ```
 //!
-//! `wcq::sync` exposes `enqueue_async`/`dequeue_async` futures that
+//! `wcq::channel` endpoints expose `send_async`/`recv_async` futures that
 //! register the task's waker on the queue's eventcount instead of parking
-//! a thread, so the queues drop into any async runtime. This example needs
-//! no external executor: each stage drives its futures with the vendored
-//! single-future `block_on`, which is the whole waker contract the futures
-//! rely on — a real executor only adds scheduling on top.
+//! a thread, so the queues drop into any async runtime — and because the
+//! endpoints own their queue (`Arc`-backed), the futures live in `'static`
+//! tasks on plain `std::thread::spawn`, no scope required. Each stage here
+//! drives its futures with the vendored single-future `block_on`, which is
+//! the whole waker contract the futures rely on; a real executor only adds
+//! scheduling on top.
 //!
-//! Shape: N async producers feed an unbounded wCQ; one async aggregator
-//! consumes it, batches per-key counts, and forwards summaries through a
-//! *bounded* 16-slot queue (so the aggregator sees backpressure as pending
-//! `enqueue_async` futures) to an async sink.
+//! Shape: N async producers feed an unbounded channel; one async
+//! aggregator consumes it, batches per-key counts, and forwards summaries
+//! through a *bounded* 16-slot channel (so the aggregator sees
+//! backpressure as pending `send_async` futures) to an async sink. Both
+//! channels shut down by endpoint drop alone — the aggregator learns the
+//! producers are done when `recv_async` resolves `Closed`, and the sink
+//! learns the same of the aggregator.
 
-use wcq::sync::{block_on, RecvError, SyncQueue};
-use wcq::{UnboundedWcq, WcqQueue};
+use wcq::channel;
+use wcq::sync::{block_on, RecvError};
 
 const PRODUCERS: usize = 3;
 const ITEMS_PER_PRODUCER: u64 = 100_000;
@@ -25,85 +31,82 @@ const KEYS: u64 = 16;
 const SUMMARY_EVERY: u64 = 4096;
 
 fn main() {
-    let events: UnboundedWcq<u64> = UnboundedWcq::new(10, PRODUCERS + 1);
-    let summaries: WcqQueue<(u64, u64)> = WcqQueue::new(4, 2); // 16 slots
+    let (etx, erx) = channel::unbounded::<u64>(10, PRODUCERS + 1);
+    let (stx, srx) = channel::bounded::<(u64, u64)>(4, 2); // 16 slots
 
     let t0 = std::time::Instant::now();
-    let grand_total = std::thread::scope(|s| {
-        let producers: Vec<_> = (0..PRODUCERS as u64)
-            .map(|p| {
-                let events = &events;
-                s.spawn(move || {
-                    let mut h = events.register().expect("producer slot");
-                    block_on(async move {
-                        for i in 0..ITEMS_PER_PRODUCER {
-                            // Unbounded enqueue never waits: the future is
-                            // always immediately ready.
-                            h.enqueue_async((p << 32) | (i % KEYS)).await.unwrap();
-                        }
-                    });
-                })
+
+    let producers: Vec<_> = (0..PRODUCERS as u64)
+        .map(|p| {
+            let mut tx = etx.clone();
+            std::thread::spawn(move || {
+                block_on(async move {
+                    for i in 0..ITEMS_PER_PRODUCER {
+                        // Unbounded send never waits on capacity: the
+                        // future is always immediately ready.
+                        tx.send_async((p << 32) | (i % KEYS)).await.unwrap();
+                    }
+                });
             })
-            .collect();
-        let events = &events;
-        let summaries = &summaries;
-        let aggregator = s.spawn(move || {
-            let mut rx = events.register().expect("aggregator slot");
-            let mut tx = summaries.register().expect("summary slot");
-            block_on(async move {
-                let mut counts = [0u64; KEYS as usize];
-                let mut seen = 0u64;
-                loop {
-                    match rx.dequeue_async().await {
-                        Ok(v) => {
-                            counts[(v & 0xffff_ffff) as usize % KEYS as usize] += 1;
-                            seen += 1;
-                            if seen.is_multiple_of(SUMMARY_EVERY) {
-                                for (k, c) in counts.iter_mut().enumerate() {
-                                    if *c > 0 {
-                                        // Bounded queue: parks the *task*
-                                        // (Pending) while full.
-                                        tx.enqueue_async((k as u64, *c)).await.unwrap();
-                                        *c = 0;
-                                    }
+        })
+        .collect();
+    drop(etx); // last producer's drop closes the event stream
+
+    let aggregator = std::thread::spawn(move || {
+        let mut rx = erx;
+        let mut tx = stx; // sole summary sender: its drop closes the sink
+        block_on(async move {
+            let mut counts = [0u64; KEYS as usize];
+            let mut seen = 0u64;
+            loop {
+                match rx.recv_async().await {
+                    Ok(v) => {
+                        counts[(v & 0xffff_ffff) as usize % KEYS as usize] += 1;
+                        seen += 1;
+                        if seen.is_multiple_of(SUMMARY_EVERY) {
+                            for (k, c) in counts.iter_mut().enumerate() {
+                                if *c > 0 {
+                                    // Bounded channel: parks the *task*
+                                    // (Pending) while full.
+                                    tx.send_async((k as u64, *c)).await.unwrap();
+                                    *c = 0;
                                 }
                             }
                         }
-                        Err(RecvError::Closed) => break,
-                        Err(RecvError::Timeout) => unreachable!("no deadline"),
                     }
+                    Err(RecvError::Closed) => break, // producers all done
+                    Err(RecvError::Timeout) => unreachable!("no deadline"),
                 }
-                // Flush the remainder, then close the summary stream.
-                for (k, c) in counts.iter().enumerate() {
-                    if *c > 0 {
-                        tx.enqueue_async((k as u64, *c)).await.unwrap();
-                    }
+            }
+            // Flush the remainder; dropping `tx` then closes the summary
+            // stream for the sink.
+            for (k, c) in counts.iter().enumerate() {
+                if *c > 0 {
+                    tx.send_async((k as u64, *c)).await.unwrap();
                 }
-                summaries.close();
-            });
+            }
         });
-        let sink = s.spawn(move || {
-            let mut rx = summaries.register().expect("sink slot");
-            block_on(async move {
-                let mut total = 0u64;
-                loop {
-                    match rx.dequeue_async().await {
-                        Ok((_key, count)) => total += count,
-                        Err(RecvError::Closed) => break total,
-                        Err(RecvError::Timeout) => unreachable!("no deadline"),
-                    }
-                }
-            })
-        });
-        // Close the event stream only after every producer finished; the
-        // aggregator then drains the backlog and closes the summaries.
-        for p in producers {
-            p.join().unwrap();
-        }
-        events.close();
-        aggregator.join().unwrap();
-        sink.join().unwrap()
     });
+
+    let sink = std::thread::spawn(move || {
+        let mut rx = srx;
+        block_on(async move {
+            let mut total = 0u64;
+            loop {
+                match rx.recv_async().await {
+                    Ok((_key, count)) => total += count,
+                    Err(RecvError::Closed) => break total,
+                    Err(RecvError::Timeout) => unreachable!("no deadline"),
+                }
+            }
+        })
+    });
+
+    for p in producers {
+        p.join().unwrap();
+    }
+    aggregator.join().unwrap();
+    let grand_total = sink.join().unwrap();
 
     let expect = PRODUCERS as u64 * ITEMS_PER_PRODUCER;
     println!(

@@ -1,0 +1,157 @@
+//! The full channel surface in one pipeline: sharded backend, batch
+//! send/receive, deadline-driven flushing, clone fan-out — all on plain
+//! spawned threads.
+//!
+//! ```text
+//! cargo run --release --example channel_pipeline
+//! ```
+//!
+//! Shape: a log-ingestion service. Four ingest threads batch "events" into
+//! a **sharded** channel (each sender endpoint has a fixed affinity shard,
+//! so per-ingester order is preserved; cross-ingester order is relaxed —
+//! the standard sharded-queue trade, DESIGN.md §7). A pool of parser
+//! workers drains it in batches and forwards matching events to a bounded
+//! channel. A single committer consumes that with `recv_timeout`,
+//! committing either when its buffer fills (size trigger) or when the
+//! deadline fires with data pending (time trigger) — the pattern real
+//! write-behind caches and WAL writers use.
+//!
+//! Shutdown is pure refcounting: ingesters drop their senders → the
+//! sharded channel closes → parsers drain and drop theirs → the bounded
+//! channel closes → the committer flushes its tail and returns.
+
+use std::time::{Duration, Instant};
+use wcq::channel;
+use wcq::sync::RecvError;
+
+const INGESTERS: usize = 4;
+const EVENTS_PER_INGESTER: u64 = 250_000;
+const BATCH: usize = 64;
+const COMMIT_SIZE: usize = 1024;
+const COMMIT_AFTER: Duration = Duration::from_millis(2);
+
+/// Sends a whole batch: one ticket-run claim per `send_batch` chunk on the
+/// sender's affinity shard; when the shard is full (batch makes no
+/// progress), a parking `send` moves the head element — and, unlike a
+/// retry spin, fails loudly if the pipeline died (channel closed).
+fn drain(tx: &mut channel::Sender<u64>, batch: &mut Vec<u64>) {
+    while !batch.is_empty() {
+        if tx.send_batch(batch) == 0 {
+            let v = batch.remove(0); // O(BATCH) shift, bounded and rare
+            tx.send(v).expect("parsers gone before ingest finished");
+        }
+    }
+}
+
+fn main() {
+    // Stage 1: ingest → parse. 4 shards of 512 slots; every operating
+    // endpoint (4 ingesters + parsers + prototypes' lazy nothing) fits.
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(2)
+        .clamp(2, 8);
+    let (etx, erx) = channel::sharded::<u64>(4, 9, INGESTERS + workers);
+    // Stage 2: parse → commit. Small buffer: commit backpressure reaches
+    // the parsers as parked batch sends.
+    let (ctx, crx) = channel::bounded::<u64>(8, workers + 1);
+
+    let t0 = Instant::now();
+
+    let ingesters: Vec<_> = (0..INGESTERS as u64)
+        .map(|p| {
+            let mut tx = etx.clone();
+            std::thread::spawn(move || {
+                let mut batch = Vec::with_capacity(BATCH);
+                for i in 0..EVENTS_PER_INGESTER {
+                    batch.push((p << 40) | i);
+                    if batch.len() == BATCH {
+                        drain(&mut tx, &mut batch);
+                    }
+                }
+                drain(&mut tx, &mut batch);
+            })
+        })
+        .collect();
+    drop(etx);
+
+    let parsers: Vec<_> = (0..workers)
+        .map(|_| {
+            let mut rx = erx.clone();
+            let mut tx = ctx.clone();
+            std::thread::spawn(move || {
+                let mut buf = Vec::with_capacity(BATCH);
+                let mut forwarded = 0u64;
+                loop {
+                    buf.clear();
+                    if rx.recv_batch(&mut buf, BATCH) == 0 {
+                        // Batch observed empty: park on the edge instead
+                        // of spinning; Closed ends the stage.
+                        match rx.recv() {
+                            Ok(v) => buf.push(v),
+                            Err(RecvError::Closed) => break forwarded,
+                            Err(RecvError::Timeout) => unreachable!("no deadline"),
+                        }
+                    }
+                    for &v in &buf {
+                        // "Parsing": keep even sequence numbers only.
+                        if v & 1 == 0 {
+                            tx.send(v).unwrap();
+                            forwarded += 1;
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    drop(erx);
+    drop(ctx);
+
+    let committer = std::thread::spawn(move || {
+        let mut rx = crx;
+        let mut pending: Vec<u64> = Vec::with_capacity(COMMIT_SIZE);
+        let (mut commits, mut committed, mut timed_flushes) = (0u64, 0u64, 0u64);
+        loop {
+            match rx.recv_timeout(COMMIT_AFTER) {
+                Ok(v) => {
+                    pending.push(v);
+                    if pending.len() >= COMMIT_SIZE {
+                        committed += pending.len() as u64;
+                        commits += 1;
+                        pending.clear(); // "fsync"
+                    }
+                }
+                Err(RecvError::Timeout) => {
+                    if !pending.is_empty() {
+                        committed += pending.len() as u64;
+                        commits += 1;
+                        timed_flushes += 1;
+                        pending.clear(); // time-triggered partial commit
+                    }
+                }
+                Err(RecvError::Closed) => {
+                    committed += pending.len() as u64;
+                    if !pending.is_empty() {
+                        commits += 1;
+                    }
+                    break (commits, committed, timed_flushes);
+                }
+            }
+        }
+    });
+
+    for t in ingesters {
+        t.join().unwrap();
+    }
+    let forwarded: u64 = parsers.into_iter().map(|p| p.join().unwrap()).sum();
+    let (commits, committed, timed_flushes) = committer.join().unwrap();
+
+    let expect = INGESTERS as u64 * EVENTS_PER_INGESTER / 2; // even seqs
+    println!(
+        "ingested {} events, committed {committed} in {commits} commits \
+         ({timed_flushes} deadline-triggered) in {:?}",
+        INGESTERS as u64 * EVENTS_PER_INGESTER,
+        t0.elapsed()
+    );
+    assert_eq!(forwarded, expect, "parsers must forward every even event");
+    assert_eq!(committed, expect, "committer must account for every event");
+}

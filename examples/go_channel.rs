@@ -1,85 +1,49 @@
-//! A Go-style buffered channel on top of wCQ.
+//! A Go-style buffered channel on top of wCQ — now on plain spawned
+//! threads.
 //!
 //! ```text
 //! cargo run --release --example go_channel
 //! ```
 //!
 //! The paper's introduction motivates wCQ with language runtimes: "Go needs
-//! a queue for its buffered channel implementation". This example builds a
-//! minimal `chan T`-alike — bounded buffer, blocking send/recv, close
-//! semantics — where the buffer is a wait-free `WcqQueue` and the blocking
-//! comes from the queue's own eventcount facade (`wcq::sync`, DESIGN.md
-//! §9): senders park while the buffer is full, receivers while it is empty
-//! and open, and `close` wakes everyone. Earlier revisions hand-rolled this
-//! with `yield_now` spin loops; the facade replaces them with honest
-//! parking while the queue underneath stays wait-free — a preempted peer
-//! can still never wedge the queue itself.
+//! a queue for its buffered channel implementation". Earlier revisions of
+//! this example hand-rolled a channel over borrowed queue handles, which
+//! trapped the whole pipeline inside `std::thread::scope`. The stack now
+//! ships the real thing — `wcq::channel` (DESIGN.md §10): `Arc`-owned
+//! queues behind cloneable `Sender`/`Receiver` endpoints, so every stage
+//! below is an ordinary `std::thread::spawn` with `'static` closures, the
+//! shape a production service actually has.
+//!
+//! Shutdown is Go-like and entirely implicit: no `close()` calls anywhere.
+//! When the generator finishes, dropping its `Sender` closes stage 1; the
+//! workers drain it, see `Closed`, return, and dropping *their* senders
+//! closes stage 2 for the sink — refcount-driven close rippling down the
+//! pipeline.
 //!
 //! A three-stage pipeline (generator → worker pool → sink) moves a million
-//! items through two channels.
+//! items through two channels; senders park while a buffer is full and
+//! receivers while one is empty and open (the queue underneath stays
+//! wait-free — a preempted peer can never wedge it).
 
-use wcq::sync::{RecvError, SendError, SyncQueue};
-use wcq::WcqQueue;
+use wcq::channel::{self, Receiver, Sender};
+use wcq::sync::{RecvError, SendError};
 
-/// A bounded, closable MPMC channel: a thin veneer over [`WcqQueue`]'s
-/// blocking facade mapping Go's semantics (`send` on closed panics, `recv`
-/// on closed-and-drained returns `None`).
-struct Channel<T> {
-    buf: WcqQueue<T>,
-}
-
-impl<T: Send> Channel<T> {
-    fn new(order: u32, max_threads: usize) -> Self {
-        Channel {
-            buf: WcqQueue::new(order, max_threads),
-        }
-    }
-
-    fn sender(&self) -> Sender<'_, T> {
-        Sender {
-            h: self.buf.register().expect("thread slot"),
-        }
-    }
-
-    fn receiver(&self) -> Receiver<'_, T> {
-        Receiver {
-            h: self.buf.register().expect("thread slot"),
-        }
-    }
-
-    fn close(&self) {
-        self.buf.close();
+/// `ch <- v` — parks while the buffer is full; panics on a closed channel
+/// exactly like Go's send-on-closed.
+fn send<T: Send>(tx: &mut Sender<T>, v: T) {
+    match tx.send(v) {
+        Ok(()) => {}
+        Err(SendError::Closed(_)) => panic!("send on closed channel"),
+        Err(SendError::Timeout(_)) => unreachable!("no deadline"),
     }
 }
 
-struct Sender<'c, T> {
-    h: wcq::WcqHandle<'c, T>,
-}
-
-impl<T: Send> Sender<'_, T> {
-    /// Parks while the buffer is full — `ch <- v`.
-    fn send(&mut self, v: T) {
-        match self.h.enqueue_blocking(v) {
-            Ok(()) => {}
-            Err(SendError::Closed(_)) => panic!("send on closed channel"),
-            Err(SendError::Timeout(_)) => unreachable!("no deadline"),
-        }
-    }
-}
-
-struct Receiver<'c, T> {
-    h: wcq::WcqHandle<'c, T>,
-}
-
-impl<T: Send> Receiver<'_, T> {
-    /// Parks while empty; returns `None` once the channel is closed *and*
-    /// drained — Go's `v, ok := <-ch`.
-    fn recv(&mut self) -> Option<T> {
-        match self.h.dequeue_blocking() {
-            Ok(v) => Some(v),
-            Err(RecvError::Closed) => None,
-            Err(RecvError::Timeout) => unreachable!("no deadline"),
-        }
+/// `v, ok := <-ch` — parks while empty; `None` once closed *and* drained.
+fn recv<T: Send>(rx: &mut Receiver<T>) -> Option<T> {
+    match rx.recv() {
+        Ok(v) => Some(v),
+        Err(RecvError::Closed) => None,
+        Err(RecvError::Timeout) => unreachable!("no deadline"),
     }
 }
 
@@ -87,48 +51,53 @@ fn main() {
     const ITEMS: u64 = 1_000_000;
     const WORKERS: usize = 3;
 
-    let stage1: Channel<u64> = Channel::new(9, 1 + WORKERS); // generator → workers
-    let stage2: Channel<u64> = Channel::new(9, 1 + WORKERS); // workers → sink
+    // 512-slot buffers; every concurrently operating endpoint needs a
+    // thread slot (taken lazily on first use, released on drop).
+    let (tx1, rx1) = channel::bounded::<u64>(9, 1 + WORKERS); // generator → workers
+    let (tx2, rx2) = channel::bounded::<u64>(9, 1 + WORKERS); // workers → sink
 
     let t0 = std::time::Instant::now();
-    let (sum, count) = std::thread::scope(|s| {
-        let generator = s.spawn(|| {
-            let mut tx = stage1.sender();
-            for i in 0..ITEMS {
-                tx.send(i);
-            }
-            stage1.close();
-        });
-        let workers: Vec<_> = (0..WORKERS)
-            .map(|_| {
-                s.spawn(|| {
-                    let mut rx = stage1.receiver();
-                    let mut tx = stage2.sender();
-                    let mut n = 0u64;
-                    while let Some(v) = rx.recv() {
-                        tx.send(v % 97); // stand-in for real work
-                        n += 1;
-                    }
-                    n
-                })
-            })
-            .collect();
-        let sink = s.spawn(|| {
-            let mut rx = stage2.receiver();
-            let mut sum = 0u64;
-            let mut count = 0u64;
-            while let Some(v) = rx.recv() {
-                sum += v;
-                count += 1;
-            }
-            (sum, count)
-        });
-        generator.join().unwrap();
-        let forwarded: u64 = workers.into_iter().map(|w| w.join().unwrap()).sum();
-        assert_eq!(forwarded, ITEMS, "workers must forward every item");
-        stage2.close();
-        sink.join().unwrap()
+
+    let generator = std::thread::spawn(move || {
+        let mut tx = tx1; // sole sender: its drop closes stage 1
+        for i in 0..ITEMS {
+            send(&mut tx, i);
+        }
     });
+
+    let workers: Vec<_> = (0..WORKERS)
+        .map(|_| {
+            let mut rx = rx1.clone();
+            let mut tx = tx2.clone();
+            std::thread::spawn(move || {
+                let mut n = 0u64;
+                while let Some(v) = recv(&mut rx) {
+                    send(&mut tx, v % 97); // stand-in for real work
+                    n += 1;
+                }
+                n // rx saw Closed: generator done and stage 1 drained
+            })
+        })
+        .collect();
+    // The workers hold clones; dropping the prototypes hands them sole
+    // ownership, so stage 2 closes exactly when the last worker returns.
+    drop(rx1);
+    drop(tx2);
+
+    let sink = std::thread::spawn(move || {
+        let mut rx = rx2;
+        let (mut sum, mut count) = (0u64, 0u64);
+        while let Some(v) = recv(&mut rx) {
+            sum += v;
+            count += 1;
+        }
+        (sum, count)
+    });
+
+    generator.join().unwrap();
+    let forwarded: u64 = workers.into_iter().map(|w| w.join().unwrap()).sum();
+    assert_eq!(forwarded, ITEMS, "workers must forward every item");
+    let (sum, count) = sink.join().unwrap();
 
     println!(
         "pipeline moved {count} items through 2 channels x {WORKERS} workers in {:?} (checksum {sum})",

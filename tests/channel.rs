@@ -1,0 +1,330 @@
+//! Channel-API stress and semantics: the `wcq::channel` endpoints on plain
+//! spawned (`'static`) threads — cloning, lazy slot acquisition,
+//! refcount-driven close, the blocking/deadline/async surface, and exact
+//! delivery at 4×-core oversubscription over all three backends.
+
+use std::sync::atomic::{AtomicU64, Ordering::SeqCst};
+use std::sync::Arc;
+use std::time::Duration;
+use wcq::channel::{self, Receiver, Sender, TryRecvError, TrySendError};
+use wcq::sync::{block_on, RecvError, SendError};
+use wcq::WcqConfig;
+
+fn oversubscribed(n: usize) -> usize {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    (cores * 4).max(n)
+}
+
+/// The MPMC skeleton: `producers` sender clones and `consumers` receiver
+/// clones on spawned threads; every produced value must arrive exactly
+/// once, and the consumers must terminate via refcount close alone (no
+/// explicit close call anywhere).
+fn mpmc_exact_delivery(
+    tx: Sender<u64>,
+    rx: Receiver<u64>,
+    producers: usize,
+    consumers: usize,
+    per: u64,
+) {
+    let next = Arc::new(AtomicU64::new(0));
+    let p_threads: Vec<_> = (0..producers)
+        .map(|_| {
+            let mut tx = tx.clone();
+            let next = Arc::clone(&next);
+            std::thread::spawn(move || {
+                for _ in 0..per {
+                    tx.send(next.fetch_add(1, SeqCst)).unwrap();
+                }
+            })
+        })
+        .collect();
+    drop(tx); // producers' clones keep the channel open
+    let c_threads: Vec<_> = (0..consumers)
+        .map(|_| {
+            let mut rx = rx.clone();
+            std::thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Ok(v) = rx.recv() {
+                    got.push(v);
+                }
+                got // ended by the last producer's drop
+            })
+        })
+        .collect();
+    drop(rx);
+    for p in p_threads {
+        p.join().unwrap();
+    }
+    let mut all: Vec<u64> = c_threads
+        .into_iter()
+        .flat_map(|c| c.join().unwrap())
+        .collect();
+    let expect = producers as u64 * per;
+    assert_eq!(all.len() as u64, expect, "lost or duplicated elements");
+    all.sort_unstable();
+    assert_eq!(all, (0..expect).collect::<Vec<_>>());
+}
+
+#[test]
+fn bounded_mpmc_on_spawned_threads() {
+    let workers = oversubscribed(8);
+    let (p, c) = (workers / 2, workers / 2);
+    // Two slots of headroom over the worker count: endpoints register
+    // lazily but all workers operate concurrently here.
+    let (tx, rx) = channel::bounded::<u64>(6, p + c + 2);
+    mpmc_exact_delivery(tx, rx, p, c, 2_000);
+}
+
+#[test]
+fn bounded_mpmc_stress_config() {
+    let workers = oversubscribed(8).min(12);
+    let (p, c) = (workers / 2, workers / 2);
+    let (tx, rx) = channel::bounded_with_config::<u64>(5, p + c + 2, &WcqConfig::stress());
+    mpmc_exact_delivery(tx, rx, p, c, 1_000);
+}
+
+#[test]
+fn sharded_mpmc_on_spawned_threads() {
+    let workers = oversubscribed(8);
+    let (p, c) = (workers / 2, workers / 2);
+    let (tx, rx) = channel::sharded::<u64>(4, 5, p + c + 2);
+    mpmc_exact_delivery(tx, rx, p, c, 2_000);
+}
+
+#[test]
+fn unbounded_mpmc_on_spawned_threads() {
+    let workers = oversubscribed(8);
+    let (p, c) = (workers / 2, workers / 2);
+    let (tx, rx) = channel::unbounded::<u64>(5, p + c + 2);
+    mpmc_exact_delivery(tx, rx, p, c, 2_000);
+}
+
+#[test]
+fn last_sender_drop_closes_after_drain() {
+    let (mut tx, mut rx) = channel::bounded::<u32>(4, 2);
+    tx.send(1).unwrap();
+    tx.send(2).unwrap();
+    drop(tx); // last sender: close
+    assert!(rx.is_closed());
+    // Backlog drains before Closed is reported, on every entry point.
+    assert_eq!(rx.try_recv(), Ok(1));
+    assert_eq!(rx.recv(), Ok(2));
+    assert_eq!(rx.recv(), Err(RecvError::Closed));
+    assert_eq!(rx.try_recv(), Err(TryRecvError::Closed));
+    assert_eq!(
+        rx.recv_timeout(Duration::from_millis(5)),
+        Err(RecvError::Closed)
+    );
+}
+
+#[test]
+fn last_receiver_drop_fails_senders() {
+    let (mut tx, rx) = channel::bounded::<u32>(4, 2);
+    let rx2 = rx.clone();
+    drop(rx);
+    tx.send(1).unwrap(); // a receiver clone still exists
+    drop(rx2); // last receiver: close
+    assert!(tx.is_closed());
+    assert_eq!(tx.try_send(7), Err(TrySendError::Closed(7)));
+    assert_eq!(tx.send(8), Err(SendError::Closed(8)));
+    assert_eq!(
+        tx.send_timeout(9, Duration::from_millis(5)),
+        Err(SendError::Closed(9))
+    );
+    let mut batch = vec![1, 2, 3];
+    assert_eq!(tx.send_batch(&mut batch), 0, "closed: nothing accepted");
+    assert_eq!(batch, vec![1, 2, 3], "values conserved");
+}
+
+#[test]
+fn idle_clones_take_no_slots() {
+    // max_threads = 2, but any number of idle clones is fine: slots are
+    // taken on first use, not at clone time.
+    let (tx, mut rx) = channel::bounded::<u32>(4, 2);
+    let idle: Vec<Sender<u32>> = (0..32).map(|_| tx.clone()).collect();
+    let mut tx = tx;
+    tx.send(5).unwrap(); // takes slot 1 of 2
+    assert_eq!(rx.recv(), Ok(5)); // takes slot 2 of 2
+    drop(idle); // never registered; nothing to release
+    drop(tx);
+    assert_eq!(rx.recv(), Err(RecvError::Closed));
+}
+
+#[test]
+fn slot_waiting_resolves_when_endpoint_drops() {
+    // Three operating endpoints compete for two slots: the third blocks in
+    // lazy registration until one of the first two drops. This is the
+    // documented contract of `max_threads` on the channel constructors.
+    let (tx, mut rx) = channel::bounded::<u32>(4, 2);
+    let mut tx1 = tx.clone();
+    tx1.send(1).unwrap(); // slot A
+    let t = {
+        let mut tx2 = tx.clone();
+        std::thread::spawn(move || {
+            tx2.send(2).unwrap(); // waits for a slot, then slot A
+        })
+    };
+    std::thread::sleep(Duration::from_millis(20));
+    drop(tx1); // frees slot A; the spawned sender proceeds
+    t.join().unwrap();
+    drop(tx);
+    assert_eq!(rx.recv(), Ok(1)); // slot B
+    assert_eq!(rx.recv(), Ok(2));
+    assert_eq!(rx.recv(), Err(RecvError::Closed));
+}
+
+#[test]
+fn timeout_is_element_conserving() {
+    let (mut tx, mut rx) = channel::bounded::<u32>(2, 2); // 4 slots
+    for i in 0..4 {
+        tx.send(i).unwrap();
+    }
+    // Full: the value must ride back in the error.
+    match tx.send_timeout(99, Duration::from_millis(5)) {
+        Err(SendError::Timeout(v)) => assert_eq!(v, 99),
+        other => panic!("expected timeout, got {other:?}"),
+    }
+    for i in 0..4 {
+        assert_eq!(rx.recv(), Ok(i));
+    }
+    assert_eq!(
+        rx.recv_timeout(Duration::from_millis(5)),
+        Err(RecvError::Timeout)
+    );
+}
+
+#[test]
+fn batch_surface_roundtrips() {
+    let (mut tx, mut rx) = channel::bounded::<u64>(3, 2); // 8 slots
+    let mut items: Vec<u64> = (0..10).collect();
+    assert_eq!(tx.send_batch(&mut items), 8, "bounded at capacity");
+    assert_eq!(items, vec![8, 9], "rejects stay behind in order");
+    let mut out = Vec::new();
+    assert_eq!(rx.recv_batch(&mut out, 100), 8);
+    assert_eq!(out, (0..8).collect::<Vec<_>>());
+    assert_eq!(rx.recv_batch(&mut out, 1), 0, "observed empty");
+}
+
+#[test]
+fn async_pipeline_via_block_on() {
+    let (tx, mut rx) = channel::unbounded::<u64>(4, 3);
+    let producers: Vec<_> = (0..2u64)
+        .map(|p| {
+            let mut tx = tx.clone();
+            std::thread::spawn(move || {
+                block_on(async move {
+                    for i in 0..500 {
+                        tx.send_async(p * 500 + i).await.unwrap();
+                    }
+                })
+            })
+        })
+        .collect();
+    drop(tx);
+    let sum = block_on(async move {
+        let mut sum = 0u64;
+        loop {
+            match rx.recv_async().await {
+                Ok(v) => sum += v,
+                Err(RecvError::Closed) => break sum,
+                Err(RecvError::Timeout) => unreachable!("no deadline"),
+            }
+        }
+    });
+    for p in producers {
+        p.join().unwrap();
+    }
+    assert_eq!(sum, (0..1000u64).sum());
+}
+
+#[test]
+fn async_send_backpressure_on_bounded() {
+    // 4-slot bounded channel: the producer's send futures must go Pending
+    // while full and resolve as the consumer drains.
+    let (mut tx, mut rx) = channel::bounded::<u64>(2, 2);
+    let t = std::thread::spawn(move || {
+        block_on(async move {
+            for i in 0..200 {
+                tx.send_async(i).await.unwrap();
+            }
+        })
+    });
+    let got = block_on(async move {
+        let mut got = Vec::new();
+        loop {
+            match rx.recv_async().await {
+                Ok(v) => got.push(v),
+                Err(_) => break got,
+            }
+        }
+    });
+    t.join().unwrap();
+    assert_eq!(got, (0..200).collect::<Vec<_>>(), "FIFO under backpressure");
+}
+
+#[test]
+fn sender_clone_churn_exact_delivery() {
+    // Endpoint churn through the channel surface: every send creates,
+    // uses, and drops a fresh Sender clone (register + quiesced release
+    // per item), while a long-lived receiver drains.
+    let (tx, mut rx) = channel::bounded_with_config::<u64>(5, 4, &WcqConfig::stress());
+    let feeders: Vec<_> = (0..2u64)
+        .map(|p| {
+            let tx = tx.clone();
+            std::thread::spawn(move || {
+                for i in 0..300 {
+                    let mut fresh = tx.clone();
+                    fresh.send(p * 300 + i).unwrap();
+                } // fresh dropped: slot released each round
+            })
+        })
+        .collect();
+    drop(tx);
+    let mut got = Vec::new();
+    while let Ok(v) = rx.recv() {
+        got.push(v);
+    }
+    for f in feeders {
+        f.join().unwrap();
+    }
+    got.sort_unstable();
+    assert_eq!(got, (0..600).collect::<Vec<_>>());
+}
+
+#[test]
+fn receiver_competition_drains_everything() {
+    // Receivers racing try_recv/recv_batch against a closing channel must
+    // between them account for every element. One sender feeds one
+    // affinity shard, so the backlog must fit a single shard (2^5).
+    let (mut tx, rx) = channel::sharded::<u64>(2, 5, 6);
+    for i in 0..24 {
+        tx.send(i).unwrap();
+    }
+    drop(tx);
+    let rxs: Vec<_> = (0..3)
+        .map(|_| {
+            let mut rx = rx.clone();
+            std::thread::spawn(move || {
+                let mut got = Vec::new();
+                loop {
+                    let mut out = Vec::new();
+                    if rx.recv_batch(&mut out, 4) > 0 {
+                        got.extend(out);
+                        continue;
+                    }
+                    match rx.try_recv() {
+                        Ok(v) => got.push(v),
+                        Err(TryRecvError::Closed) => break got,
+                        Err(TryRecvError::Empty) => std::thread::yield_now(),
+                    }
+                }
+            })
+        })
+        .collect();
+    drop(rx);
+    let mut all: Vec<u64> = rxs.into_iter().flat_map(|t| t.join().unwrap()).collect();
+    all.sort_unstable();
+    assert_eq!(all, (0..24).collect::<Vec<_>>());
+}

@@ -1,0 +1,351 @@
+//! Handle-churn stress: threads repeatedly register, operate, and drop
+//! handles at 4×-core oversubscription while peers run the helping
+//! machinery flat out (`WcqConfig::stress`), asserting element
+//! conservation and exclusive tid ownership throughout.
+//!
+//! This is the regression suite for the **quiesce-on-release** protocol:
+//! `Drop` for the per-thread handles must wait until no helper is driving
+//! the tid's helping records before freeing the slot
+//! (`WcqRing::quiesce_record`). Reverting that wait — releasing with a
+//! bare `store(false)` — lets a new registrant inherit a record a helper
+//! is still replaying; debug builds then trip the
+//! `records_are_quiet` assertion in the registration paths (the helper
+//! window is deliberately stretched across a scheduler quantum in debug
+//! builds, so this suite hits the overlap deterministically rather than
+//! once per blue moon).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::SeqCst};
+use std::sync::{Arc, Mutex};
+use wcq::sync::SyncQueue;
+use wcq::{ShardedWcq, UnboundedWcq, WcqConfig, WcqQueue};
+
+/// 4×-core oversubscription, floored so small CI hosts still get enough
+/// threads to overlap a helper's drive window with a drop + re-register.
+fn churn_workers() -> usize {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    (cores * 4).max(8)
+}
+
+/// Tracks which thread currently owns each tid. Registering claims the
+/// tid's flag and asserts nobody else holds it — two live handles on one
+/// slot (the failure mode of a broken release) fail here immediately.
+struct TidOwners(Vec<AtomicBool>);
+
+impl TidOwners {
+    fn new(n: usize) -> Self {
+        TidOwners((0..n).map(|_| AtomicBool::new(false)).collect())
+    }
+    fn claim(&self, tid: usize) {
+        assert!(
+            !self.0[tid].swap(true, SeqCst),
+            "tid {tid} handed out while another handle still owns it"
+        );
+    }
+    /// Release the tracking flag *before* the handle drops: between the
+    /// flag release and the slot release nobody else can claim the tid
+    /// (the slot is still taken), so this ordering cannot false-positive.
+    fn release(&self, tid: usize) {
+        assert!(self.0[tid].swap(false, SeqCst), "tid {tid} double-released");
+    }
+}
+
+/// The shared churn skeleton: `workers` threads each run `rounds` of
+/// { register (retry until a slot frees) → a burst of enqueues/dequeues →
+/// drop }, with unique values from a global counter. Afterwards the queue
+/// is drained and every produced value must have come out exactly once.
+fn churn_rounds<H, FReg, FOps>(
+    workers: usize,
+    rounds: usize,
+    register: FReg,
+    run_ops: FOps,
+    owners: &TidOwners,
+) -> (u64, Vec<u64>)
+where
+    FReg: Fn() -> (H, usize) + Sync,
+    FOps: Fn(&mut H, &AtomicU64, &mut Vec<u64>) + Sync,
+    H: Send,
+{
+    let next_value = AtomicU64::new(0);
+    let sink = Mutex::new(Vec::new());
+    std::thread::scope(|s| {
+        let mut hs = Vec::new();
+        for _ in 0..workers {
+            let register = &register;
+            let run_ops = &run_ops;
+            let next_value = &next_value;
+            let sink = &sink;
+            hs.push(s.spawn(move || {
+                let mut got = Vec::new();
+                for _ in 0..rounds {
+                    let (mut h, tid) = register();
+                    owners.claim(tid);
+                    run_ops(&mut h, next_value, &mut got);
+                    owners.release(tid);
+                    drop(h); // quiesced slot release under fire
+                }
+                sink.lock().unwrap().extend(got);
+            }));
+        }
+        for h in hs {
+            h.join().unwrap();
+        }
+    });
+    (next_value.load(SeqCst), sink.into_inner().unwrap())
+}
+
+/// Asserts exact delivery: `consumed` plus `drained` must be precisely the
+/// set `0..produced` (unique values ⇒ any loss or duplication is visible).
+fn check_conservation(produced: u64, consumed: Vec<u64>, drained: Vec<u64>) {
+    let mut all = consumed;
+    all.extend(drained);
+    assert_eq!(all.len() as u64, produced, "lost or duplicated elements");
+    all.sort_unstable();
+    for (i, v) in all.iter().enumerate() {
+        assert_eq!(*v, i as u64, "value multiset is not exactly 0..produced");
+    }
+}
+
+/// Per-round op burst shared by the bounded-queue tests: enqueue a small
+/// run (skipping fulls), interleave dequeues. Everything enqueued is
+/// either consumed here, by a peer, or drained at the end.
+const OPS_PER_ROUND: u64 = 32;
+const ROUNDS: usize = 200;
+
+#[test]
+fn wcq_register_op_drop_churn() {
+    let workers = churn_workers();
+    // Fewer slots than workers: registration itself churns and handles
+    // recycle tids constantly. Stress config keeps the slow path (and so
+    // the helpers) engaged on nearly every contended op.
+    let slots = (workers / 2).clamp(2, 16);
+    let q: WcqQueue<u64> = WcqQueue::with_config(5, slots, &WcqConfig::stress());
+    let owners = TidOwners::new(slots);
+    let (produced, consumed) = churn_rounds(
+        workers,
+        ROUNDS,
+        || loop {
+            match q.register() {
+                Some(h) => {
+                    let tid = h.tid();
+                    break (h, tid);
+                }
+                None => std::thread::yield_now(),
+            }
+        },
+        |h, next, got| {
+            for _ in 0..OPS_PER_ROUND {
+                let v = next.fetch_add(1, SeqCst);
+                while h.enqueue(v).is_err() {
+                    // Full: make room ourselves so producers never wedge.
+                    if let Some(x) = h.dequeue() {
+                        got.push(x);
+                    }
+                }
+                if let Some(x) = h.dequeue() {
+                    got.push(x);
+                }
+            }
+        },
+        &owners,
+    );
+    let mut h = q.register().unwrap();
+    let drained = std::iter::from_fn(|| h.dequeue()).collect();
+    check_conservation(produced, consumed, drained);
+}
+
+#[test]
+fn sharded_register_op_drop_churn() {
+    let workers = churn_workers();
+    let slots = (workers / 2).clamp(2, 16);
+    let q: ShardedWcq<u64> = ShardedWcq::with_config(4, 4, slots, &WcqConfig::stress());
+    let owners = TidOwners::new(slots);
+    let (produced, consumed) = churn_rounds(
+        workers,
+        ROUNDS,
+        || loop {
+            match q.register() {
+                Some(h) => {
+                    let tid = h.tid();
+                    break (h, tid);
+                }
+                None => std::thread::yield_now(),
+            }
+        },
+        |h, next, got| {
+            for _ in 0..OPS_PER_ROUND {
+                let v = next.fetch_add(1, SeqCst);
+                while h.enqueue(v).is_err() {
+                    if let Some(x) = h.dequeue() {
+                        got.push(x);
+                    }
+                }
+                if let Some(x) = h.dequeue() {
+                    got.push(x);
+                }
+            }
+        },
+        &owners,
+    );
+    let mut h = q.register().unwrap();
+    let drained = std::iter::from_fn(|| h.dequeue()).collect();
+    check_conservation(produced, consumed, drained);
+}
+
+#[test]
+fn unbounded_register_op_drop_churn() {
+    // Hazard-slot churn on top of ring churn: tiny stressed rings hand
+    // off constantly while the handles (and with them the hazard slots
+    // doubling as ring tids) recycle. The drop-path quiesce of the
+    // reachable rings' records must keep re-registrants off records that
+    // helpers still drive.
+    let workers = churn_workers();
+    let slots = (workers / 2).clamp(2, 8);
+    let q: UnboundedWcq<u64> = UnboundedWcq::with_config(3, slots, &WcqConfig::stress());
+    let owners = TidOwners::new(slots);
+    let (produced, consumed) = churn_rounds(
+        workers,
+        ROUNDS,
+        || loop {
+            match q.register() {
+                Some(h) => {
+                    let tid = h.tid();
+                    break (h, tid);
+                }
+                None => std::thread::yield_now(),
+            }
+        },
+        |h, next, got| {
+            for _ in 0..OPS_PER_ROUND {
+                h.enqueue(next.fetch_add(1, SeqCst));
+                if let Some(x) = h.dequeue() {
+                    got.push(x);
+                }
+            }
+        },
+        &owners,
+    );
+    let mut h = q.register().unwrap();
+    let drained = std::iter::from_fn(|| h.dequeue()).collect();
+    check_conservation(produced, consumed, drained);
+}
+
+#[test]
+fn owned_handle_churn_on_spawned_threads() {
+    // The owned registration paths under churn, on plain spawned threads
+    // (no scope): every worker owns the queue through its handles.
+    let workers = churn_workers();
+    let slots = (workers / 2).clamp(2, 16);
+    let q: Arc<WcqQueue<u64>> = Arc::new(WcqQueue::with_config(5, slots, &WcqConfig::stress()));
+    let owners = Arc::new(TidOwners::new(slots));
+    let next_value = Arc::new(AtomicU64::new(0));
+    let sink = Arc::new(Mutex::new(Vec::new()));
+    let threads: Vec<_> = (0..workers)
+        .map(|_| {
+            let q = Arc::clone(&q);
+            let owners = Arc::clone(&owners);
+            let next_value = Arc::clone(&next_value);
+            let sink = Arc::clone(&sink);
+            std::thread::spawn(move || {
+                let mut got = Vec::new();
+                for _ in 0..ROUNDS {
+                    let mut h = loop {
+                        match q.register_owned() {
+                            Some(h) => break h,
+                            None => std::thread::yield_now(),
+                        }
+                    };
+                    owners.claim(h.tid());
+                    for _ in 0..OPS_PER_ROUND {
+                        let v = next_value.fetch_add(1, SeqCst);
+                        while h.enqueue(v).is_err() {
+                            if let Some(x) = h.dequeue() {
+                                got.push(x);
+                            }
+                        }
+                        if let Some(x) = h.dequeue() {
+                            got.push(x);
+                        }
+                    }
+                    owners.release(h.tid());
+                    drop(h);
+                }
+                sink.lock().unwrap().extend(got);
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+    let mut h = q.register_owned().unwrap();
+    let drained = std::iter::from_fn(|| h.dequeue()).collect();
+    check_conservation(
+        next_value.load(SeqCst),
+        Arc::try_unwrap(sink)
+            .map(|m| m.into_inner().unwrap())
+            .unwrap_or_default(),
+        drained,
+    );
+}
+
+#[test]
+fn blocking_facade_survives_handle_churn() {
+    // Producers use fresh blocking handles per burst while consumers churn
+    // theirs too: the eventcount waiter bookkeeping must survive handles
+    // coming and going (a stale waiter would deadlock the test).
+    let q: Arc<WcqQueue<u64>> = Arc::new(WcqQueue::with_config(4, 4, &WcqConfig::stress()));
+    const PER: u64 = 2_000;
+    let producer = {
+        let q = Arc::clone(&q);
+        std::thread::spawn(move || {
+            let mut sent = 0;
+            while sent < PER {
+                let mut h = loop {
+                    match q.register_owned() {
+                        Some(h) => break h,
+                        None => std::thread::yield_now(),
+                    }
+                };
+                for _ in 0..50 {
+                    if sent == PER {
+                        break;
+                    }
+                    h.enqueue_blocking(sent).unwrap();
+                    sent += 1;
+                }
+            }
+            q.close();
+        })
+    };
+    let consumers: Vec<_> = (0..2)
+        .map(|_| {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                let mut got = Vec::new();
+                'outer: loop {
+                    let mut h = loop {
+                        match q.register_owned() {
+                            Some(h) => break h,
+                            None => std::thread::yield_now(),
+                        }
+                    };
+                    for _ in 0..50 {
+                        match h.dequeue_blocking() {
+                            Ok(v) => got.push(v),
+                            Err(_) => break 'outer,
+                        }
+                    }
+                }
+                got
+            })
+        })
+        .collect();
+    producer.join().unwrap();
+    let mut all: Vec<u64> = consumers
+        .into_iter()
+        .flat_map(|c| c.join().unwrap())
+        .collect();
+    all.sort_unstable();
+    assert_eq!(all, (0..PER).collect::<Vec<_>>(), "exact blocking delivery");
+}

@@ -5,8 +5,8 @@
 
 use harness::model::{check_delivery, tag, DeliveryLog};
 use harness::queues::{
-    BenchQueue, CcBench, CrTurnBench, LcrqBench, MsBench, QueueHandle, QueueSpec, ScqBench,
-    ShardedWcqBench, UnboundedScqBench, UnboundedWcqBench, WcqBench, YmcBench,
+    BenchQueue, CcBench, ChannelBench, CrTurnBench, LcrqBench, MsBench, QueueHandle, QueueSpec,
+    ScqBench, ShardedWcqBench, UnboundedScqBench, UnboundedWcqBench, WcqBench, YmcBench,
 };
 use std::sync::atomic::{AtomicBool, Ordering::SeqCst};
 use std::sync::Mutex;
@@ -133,6 +133,28 @@ fn sharded_wcq_stress_config_delivers_exactly() {
         cfg: wcq::WcqConfig::stress(),
     };
     mpmc_check(&ShardedWcqBench::new(&s), workers / 2, workers / 2, 1_500);
+}
+
+#[test]
+fn channel_delivers_exactly() {
+    // Producer/consumer split through the owned channel endpoints: each
+    // worker's pair registers only the half it uses (lazy acquisition).
+    let workers = oversubscribed_workers();
+    let s = spec(workers, 8);
+    mpmc_check(&ChannelBench::new(&s), workers / 2, workers / 2, 3_000);
+}
+
+#[test]
+fn channel_stress_config_delivers_exactly() {
+    // Tiny ring + forced slow path under the channel surface: the per-op
+    // closed check and lazy registration must not perturb the helping
+    // machinery's exactness.
+    let workers = oversubscribed_workers();
+    let s = QueueSpec {
+        cfg: wcq::WcqConfig::stress(),
+        ..spec(workers, 5)
+    };
+    mpmc_check(&ChannelBench::new(&s), workers / 2, workers / 2, 1_500);
 }
 
 #[test]

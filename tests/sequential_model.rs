@@ -316,6 +316,124 @@ proptest! {
     }
 
     #[test]
+    fn bounded_channel_matches_model(ops in batch_ops(300), order in 2u32..7) {
+        // The channel endpoints must agree with the oracle exactly through
+        // the whole non-parking surface: try ops, zero-deadline blocking
+        // ops (full registration/cancel machinery), and batches. Two
+        // thread slots: one per endpoint, acquired lazily.
+        use wcq::channel::{TryRecvError, TrySendError};
+        let (mut tx, mut rx) = wcq::channel::bounded::<u64>(order, 2);
+        let mut model = SeqModel::bounded(1 << order);
+        for (i, op) in ops.into_iter().enumerate() {
+            match op {
+                BOp::Enq(v) => {
+                    // Alternate try_send and zero-deadline send: both must
+                    // track the oracle's full answer and conserve values.
+                    if i % 2 == 0 {
+                        match tx.try_send(v) {
+                            Ok(()) => prop_assert!(model.enqueue(v)),
+                            Err(TrySendError::Full(back)) => {
+                                prop_assert_eq!(back, v);
+                                prop_assert!(!model.enqueue(v), "spurious full");
+                            }
+                            Err(TrySendError::Closed(_)) => prop_assert!(false, "never closed"),
+                        }
+                    } else {
+                        match tx.send_timeout(v, Duration::ZERO) {
+                            Ok(()) => prop_assert!(model.enqueue(v)),
+                            Err(SendError::Timeout(back)) => {
+                                prop_assert_eq!(back, v);
+                                prop_assert!(!model.enqueue(v), "spurious full");
+                            }
+                            Err(SendError::Closed(_)) => prop_assert!(false, "never closed"),
+                        }
+                    }
+                }
+                BOp::Deq => {
+                    if i % 2 == 0 {
+                        match rx.try_recv() {
+                            Ok(v) => prop_assert_eq!(Some(v), model.dequeue()),
+                            Err(TryRecvError::Empty) => prop_assert_eq!(model.dequeue(), None),
+                            Err(TryRecvError::Closed) => prop_assert!(false, "never closed"),
+                        }
+                    } else {
+                        match rx.recv_timeout(Duration::ZERO) {
+                            Ok(v) => prop_assert_eq!(Some(v), model.dequeue()),
+                            Err(RecvError::Timeout) => prop_assert_eq!(model.dequeue(), None),
+                            Err(RecvError::Closed) => prop_assert!(false, "never closed"),
+                        }
+                    }
+                }
+                BOp::EnqBatch(vs) => {
+                    let mut items = vs.clone();
+                    let n = tx.send_batch(&mut items);
+                    let mut want = 0;
+                    for &v in &vs {
+                        if !model.enqueue(v) { break; }
+                        want += 1;
+                    }
+                    prop_assert_eq!(n, want, "batch send count");
+                    prop_assert_eq!(&items[..], &vs[want..], "rejects keep order");
+                }
+                BOp::DeqBatch(max) => {
+                    let mut out = Vec::new();
+                    let n = rx.recv_batch(&mut out, max);
+                    let want: Vec<u64> =
+                        (0..max).map_while(|_| model.dequeue()).collect();
+                    prop_assert_eq!(n, want.len(), "batch recv count");
+                    prop_assert_eq!(out, want, "batch recv order");
+                }
+            }
+        }
+        // Refcount close: dropping the sender flips the receiver to the
+        // drain-then-Closed regime, which must agree with the oracle too.
+        drop(tx);
+        loop {
+            match rx.try_recv() {
+                Ok(v) => prop_assert_eq!(Some(v), model.dequeue()),
+                Err(TryRecvError::Closed) => {
+                    prop_assert_eq!(model.dequeue(), None, "closed with data left");
+                    break;
+                }
+                Err(TryRecvError::Empty) => prop_assert!(false, "open after sender drop"),
+            }
+        }
+    }
+
+    #[test]
+    fn unbounded_channel_matches_model(ops in ops(400), order in 1u32..4) {
+        use wcq::channel::TryRecvError;
+        let (mut tx, mut rx) = wcq::channel::unbounded::<u64>(order, 2);
+        let mut model = SeqModel::unbounded();
+        for op in ops {
+            match op {
+                Op::Enq(v) => {
+                    prop_assert!(tx.try_send(v).is_ok(), "unbounded never full");
+                    model.enqueue(v);
+                }
+                Op::Deq => {
+                    match rx.try_recv() {
+                        Ok(v) => prop_assert_eq!(Some(v), model.dequeue()),
+                        Err(TryRecvError::Empty) => prop_assert_eq!(model.dequeue(), None),
+                        Err(TryRecvError::Closed) => prop_assert!(false, "never closed"),
+                    }
+                }
+            }
+        }
+        drop(tx);
+        loop {
+            match rx.recv() {
+                Ok(v) => prop_assert_eq!(Some(v), model.dequeue()),
+                Err(RecvError::Closed) => {
+                    prop_assert_eq!(model.dequeue(), None);
+                    break;
+                }
+                Err(RecvError::Timeout) => prop_assert!(false, "no deadline"),
+            }
+        }
+    }
+
+    #[test]
     fn scq_matches_model(ops in ops(400), order in 2u32..7) {
         let q: wcq::ScqQueue<u64> = wcq::ScqQueue::new(order);
         let mut model = SeqModel::bounded(1 << order);

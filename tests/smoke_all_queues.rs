@@ -7,8 +7,9 @@
 
 use harness::model::{check_delivery, tag, DeliveryLog};
 use harness::queues::{
-    BenchQueue, CcBench, CrTurnBench, FaaBench, LcrqBench, MsBench, QueueHandle, QueueSpec,
-    ScqBench, ShardedWcqBench, UnboundedScqBench, UnboundedWcqBench, WcqBench, YmcBench,
+    BenchQueue, CcBench, ChannelBench, CrTurnBench, FaaBench, LcrqBench, MsBench, QueueHandle,
+    QueueSpec, ScqBench, ShardedWcqBench, UnboundedScqBench, UnboundedWcqBench, WcqBench,
+    YmcBench,
 };
 use std::sync::{Barrier, Mutex};
 
@@ -76,6 +77,13 @@ fn smoke<Q: BenchQueue>(q: &Q) {
 #[test]
 fn wcq_smoke() {
     smoke(&WcqBench::new(&spec()));
+}
+
+#[test]
+fn channel_smoke() {
+    // The owned channel surface (cloned Sender/Receiver pairs with lazy
+    // slot acquisition) over the same skeleton as the raw handles.
+    smoke(&ChannelBench::new(&spec()));
 }
 
 #[test]
