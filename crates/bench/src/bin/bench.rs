@@ -1,0 +1,172 @@
+//! Cross-PR throughput snapshot: `bench [--json] [--out PATH]`.
+//!
+//! Runs a fixed matrix of channel-level rows — the wait-free wCQ channel
+//! and the topology-declared SPSC/MPSC backends — through three workloads
+//! and reports Mops/s. `--json` additionally writes the machine-readable
+//! snapshot (default `BENCH_6.json`) so the throughput trajectory can be
+//! compared across PRs; the schema is documented in the top-level README.
+//!
+//! Workloads (all single-thread, the honest shape on small CI boxes; see
+//! `figure_topology` for why):
+//! * `pairwise` — alternate `try_send`/`try_recv`, occupancy 0↔1.
+//! * `burst64`  — 64 sends then 64 recvs per iteration (deeper occupancy,
+//!   exercises index-cache refreshes).
+//! * `batch64`  — `send_batch`/`recv_batch` of 64 (reservation path).
+//!
+//! Knobs: `WCQ_BENCH_OPS` / `WCQ_BENCH_REPS` as for the figure binaries.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use bench::{print_env_banner, BenchOpts, LADDER_X86};
+use harness::stats::Stats;
+use wcq::channel::{self, Receiver, Sender};
+
+const RING_ORDER: u32 = 12;
+const SPINE_THREADS: usize = 4;
+const BURST: usize = 64;
+
+/// One measured cell of the matrix.
+struct Row {
+    queue: &'static str,
+    workload: &'static str,
+    stats: Stats,
+}
+
+fn timed(iters: u64, ops_per_iter: u64, mut step: impl FnMut(u64)) -> f64 {
+    let t0 = Instant::now();
+    for i in 0..iters {
+        step(i);
+    }
+    (iters * ops_per_iter) as f64 / t0.elapsed().as_secs_f64() / 1e6
+}
+
+fn stats(reps: usize, mut rep: impl FnMut() -> f64) -> Stats {
+    let samples: Vec<f64> = (0..reps).map(|_| rep()).collect();
+    Stats::from_samples(&samples)
+}
+
+fn pairwise(tx: &mut Sender<u64>, rx: &mut Receiver<u64>, iters: u64) -> f64 {
+    timed(iters, 2, |i| {
+        tx.try_send(i).expect("never full at occupancy 1");
+        assert_eq!(rx.try_recv().ok(), Some(i));
+    })
+}
+
+fn burst(tx: &mut Sender<u64>, rx: &mut Receiver<u64>, iters: u64) -> f64 {
+    timed(iters / BURST as u64, 2 * BURST as u64, |i| {
+        for j in 0..BURST as u64 {
+            tx.try_send(i * BURST as u64 + j).expect("burst fits the ring");
+        }
+        for j in 0..BURST as u64 {
+            assert_eq!(rx.try_recv().ok(), Some(i * BURST as u64 + j));
+        }
+    })
+}
+
+fn batch(tx: &mut Sender<u64>, rx: &mut Receiver<u64>, iters: u64) -> f64 {
+    let mut inbox = Vec::with_capacity(BURST);
+    let mut outbox = Vec::with_capacity(BURST);
+    timed(iters / BURST as u64, 2 * BURST as u64, |i| {
+        inbox.extend((0..BURST as u64).map(|j| i * BURST as u64 + j));
+        assert_eq!(tx.send_batch(&mut inbox), BURST);
+        outbox.clear();
+        assert_eq!(rx.recv_batch(&mut outbox, BURST), BURST);
+    })
+}
+
+/// One single-pair workload: drive `iters` ops through the endpoints,
+/// return Mops/s.
+type Workload = fn(&mut Sender<u64>, &mut Receiver<u64>, u64) -> f64;
+
+/// Runs the three workloads for one channel constructor.
+fn matrix(
+    queue: &'static str,
+    opts: &BenchOpts,
+    mk: impl Fn() -> (Sender<u64>, Receiver<u64>),
+    out: &mut Vec<Row>,
+) {
+    let workloads: [(&'static str, Workload); 3] =
+        [("pairwise", pairwise), ("burst64", burst), ("batch64", batch)];
+    for (workload, run) in workloads {
+        let st = stats(opts.reps, || {
+            let (mut tx, mut rx) = mk();
+            run(&mut tx, &mut rx, opts.ops)
+        });
+        eprintln!("  {queue:<12} {workload:<9} {:>9.2} Mops/s", st.mean);
+        out.push(Row { queue, workload, stats: st });
+    }
+}
+
+/// Hand-rolled JSON (the workspace deliberately vendors no serde): the
+/// schema is flat enough that string assembly stays honest.
+fn to_json(rows: &[Row], opts: &BenchOpts) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"schema\": 1,");
+    let _ = writeln!(s, "  \"pr\": 6,");
+    let _ = writeln!(s, "  \"dwcas_backend\": \"{}\",", dwcas::BACKEND);
+    let _ = writeln!(
+        s,
+        "  \"cores\": {},",
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    );
+    let _ = writeln!(s, "  \"ops\": {},", opts.ops);
+    let _ = writeln!(s, "  \"reps\": {},", opts.reps);
+    s.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"queue\": \"{}\", \"workload\": \"{}\", \"mops\": {:.4}, \"cov\": {:.4}}}",
+            r.queue, r.workload, r.stats.mean, r.stats.cov
+        );
+        s.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+fn main() {
+    let mut json = false;
+    let mut out_path = String::from("BENCH_6.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--out" => {
+                out_path = args.next().unwrap_or_else(|| {
+                    eprintln!("--out requires a path");
+                    std::process::exit(2);
+                });
+            }
+            other => {
+                eprintln!("unknown argument `{other}` (usage: bench [--json] [--out PATH])");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let opts = BenchOpts::from_env(LADDER_X86);
+    print_env_banner("bench: cross-PR channel throughput snapshot");
+
+    let mut rows = Vec::new();
+    matrix("wcq-channel", &opts, || channel::bounded::<u64>(RING_ORDER, SPINE_THREADS), &mut rows);
+    matrix("chan-spsc", &opts, || channel::spsc::<u64>(RING_ORDER, SPINE_THREADS), &mut rows);
+    matrix(
+        "chan-mpsc",
+        &opts,
+        || channel::mpsc::<u64>(RING_ORDER, 4, SPINE_THREADS),
+        &mut rows,
+    );
+
+    println!("\n{:<14}{:<11}{:>12}{:>10}", "queue", "workload", "Mops/s", "cov");
+    for r in &rows {
+        println!("{:<14}{:<11}{:>12.3}{:>10.4}", r.queue, r.workload, r.stats.mean, r.stats.cov);
+    }
+
+    if json {
+        let doc = to_json(&rows, &opts);
+        std::fs::write(&out_path, &doc).expect("write json snapshot");
+        println!("\nwrote {out_path}");
+    }
+}

@@ -25,13 +25,26 @@
 //!   a queue nobody will ever read. Explicit `close()` calls are never
 //!   needed; pipelines shut down by dropping endpoints.
 //!
-//! Three constructors pick the backend; the endpoint types are identical:
+//! Five constructors pick the backend; the endpoint types are identical:
 //!
 //! | Constructor | Backend | Full behavior |
 //! |---|---|---|
 //! | [`bounded`] | [`crate::WcqQueue`] (wait-free, bounded) | `send` parks / `try_send` returns [`TrySendError::Full`] |
 //! | [`sharded`] | [`crate::ShardedWcq`] (per-shard FIFO) | as above, per affinity shard |
 //! | [`unbounded`] | [`crate::UnboundedWcq`] (list of rings) | `send` never blocks on capacity |
+//! | [`spsc`] | [`crate::spsc::Ring`] + wCQ spine ([`crate::topology`]) | as [`bounded`]; load/store fast path |
+//! | [`mpsc`] | per-sender [`crate::spsc::Ring`]s + wCQ spine | as [`bounded`], per sender ring |
+//!
+//! The topology-declared constructors ([`spsc`], [`mpsc`]) are not a
+//! different contract — they are the same channel running on private SPSC
+//! rings while the usage matches the declaration. The first operating
+//! sender beyond the declaration grafts a wait-free [`crate::WcqQueue`]
+//! spine on as an overflow lane: excess endpoints run on it, seated ones
+//! keep their rings, and no element is ever lost or moved between lanes.
+//! See [`crate::topology`] for the protocol (including the visibility
+//! caveat for receivers beyond the declaration), and
+//! [`Sender::backend`]/[`Receiver::backend`] to observe which engine is
+//! serving.
 //!
 //! Every endpoint forwards the full facade surface: spinning `try_*`,
 //! parking `send`/`recv`, deadline variants, `Future`-returning
@@ -68,6 +81,7 @@ use crate::shard::OwnedShardedHandle;
 use crate::sync::{
     DequeueFuture, EnqueueFuture, RecvError, SendError, SyncQueue, SyncState,
 };
+use crate::topology::{TopoCore, TopoEndpoint};
 use crate::unbounded::{OwnedUnboundedHandle, WcqInner};
 use crate::wcq::queue::OwnedWcqHandle;
 use crate::{ShardedWcq, UnboundedWcq, WcqConfig, WcqQueue};
@@ -159,6 +173,76 @@ pub fn unbounded_with_config<T: Send>(
     ))))
 }
 
+/// Creates a channel declared single-producer / single-consumer: one
+/// [`crate::spsc::Ring`] of `2^order` slots on the fast path, no helping
+/// records or DWCAS anywhere near it.
+///
+/// The declaration is enforced dynamically, not by the type system: any
+/// number of idle clones is free (as everywhere in this module), but the
+/// first operation by a *second* concurrently operating sender grafts a
+/// wait-free [`WcqQueue`] spine of at least the same capacity onto the
+/// channel as an overflow lane (see [`crate::topology`]). The seated
+/// sender keeps its ring and its throughput; excess senders run on the
+/// spine; per-sender FIFO holds throughout and no element is lost. A
+/// second operating receiver needs no upgrade — it sees the spine lane
+/// (once it exists) and inherits the ring when the seated receiver
+/// drops, but cannot observe ring residue before that; see the module
+/// docs on out-of-declaration receivers.
+///
+/// `max_threads` is the post-upgrade analogue of [`bounded`]'s parameter:
+/// the spine, if ever built, gets that many thread slots, with the same
+/// lazy-acquisition/wait semantics. Before any upgrade it is unused (the
+/// ring needs no slots).
+pub fn spsc<T: Send>(order: u32, max_threads: usize) -> (Sender<T>, Receiver<T>) {
+    spsc_with_config(order, max_threads, &WcqConfig::default())
+}
+
+/// [`spsc`] with explicit ring tuning knobs (applied to the spine; the
+/// SPSC ring itself has none).
+pub fn spsc_with_config<T: Send>(
+    order: u32,
+    max_threads: usize,
+    cfg: &WcqConfig,
+) -> (Sender<T>, Receiver<T>) {
+    endpoints(Backend::Topo(Arc::new(TopoCore::spsc(
+        order,
+        max_threads,
+        cfg,
+    ))))
+}
+
+/// Creates a channel declared multi-producer / single-consumer: each of
+/// up to `max_senders` concurrently operating senders gets a **private**
+/// [`crate::spsc::Ring`] of `2^order` slots (so senders never contend
+/// with each other), and the receiver sweeps the rings. Per-sender FIFO
+/// holds; cross-sender ordering is relaxed, exactly as on [`sharded`].
+///
+/// A `max_senders + 1`-th concurrently operating sender grafts the
+/// wait-free [`WcqQueue`] overflow spine as on [`spsc`] (seated senders
+/// keep their rings); `max_threads` sizes the spine's thread slots.
+pub fn mpsc<T: Send>(
+    order: u32,
+    max_senders: usize,
+    max_threads: usize,
+) -> (Sender<T>, Receiver<T>) {
+    mpsc_with_config(order, max_senders, max_threads, &WcqConfig::default())
+}
+
+/// [`mpsc`] with explicit ring tuning knobs (applied to the spine).
+pub fn mpsc_with_config<T: Send>(
+    order: u32,
+    max_senders: usize,
+    max_threads: usize,
+    cfg: &WcqConfig,
+) -> (Sender<T>, Receiver<T>) {
+    endpoints(Backend::Topo(Arc::new(TopoCore::mpsc(
+        max_senders,
+        order,
+        max_threads,
+        cfg,
+    ))))
+}
+
 fn endpoints<T: Send>(backend: Backend<T>) -> (Sender<T>, Receiver<T>) {
     let shared = Arc::new(Shared {
         backend,
@@ -240,6 +324,7 @@ enum Backend<T: Send> {
     Bounded(Arc<WcqQueue<T>>),
     Sharded(Arc<ShardedWcq<T>>),
     Unbounded(Arc<UnboundedWcq<T>>),
+    Topo(Arc<TopoCore<T>>),
 }
 
 impl<T: Send> Backend<T> {
@@ -248,6 +333,7 @@ impl<T: Send> Backend<T> {
             Backend::Bounded(q) => q.sync_state(),
             Backend::Sharded(q) => q.sync_state(),
             Backend::Unbounded(q) => q.sync_state(),
+            Backend::Topo(c) => c.sync_state(),
         }
     }
 
@@ -256,6 +342,20 @@ impl<T: Send> Backend<T> {
             Backend::Bounded(q) => q.register_owned().map(Endpoint::Bounded),
             Backend::Sharded(q) => q.register_owned().map(Endpoint::Sharded),
             Backend::Unbounded(q) => q.register_owned().map(Endpoint::Unbounded),
+            // Topology endpoints need no slot up front: seats are claimed
+            // by the first operation (and their exhaustion upgrades rather
+            // than waits), so registration always succeeds.
+            Backend::Topo(c) => Some(Endpoint::Topo(c.register())),
+        }
+    }
+
+    /// The engine currently serving operations (see [`Sender::backend`]).
+    fn name(&self) -> &'static str {
+        match self {
+            Backend::Bounded(_) => "wcq",
+            Backend::Sharded(_) => "wcq-sharded",
+            Backend::Unbounded(_) => "wcq-unbounded",
+            Backend::Topo(c) => c.backend_name(),
         }
     }
 }
@@ -304,6 +404,7 @@ enum Endpoint<T: Send> {
     Bounded(OwnedWcqHandle<T>),
     Sharded(OwnedShardedHandle<T>),
     Unbounded(OwnedUnboundedHandle<T, WcqInner<T>>),
+    Topo(TopoEndpoint<T>),
 }
 
 impl<T: Send> Endpoint<T> {
@@ -312,6 +413,7 @@ impl<T: Send> Endpoint<T> {
             Endpoint::Bounded(h) => h.enqueue_batch(items),
             Endpoint::Sharded(h) => h.enqueue_batch(items),
             Endpoint::Unbounded(h) => h.enqueue_batch(items),
+            Endpoint::Topo(h) => h.enqueue_batch(items),
         }
     }
 
@@ -320,6 +422,7 @@ impl<T: Send> Endpoint<T> {
             Endpoint::Bounded(h) => h.dequeue_batch(out, max),
             Endpoint::Sharded(h) => h.dequeue_batch(out, max),
             Endpoint::Unbounded(h) => h.dequeue_batch(out, max),
+            Endpoint::Topo(h) => h.dequeue_batch(out, max),
         }
     }
 }
@@ -332,6 +435,7 @@ impl<T: Send> SyncQueue for Endpoint<T> {
             Endpoint::Bounded(h) => h.sync_state(),
             Endpoint::Sharded(h) => h.sync_state(),
             Endpoint::Unbounded(h) => h.sync_state(),
+            Endpoint::Topo(h) => h.sync_state(),
         }
     }
 
@@ -340,6 +444,7 @@ impl<T: Send> SyncQueue for Endpoint<T> {
             Endpoint::Bounded(h) => h.try_enqueue(v),
             Endpoint::Sharded(h) => h.try_enqueue(v),
             Endpoint::Unbounded(h) => h.try_enqueue(v),
+            Endpoint::Topo(h) => h.try_enqueue(v),
         }
     }
 
@@ -348,6 +453,7 @@ impl<T: Send> SyncQueue for Endpoint<T> {
             Endpoint::Bounded(h) => h.try_dequeue(),
             Endpoint::Sharded(h) => h.try_dequeue(),
             Endpoint::Unbounded(h) => h.try_dequeue(),
+            Endpoint::Topo(h) => h.try_dequeue(),
         }
     }
 }
@@ -428,6 +534,15 @@ impl<T: Send> Sender<T> {
     /// longer succeed).
     pub fn is_closed(&self) -> bool {
         self.shared.is_closed()
+    }
+
+    /// The engine currently serving this channel: `"wcq"`,
+    /// `"wcq-sharded"`, `"wcq-unbounded"`, or — on topology-declared
+    /// channels — `"spsc-ring"` / `"mpsc-rings"`, becoming `"wcq-spine"`
+    /// after an upgrade (see [`spsc`]). Diagnostics only; snapshot, since
+    /// an upgrade can race it.
+    pub fn backend(&self) -> &'static str {
+        self.shared.backend.name()
     }
 }
 
@@ -522,6 +637,11 @@ impl<T: Send> Receiver<T> {
     /// still hold values; [`Self::try_recv`]/[`Self::recv`] drain it.
     pub fn is_closed(&self) -> bool {
         self.shared.is_closed()
+    }
+
+    /// The engine currently serving this channel; see [`Sender::backend`].
+    pub fn backend(&self) -> &'static str {
+        self.shared.backend.name()
     }
 }
 

@@ -32,6 +32,7 @@
 //! | [`UnboundedScq`] | lock-free | unbounded (list of rings, hazard-pointer reclaimed) | §7, App. A |
 //! | [`UnboundedWcq`] | wait-free rings, lock-free list | unbounded, hazard-pointer reclaimed | App. A |
 //! | [`ShardedWcq`] | wait-free per shard | bounded | beyond the paper: splits the §6 `Head`/`Tail` hotspot over S rings |
+//! | [`spsc::Ring`] + [`topology`] | load/store fast path, wait-free spine | bounded | beyond the paper: topology-declared channels that only pay for wCQ when usage goes MPMC |
 //!
 //! Wait-freedom of the slow path relies on hardware double-width CAS; see
 //! [`dwcas::HARDWARE_CAS2`] and `DESIGN.md` §3.5 for the portable fallback
@@ -54,7 +55,9 @@ pub mod channel;
 pub mod pack;
 pub mod scq;
 pub mod shard;
+pub mod spsc;
 pub mod sync;
+pub mod topology;
 pub mod unbounded;
 pub mod wcq;
 

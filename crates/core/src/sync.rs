@@ -76,12 +76,101 @@
 //! out in DESIGN.md §9 and stress-tested at 4× oversubscription in
 //! `tests/blocking_facade.rs`.
 
+use crossbeam_utils::CachePadded;
 use std::future::Future;
 use std::pin::Pin;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering::SeqCst};
+use std::sync::atomic::{
+    AtomicBool, AtomicU64, AtomicUsize,
+    Ordering::{Relaxed, SeqCst},
+};
 use std::sync::{Arc, Mutex};
 use std::task::{Context, Poll, Wake, Waker};
 use std::time::{Duration, Instant};
+
+// ===================================================================
+// Asymmetric store→load fencing (membarrier)
+// ===================================================================
+
+/// Asymmetric fencing for the plain-store notify path, built on Linux's
+/// `membarrier(2)`.
+///
+/// The store-buffering lost-wakeup race needs a full barrier on **both**
+/// sides: the notifier between its state store and its waiter-count load,
+/// and the waiter between its registration store and its state re-check.
+/// The symmetric fix fences the notifier on every operation — a real cost
+/// on the SPSC/MPSC ring fast paths, which are otherwise fence-free.
+///
+/// `MEMBARRIER_CMD_PRIVATE_EXPEDITED` moves the whole cost to the waiter:
+/// the syscall IPIs every CPU currently running a thread of this process
+/// and executes a full barrier there. A notifier whose waiter-count load
+/// ran *before* the waiter registered has, by program order, already
+/// issued its state store — the IPI drains it from the store buffer, so
+/// the waiter's post-registration re-check (sequenced after the syscall)
+/// must observe it. The notifier then needs **no** fence at all: its count
+/// load can be `Relaxed`, because the only stale value it can read is one
+/// whose waiter the membarrier already ordered against. Waiters are about
+/// to park (mutex + syscall territory), so a ~1 µs IPI broadcast is noise
+/// there, while the notify fast path drops to a single plain load.
+///
+/// Availability is probed once (`CMD_QUERY` + registration); kernels or
+/// sandboxes without it fall back to the symmetric `SeqCst`-fence notify.
+#[cfg(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")))]
+mod asymfence {
+    use std::sync::OnceLock;
+
+    static ENABLED: OnceLock<bool> = OnceLock::new();
+
+    fn probe() -> bool {
+        // SAFETY: membarrier takes no pointers; bogus arguments fail with
+        // -EINVAL, never touch memory.
+        unsafe {
+            let mask = libc::syscall(libc::SYS_membarrier, libc::MEMBARRIER_CMD_QUERY, 0, 0);
+            if mask < 0 {
+                return false;
+            }
+            let need = (libc::MEMBARRIER_CMD_PRIVATE_EXPEDITED
+                | libc::MEMBARRIER_CMD_REGISTER_PRIVATE_EXPEDITED) as i64;
+            if mask & need != need {
+                return false;
+            }
+            libc::syscall(
+                libc::SYS_membarrier,
+                libc::MEMBARRIER_CMD_REGISTER_PRIVATE_EXPEDITED,
+                0,
+                0,
+            ) == 0
+        }
+    }
+
+    /// Whether the expedited membarrier is registered and usable.
+    #[inline]
+    pub fn enabled() -> bool {
+        *ENABLED.get_or_init(probe)
+    }
+
+    /// Full barrier on every CPU running a thread of this process. Only
+    /// call when [`enabled`] returned `true`.
+    pub fn heavy() {
+        // SAFETY: no pointers; after successful registration this command
+        // cannot fail (membarrier(2)).
+        let r = unsafe {
+            libc::syscall(libc::SYS_membarrier, libc::MEMBARRIER_CMD_PRIVATE_EXPEDITED, 0, 0)
+        };
+        debug_assert_eq!(r, 0, "registered PRIVATE_EXPEDITED membarrier failed");
+    }
+}
+
+/// Fallback for targets without `membarrier(2)`: report unavailable so
+/// notifiers keep the symmetric `SeqCst` fence.
+#[cfg(not(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64"))))]
+mod asymfence {
+    #[inline]
+    pub fn enabled() -> bool {
+        false
+    }
+
+    pub fn heavy() {}
+}
 
 // ===================================================================
 // Eventcount
@@ -155,9 +244,37 @@ impl Eventcount {
 
     /// Wakes every registered waiter. A no-op (single load) when nobody is
     /// registered. Call it **after** the state change it advertises.
+    ///
+    /// The no-lost-wakeup pairing assumes the caller's state change ends in
+    /// an RMW or `SeqCst` store (true of every CAS/F&A-based queue here) so
+    /// it cannot sink past the waiter-count load. A state change made of
+    /// *plain* stores — the SPSC ring's index publication — must use
+    /// [`Self::notify_all_fenced`] instead.
     #[inline]
     pub fn notify_all(&self) {
         if self.nwaiters.load(SeqCst) == 0 {
+            return;
+        }
+        self.notify_slow();
+    }
+
+    /// [`Self::notify_all`] for state changes published by plain/`Release`
+    /// stores (the SPSC ring's index publication): without extra ordering
+    /// the store can sit in the store buffer past the waiter-count load,
+    /// the waiter's post-registration re-check misses it, and both sides
+    /// sleep — the classic store-buffering lost wakeup.
+    ///
+    /// Where the asymmetric `membarrier` fence is available the waiters
+    /// carry the whole
+    /// barrier (a `membarrier` after registering) and this path is a
+    /// single `Relaxed` load; elsewhere it issues the symmetric `SeqCst`
+    /// fence before the count check.
+    #[inline]
+    pub fn notify_all_fenced(&self) {
+        if !asymfence::enabled() {
+            std::sync::atomic::fence(SeqCst);
+        }
+        if self.nwaiters.load(Relaxed) == 0 {
             return;
         }
         self.notify_slow();
@@ -195,6 +312,12 @@ impl Eventcount {
         l.next_token += 1;
         l.entries.push((token, WaiterKind::Thread(std::thread::current())));
         self.nwaiters.store(l.entries.len(), SeqCst);
+        // Waiter half of the asymmetric fence: order the count store above
+        // against this thread's coming re-check, and drain any notifier's
+        // in-flight state store so that re-check cannot miss it.
+        if asymfence::enabled() {
+            asymfence::heavy();
+        }
         Some(token)
     }
 
@@ -250,6 +373,10 @@ impl Eventcount {
             }
         }
         self.nwaiters.store(l.entries.len(), SeqCst);
+        // Waiter half of the asymmetric fence — see `register_thread`.
+        if asymfence::enabled() {
+            asymfence::heavy();
+        }
         true
     }
 
@@ -276,9 +403,18 @@ impl Eventcount {
 ///
 /// Constructed by the queues themselves; users only see it through
 /// [`SyncQueue::sync_state`].
+///
+/// Layout: the two eventcounts are cache-padded apart. Every successful
+/// enqueue loads `not_empty.nwaiters` and every successful dequeue loads
+/// `not_full.nwaiters`; unpadded, those two hot words share a line (and
+/// the adjacent-line prefetcher pairs even neighboring lines), so each
+/// side's `notify_slow` stores would invalidate the other side's per-op
+/// check — false sharing on the one field the facade touches per element
+/// (the cache-layout audit of PR 6; `figure_topology` carries the
+/// companion padded-vs-compact ablation for the SPSC ring indices).
 pub struct SyncState {
-    not_empty: Eventcount,
-    not_full: Eventcount,
+    not_empty: CachePadded<Eventcount>,
+    not_full: CachePadded<Eventcount>,
     closed: AtomicBool,
 }
 
@@ -292,8 +428,8 @@ impl SyncState {
     /// Fresh state: open, no waiters.
     pub fn new() -> Self {
         SyncState {
-            not_empty: Eventcount::new(),
-            not_full: Eventcount::new(),
+            not_empty: CachePadded::new(Eventcount::new()),
+            not_full: CachePadded::new(Eventcount::new()),
             closed: AtomicBool::new(false),
         }
     }
@@ -320,6 +456,20 @@ impl SyncState {
     #[inline]
     pub fn notify_not_full(&self) {
         self.not_full.notify_all();
+    }
+
+    /// [`Self::notify_not_empty`] for plain-store publication paths — see
+    /// [`Eventcount::notify_all_fenced`].
+    #[inline]
+    pub fn notify_not_empty_fenced(&self) {
+        self.not_empty.notify_all_fenced();
+    }
+
+    /// [`Self::notify_not_full`] for plain-store publication paths — see
+    /// [`Eventcount::notify_all_fenced`].
+    #[inline]
+    pub fn notify_not_full_fenced(&self) {
+        self.not_full.notify_all_fenced();
     }
 
     /// Closes the facade: blocking/async enqueues fail with `Closed`,

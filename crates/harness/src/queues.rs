@@ -367,6 +367,100 @@ impl QueueHandle for ChannelEndpoints {
     }
 }
 
+// -------------------------------------------------- topology channels -----
+
+/// Adapter: the channel API over the SPSC-declared topology backend
+/// (`wcq::channel::spsc`).
+///
+/// The harness workloads are MPMC-shaped — every worker holds a sender
+/// *and* a receiver clone — so at `threads == 1` this measures the true
+/// SPSC ring fast path, while any higher thread count exceeds the declared
+/// topology on first use and measures the **upgraded wCQ spine** through
+/// the same endpoints (a conformance row, by design: it proves the upgrade
+/// keeps the channel serving). The dedicated `figure_topology` binary does
+/// the honest per-topology pair measurements.
+pub struct SpscChannelBench {
+    tx: wcq::channel::Sender<u64>,
+    rx: wcq::channel::Receiver<u64>,
+}
+
+impl SpscChannelBench {
+    /// Builds from a [`QueueSpec`]: one `2^ring_order`-slot ring; the
+    /// spine (if the workload upgrades) gets the same two-slots-per-worker
+    /// budget as [`ChannelBench`].
+    pub fn new(spec: &QueueSpec) -> Self {
+        let (tx, rx) = wcq::channel::spsc_with_config(
+            spec.ring_order,
+            (spec.max_threads + 1) * 2,
+            &spec.cfg,
+        );
+        SpscChannelBench { tx, rx }
+    }
+}
+
+impl BenchQueue for SpscChannelBench {
+    type Handle<'a> = ChannelEndpoints;
+    fn name(&self) -> &'static str {
+        "chan-spsc"
+    }
+    fn handle(&self) -> Self::Handle<'_> {
+        ChannelEndpoints {
+            tx: self.tx.clone(),
+            rx: self.rx.clone(),
+        }
+    }
+}
+
+/// Adapter: the channel API over the MPSC-declared topology backend
+/// (`wcq::channel::mpsc`) — one private ring per declared sender, capacity
+/// split like [`ShardedWcqBench`] so spec sweeps stay like-for-like.
+///
+/// Same caveat as [`SpscChannelBench`]: the MPMC-shaped workloads clone
+/// receivers, so `threads >= 2` upgrades to the spine on first dequeue
+/// contention; `threads == 1` runs the ring fast path.
+pub struct MpscChannelBench {
+    tx: wcq::channel::Sender<u64>,
+    rx: wcq::channel::Receiver<u64>,
+}
+
+impl MpscChannelBench {
+    /// Resolved geometry for `spec`: `(senders, per_ring_order)`, with
+    /// total fast-path capacity `senders << per_ring_order` kept at
+    /// `2^ring_order` unless the floor (tiny rings) forces it larger.
+    pub fn geometry(spec: &QueueSpec) -> (usize, u32) {
+        let senders = spec.max_threads.max(1);
+        let log2s = senders.next_power_of_two().trailing_zeros();
+        let per_ring = spec.ring_order.saturating_sub(log2s).max(2);
+        (senders, per_ring)
+    }
+
+    /// Builds from a [`QueueSpec`]; each of `max_threads` declared senders
+    /// gets a private `2^per_ring_order`-slot ring.
+    pub fn new(spec: &QueueSpec) -> Self {
+        let (senders, per_ring) = Self::geometry(spec);
+        let (tx, rx) = wcq::channel::mpsc_with_config(
+            per_ring,
+            senders,
+            (spec.max_threads + 1) * 2,
+            &spec.cfg,
+        );
+        MpscChannelBench { tx, rx }
+    }
+}
+
+impl BenchQueue for MpscChannelBench {
+    type Handle<'a> = ChannelEndpoints;
+    fn name(&self) -> &'static str {
+        "chan-mpsc"
+    }
+    fn handle(&self) -> Self::Handle<'_> {
+        ChannelEndpoints {
+            tx: self.tx.clone(),
+            rx: self.rx.clone(),
+        }
+    }
+}
+
 // ---------------------------------------------------------------- FAA -----
 
 /// Adapter: the F&A upper-bound pseudo-queue.
@@ -605,6 +699,8 @@ mod tests {
         roundtrip(&YmcBench::new(&spec));
         roundtrip(&CrTurnBench::new(&spec));
         roundtrip(&CcBench::new(&spec));
+        roundtrip(&SpscChannelBench::new(&spec));
+        roundtrip(&MpscChannelBench::new(&spec));
         // FAA is not a real queue; it only counts.
         let f = FaaBench::new(&spec);
         let mut h = f.handle();
@@ -621,6 +717,28 @@ mod tests {
         assert_eq!(UnboundedWcqBench::new(&spec).name(), "wCQ-unbounded");
         assert_eq!(UnboundedScqBench::new(&spec).name(), "LSCQ");
         assert_eq!(ChannelBench::new(&spec).name(), "wCQ-channel");
+        assert_eq!(SpscChannelBench::new(&spec).name(), "chan-spsc");
+        assert_eq!(MpscChannelBench::new(&spec).name(), "chan-mpsc");
+    }
+
+    #[test]
+    fn mpsc_geometry_splits_capacity() {
+        let spec = QueueSpec {
+            max_threads: 4,
+            ring_order: 10,
+            ..QueueSpec::default()
+        };
+        let (senders, per_ring) = MpscChannelBench::geometry(&spec);
+        assert_eq!(senders, 4);
+        assert_eq!(senders << per_ring, 1 << 10, "capacity split, not multiplied");
+        // The per-ring floor inflates tiny splits rather than underflowing.
+        let spec = QueueSpec {
+            max_threads: 16,
+            ring_order: 3,
+            ..QueueSpec::default()
+        };
+        let (_, per_ring) = MpscChannelBench::geometry(&spec);
+        assert!(per_ring >= 2);
     }
 
     #[test]

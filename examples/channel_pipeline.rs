@@ -51,9 +51,12 @@ fn main() {
         .unwrap_or(2)
         .clamp(2, 8);
     let (etx, erx) = channel::sharded::<u64>(4, 9, INGESTERS + workers);
-    // Stage 2: parse → commit. Small buffer: commit backpressure reaches
-    // the parsers as parked batch sends.
-    let (ctx, crx) = channel::bounded::<u64>(8, workers + 1);
+    // Stage 2: parse → commit. Many parsers, one committer — declare it
+    // MPSC so every parser gets a private 256-slot ring and the committer
+    // sweeps them, instead of all parsers contending on one MPMC queue.
+    // Small per-ring buffers: commit backpressure still reaches the
+    // parsers as parked batch sends.
+    let (ctx, crx) = channel::mpsc::<u64>(8, workers, workers + 2);
 
     let t0 = Instant::now();
 
@@ -133,7 +136,9 @@ fn main() {
                     if !pending.is_empty() {
                         commits += 1;
                     }
-                    break (commits, committed, timed_flushes);
+                    // Which engine actually served the commit stage: stays
+                    // "mpsc-rings" as long as the declared topology held.
+                    break (commits, committed, timed_flushes, rx.backend());
                 }
             }
         }
@@ -143,15 +148,16 @@ fn main() {
         t.join().unwrap();
     }
     let forwarded: u64 = parsers.into_iter().map(|p| p.join().unwrap()).sum();
-    let (commits, committed, timed_flushes) = committer.join().unwrap();
+    let (commits, committed, timed_flushes, backend) = committer.join().unwrap();
 
     let expect = INGESTERS as u64 * EVENTS_PER_INGESTER / 2; // even seqs
     println!(
         "ingested {} events, committed {committed} in {commits} commits \
-         ({timed_flushes} deadline-triggered) in {:?}",
+         ({timed_flushes} deadline-triggered) via {backend} in {:?}",
         INGESTERS as u64 * EVENTS_PER_INGESTER,
         t0.elapsed()
     );
+    assert_eq!(backend, "mpsc-rings", "declared topology must hold for the whole run");
     assert_eq!(forwarded, expect, "parsers must forward every even event");
     assert_eq!(committed, expect, "committer must account for every event");
 }

@@ -546,4 +546,161 @@ proptest! {
             }
         }
     }
+
+    // ---------------------------------------------------------------
+    // Topology-declared channels (PR 6): the SPSC ring fast path and the
+    // MPSC sweep must agree with the oracle exactly, including the
+    // full/empty edges, and element conservation must survive a forced
+    // mid-sequence spine graft.
+    // ---------------------------------------------------------------
+
+    #[test]
+    fn spsc_channel_matches_model(ops in ops(400), order in 2u32..7) {
+        let (mut tx, mut rx) = wcq::channel::spsc::<u64>(order, 2);
+        let mut model = SeqModel::bounded(1 << order);
+        for op in ops {
+            match op {
+                Op::Enq(v) => {
+                    prop_assert_eq!(tx.try_send(v).is_ok(), model.enqueue(v));
+                }
+                Op::Deq => {
+                    prop_assert_eq!(rx.try_recv().ok(), model.dequeue());
+                }
+            }
+        }
+        loop {
+            let (a, b) = (rx.try_recv().ok(), model.dequeue());
+            prop_assert_eq!(a, b);
+            if a.is_none() { break; }
+        }
+        prop_assert_eq!(tx.backend(), "spsc-ring");
+    }
+
+    #[test]
+    fn spsc_channel_batch_matches_model(ops in batch_ops(300), order in 2u32..7) {
+        let (mut tx, mut rx) = wcq::channel::spsc::<u64>(order, 2);
+        let mut model = SeqModel::bounded(1 << order);
+        let mut scratch = Vec::new();
+        for op in ops {
+            match op {
+                BOp::Enq(v) => {
+                    prop_assert_eq!(tx.try_send(v).is_ok(), model.enqueue(v));
+                }
+                BOp::Deq => {
+                    prop_assert_eq!(rx.try_recv().ok(), model.dequeue());
+                }
+                BOp::EnqBatch(vals) => {
+                    let mut inbox = vals.clone();
+                    let sent = tx.send_batch(&mut inbox);
+                    let mut want = 0;
+                    for &v in &vals {
+                        if !model.enqueue(v) { break; }
+                        want += 1;
+                    }
+                    prop_assert_eq!(sent, want, "partial batch send must stop at full");
+                    prop_assert_eq!(inbox.len(), vals.len() - want, "unsent tail rides back");
+                }
+                BOp::DeqBatch(max) => {
+                    scratch.clear();
+                    let got = rx.recv_batch(&mut scratch, max);
+                    let want: Vec<u64> = (0..max).map_while(|_| model.dequeue()).collect();
+                    prop_assert_eq!(got, want.len());
+                    prop_assert_eq!(&scratch, &want);
+                }
+            }
+        }
+    }
+
+    /// Per-sender FIFO through the MPSC sweep: two declared senders driven
+    /// by the op string (`Enq` values route by parity); global order is
+    /// explicitly relaxed across lanes, so each sender checks only its own
+    /// subsequence, plus exact element conservation at drain.
+    #[test]
+    fn mpsc_channel_conserves_and_keeps_lane_fifo(ops in ops(400)) {
+        let (tx, mut rx) = wcq::channel::mpsc::<u64>(7, 2, 4);
+        let mut txs = [tx.clone(), tx];
+        let mut lanes = [Vec::new(), Vec::new()];
+        let mut accepted = 0usize;
+        let mut received: Vec<u64> = Vec::new();
+        for op in ops {
+            match op {
+                Op::Enq(v) => {
+                    let lane = (v % 2) as usize;
+                    if txs[lane].try_send(v).is_ok() {
+                        lanes[lane].push(v);
+                        accepted += 1;
+                    }
+                }
+                Op::Deq => {
+                    if let Ok(v) = rx.try_recv() {
+                        received.push(v);
+                    }
+                }
+            }
+        }
+        while let Ok(v) = rx.try_recv() {
+            received.push(v);
+        }
+        prop_assert_eq!(received.len(), accepted, "conservation");
+        for (lane, sent) in lanes.iter().enumerate() {
+            let got: Vec<u64> =
+                received.iter().copied().filter(|v| (*v % 2) as usize == lane).collect();
+            prop_assert_eq!(&got, sent, "per-sender FIFO");
+        }
+    }
+
+    /// Forced mid-sequence graft: after `pre` ops on the declared-SPSC
+    /// fast path, a second sender starts operating and every later send
+    /// routes by parity across the two lanes. The graft must conserve the
+    /// ring backlog and both lanes' FIFO exactly.
+    #[test]
+    fn spsc_channel_graft_conserves(ops in ops(300), pre in 0usize..64) {
+        let (mut tx, mut rx) = wcq::channel::spsc::<u64>(6, 4);
+        let mut lanes = [Vec::new(), Vec::new()];
+        let mut accepted = 0usize;
+        let mut received: Vec<u64> = Vec::new();
+        let mut tx2: Option<wcq::channel::Sender<u64>> = None;
+        for (i, op) in ops.into_iter().enumerate() {
+            if i == pre {
+                tx2 = Some(tx.clone());
+            }
+            match op {
+                Op::Enq(v) => {
+                    // Uniquify (op index ≪ values, 1e6 is even so parity
+                    // survives): lane membership below is by value lookup.
+                    let u = (i as u64) * 1_000_000 + v;
+                    let (lane, s) = match tx2.as_mut() {
+                        Some(t2) if u % 2 == 1 => (1, t2),
+                        _ => (0, &mut tx),
+                    };
+                    if s.try_send(u).is_ok() {
+                        lanes[lane].push(u);
+                        accepted += 1;
+                    }
+                }
+                Op::Deq => {
+                    if let Ok(v) = rx.try_recv() {
+                        received.push(v);
+                    }
+                }
+            }
+        }
+        while let Ok(v) = rx.try_recv() {
+            received.push(v);
+        }
+        if let Some(t2) = &tx2 {
+            if !lanes[1].is_empty() {
+                prop_assert_eq!(t2.backend(), "wcq-spine", "second lane ran, must have grafted");
+            }
+        }
+        prop_assert_eq!(received.len(), accepted, "conservation across the graft");
+        for lane in 0..2 {
+            let got: Vec<u64> = received
+                .iter()
+                .copied()
+                .filter(|v| if lane == 1 { lanes[1].contains(v) } else { !lanes[1].contains(v) })
+                .collect();
+            prop_assert_eq!(&got, &lanes[lane], "lane {} FIFO across the graft", lane);
+        }
+    }
 }

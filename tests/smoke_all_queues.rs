@@ -7,7 +7,8 @@
 
 use harness::model::{check_delivery, tag, DeliveryLog};
 use harness::queues::{
-    BenchQueue, CcBench, ChannelBench, CrTurnBench, FaaBench, LcrqBench, MsBench, QueueHandle,
+    BenchQueue, CcBench, ChannelBench, CrTurnBench, FaaBench, LcrqBench, MpscChannelBench,
+    MsBench, QueueHandle, SpscChannelBench,
     QueueSpec, ScqBench, ShardedWcqBench, UnboundedScqBench, UnboundedWcqBench, WcqBench,
     YmcBench,
 };
@@ -84,6 +85,15 @@ fn channel_smoke() {
     // The owned channel surface (cloned Sender/Receiver pairs with lazy
     // slot acquisition) over the same skeleton as the raw handles.
     smoke(&ChannelBench::new(&spec()));
+}
+
+#[test]
+fn topology_channels_smoke() {
+    // MPMC-shaped traffic over topology-declared channels: the declared
+    // fast path is exceeded immediately, so this is the spine-graft
+    // conformance row — exact delivery must survive the upgrade.
+    smoke(&SpscChannelBench::new(&spec()));
+    smoke(&MpscChannelBench::new(&spec()));
 }
 
 #[test]

@@ -3,6 +3,7 @@
 //! queries. See `third_party/README.md` for the substitution policy.
 
 #![allow(non_camel_case_types)]
+#![allow(non_upper_case_globals)]
 
 /// Equivalent to C's `int`.
 pub type c_int = i32;
@@ -55,11 +56,28 @@ pub unsafe fn CPU_ISSET(cpu: usize, set: &cpu_set_t) -> bool {
     cpu < CPU_SETSIZE && set.bits[cpu / BITS_PER_WORD] & (1u64 << (cpu % BITS_PER_WORD)) != 0
 }
 
+/// `membarrier(2)` syscall number (the workspace only calls it on these
+/// architectures; other targets compile the fallback fencing path).
+#[cfg(target_arch = "x86_64")]
+pub const SYS_membarrier: c_long = 324;
+/// `membarrier(2)` syscall number.
+#[cfg(target_arch = "aarch64")]
+pub const SYS_membarrier: c_long = 283;
+
+/// `membarrier(2)` command: query the supported command mask.
+pub const MEMBARRIER_CMD_QUERY: c_int = 0;
+/// `membarrier(2)` command: expedited barrier on all threads of the caller.
+pub const MEMBARRIER_CMD_PRIVATE_EXPEDITED: c_int = 1 << 3;
+/// `membarrier(2)` command: opt this process into the expedited barrier.
+pub const MEMBARRIER_CMD_REGISTER_PRIVATE_EXPEDITED: c_int = 1 << 4;
+
 extern "C" {
     /// Binds the thread/process `pid` (0 = caller) to the CPUs in `cpuset`.
     pub fn sched_setaffinity(pid: pid_t, cpusetsize: size_t, cpuset: *const cpu_set_t) -> c_int;
     /// Queries a system configuration value (e.g. [`_SC_PAGESIZE`]).
     pub fn sysconf(name: c_int) -> c_long;
+    /// Indirect system call (glibc's variadic `syscall(2)` wrapper).
+    pub fn syscall(num: c_long, ...) -> c_long;
 }
 
 #[cfg(test)]
