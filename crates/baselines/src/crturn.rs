@@ -17,7 +17,12 @@
 
 use hazard::{Domain, HpHandle};
 use std::ptr;
-use std::sync::atomic::{AtomicI64, AtomicPtr, Ordering::SeqCst};
+use std::sync::atomic::{AtomicI64, Ordering::SeqCst};
+// See msqueue.rs: must match hazard's `protect` signature under wcq_dst.
+#[cfg(not(wcq_dst))]
+use std::sync::atomic::AtomicPtr;
+#[cfg(wcq_dst)]
+use shuttle_lite::atomic::AtomicPtr;
 
 const IDX_NONE: i64 = -1;
 

@@ -14,7 +14,12 @@ use crossbeam_utils::CachePadded;
 use dwcas::AtomicPair;
 use hazard::{Domain, HpHandle};
 use std::ptr;
-use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering::SeqCst};
+use std::sync::atomic::{AtomicU64, Ordering::SeqCst};
+// See msqueue.rs: must match hazard's `protect` signature under wcq_dst.
+#[cfg(not(wcq_dst))]
+use std::sync::atomic::AtomicPtr;
+#[cfg(wcq_dst)]
+use shuttle_lite::atomic::AtomicPtr;
 
 /// Cell-empty sentinel value.
 const EMPTY: u64 = u64::MAX;

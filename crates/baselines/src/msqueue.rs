@@ -7,7 +7,13 @@
 
 use hazard::{Domain, HpHandle};
 use std::ptr;
-use std::sync::atomic::{AtomicPtr, Ordering::SeqCst};
+use std::sync::atomic::Ordering::SeqCst;
+// `AtomicPtr` must match the type in hazard's `protect` signature, which
+// switches to the shuttle-lite shim under `--cfg wcq_dst`.
+#[cfg(not(wcq_dst))]
+use std::sync::atomic::AtomicPtr;
+#[cfg(wcq_dst)]
+use shuttle_lite::atomic::AtomicPtr;
 
 struct Node {
     val: u64,

@@ -1,10 +1,15 @@
-//! Cross-PR throughput snapshot: `bench [--json] [--out PATH]`.
+//! Cross-PR throughput snapshot:
+//! `bench [--json] [--out PATH] [--compare BASELINE.json]`.
 //!
 //! Runs a fixed matrix of channel-level rows — the wait-free wCQ channel
 //! and the topology-declared SPSC/MPSC backends — through three workloads
-//! and reports Mops/s. `--json` additionally writes the machine-readable
-//! snapshot (default `BENCH_6.json`) so the throughput trajectory can be
-//! compared across PRs; the schema is documented in the top-level README.
+//! and reports Mops/s, plus the p99 notify→wake latency of a parked
+//! `recv` (`wakeup_p99_ns`, schema v2). `--json` additionally writes the
+//! machine-readable snapshot (default `BENCH_7.json`) so the throughput
+//! trajectory can be compared across PRs; the schema is documented in the
+//! top-level README. `--compare` rereads a prior snapshot and exits
+//! nonzero if any row shared with the baseline regressed by more than
+//! 25% Mops/s.
 //!
 //! Workloads (all single-thread, the honest shape on small CI boxes; see
 //! `figure_topology` for why):
@@ -98,13 +103,100 @@ fn matrix(
     }
 }
 
+/// p99 of the notify→wake latency for a parked `recv`, in nanoseconds.
+/// The consumer parks on the channel's not-empty eventcount; the producer
+/// stamps a shared clock immediately before the send whose notify wakes
+/// it; the consumer reads the clock the moment `recv` returns. The 200µs
+/// pre-send sleep is far beyond the listen→park window, so virtually
+/// every sample measures a real futex/condvar wakeup, not a fast-path
+/// poll.
+fn wakeup_p99_ns(rounds: usize) -> u64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+    let (mut tx, mut rx) = channel::bounded::<u64>(4, 2);
+    let epoch = Instant::now();
+    let stamp = Arc::new(AtomicU64::new(0));
+    let s2 = stamp.clone();
+    let consumer = std::thread::spawn(move || {
+        let mut samples = Vec::with_capacity(rounds);
+        for _ in 0..rounds {
+            rx.recv().expect("producer still live");
+            let now = epoch.elapsed().as_nanos() as u64;
+            samples.push(now.saturating_sub(s2.load(Ordering::Acquire)));
+        }
+        samples
+    });
+    for i in 0..rounds {
+        std::thread::sleep(std::time::Duration::from_micros(200));
+        stamp.store(epoch.elapsed().as_nanos() as u64, Ordering::Release);
+        tx.send(i as u64).expect("receiver still live");
+    }
+    let mut samples = consumer.join().expect("consumer thread");
+    samples.sort_unstable();
+    samples[(samples.len() - 1).min(samples.len() * 99 / 100)]
+}
+
+/// Extracts `(queue, workload) → mops` from a snapshot previously written
+/// by this tool (schema 1 or 2): a hand-rolled scan matching the
+/// hand-rolled writer below, not a general JSON parser.
+fn parse_rows(doc: &str) -> Vec<(String, String, f64)> {
+    fn field_str(line: &str, key: &str) -> Option<String> {
+        let pat = format!("\"{key}\": \"");
+        let rest = &line[line.find(&pat)? + pat.len()..];
+        Some(rest[..rest.find('"')?].to_string())
+    }
+    fn field_num(line: &str, key: &str) -> Option<f64> {
+        let pat = format!("\"{key}\": ");
+        let rest = &line[line.find(&pat)? + pat.len()..];
+        let end = rest
+            .find(|c: char| c != '.' && c != '-' && !c.is_ascii_digit())
+            .unwrap_or(rest.len());
+        rest[..end].parse().ok()
+    }
+    doc.lines()
+        .filter_map(|l| Some((field_str(l, "queue")?, field_str(l, "workload")?, field_num(l, "mops")?)))
+        .collect()
+}
+
+/// Rows regress when they fall below this fraction of the baseline.
+const COMPARE_FLOOR: f64 = 0.75;
+
+/// Prints the per-row comparison against `base`; `true` when any shared
+/// row fell below [`COMPARE_FLOOR`] of its baseline Mops/s.
+fn compare_regressed(rows: &[Row], base: &[(String, String, f64)], base_path: &str) -> bool {
+    let mut failed = false;
+    println!("\ncompare vs {base_path} (floor: {:.0}% of baseline):", COMPARE_FLOOR * 100.0);
+    for r in rows {
+        let Some((_, _, old)) = base
+            .iter()
+            .find(|(q, w, _)| q == r.queue && w == r.workload)
+        else {
+            continue;
+        };
+        let delta = (r.stats.mean / old - 1.0) * 100.0;
+        let bad = r.stats.mean < old * COMPARE_FLOOR;
+        failed |= bad;
+        println!(
+            "  {:<12} {:<9} {:>9.2} -> {:>9.2} Mops/s ({:>+6.1}%){}",
+            r.queue,
+            r.workload,
+            old,
+            r.stats.mean,
+            delta,
+            if bad { "  REGRESSION" } else { "" }
+        );
+    }
+    failed
+}
+
 /// Hand-rolled JSON (the workspace deliberately vendors no serde): the
 /// schema is flat enough that string assembly stays honest.
-fn to_json(rows: &[Row], opts: &BenchOpts) -> String {
+fn to_json(rows: &[Row], opts: &BenchOpts, wakeup_p99: u64) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    let _ = writeln!(s, "  \"schema\": 1,");
-    let _ = writeln!(s, "  \"pr\": 6,");
+    let _ = writeln!(s, "  \"schema\": 2,");
+    let _ = writeln!(s, "  \"pr\": 7,");
+    let _ = writeln!(s, "  \"wakeup_p99_ns\": {wakeup_p99},");
     let _ = writeln!(s, "  \"dwcas_backend\": \"{}\",", dwcas::BACKEND);
     let _ = writeln!(
         s,
@@ -128,7 +220,8 @@ fn to_json(rows: &[Row], opts: &BenchOpts) -> String {
 
 fn main() {
     let mut json = false;
-    let mut out_path = String::from("BENCH_6.json");
+    let mut out_path = String::from("BENCH_7.json");
+    let mut compare: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -139,8 +232,17 @@ fn main() {
                     std::process::exit(2);
                 });
             }
+            "--compare" => {
+                compare = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("--compare requires a baseline snapshot path");
+                    std::process::exit(2);
+                }));
+            }
             other => {
-                eprintln!("unknown argument `{other}` (usage: bench [--json] [--out PATH])");
+                eprintln!(
+                    "unknown argument `{other}` \
+                     (usage: bench [--json] [--out PATH] [--compare BASELINE.json])"
+                );
                 std::process::exit(2);
             }
         }
@@ -159,14 +261,28 @@ fn main() {
         &mut rows,
     );
 
+    let wakeup_p99 = wakeup_p99_ns(200);
+
     println!("\n{:<14}{:<11}{:>12}{:>10}", "queue", "workload", "Mops/s", "cov");
     for r in &rows {
         println!("{:<14}{:<11}{:>12.3}{:>10.4}", r.queue, r.workload, r.stats.mean, r.stats.cov);
     }
+    println!("{:<25}{:>12} ns", "wakeup p99 (parked recv)", wakeup_p99);
 
     if json {
-        let doc = to_json(&rows, &opts);
+        let doc = to_json(&rows, &opts, wakeup_p99);
         std::fs::write(&out_path, &doc).expect("write json snapshot");
         println!("\nwrote {out_path}");
+    }
+
+    if let Some(base_path) = compare {
+        let doc = std::fs::read_to_string(&base_path).unwrap_or_else(|e| {
+            eprintln!("cannot read baseline {base_path}: {e}");
+            std::process::exit(2);
+        });
+        if compare_regressed(&rows, &parse_rows(&doc), &base_path) {
+            eprintln!("bench: Mops/s regression beyond 25% of baseline — failing");
+            std::process::exit(1);
+        }
     }
 }

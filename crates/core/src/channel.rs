@@ -87,7 +87,8 @@ use crate::wcq::queue::OwnedWcqHandle;
 use crate::{ShardedWcq, UnboundedWcq, WcqConfig, WcqQueue};
 use std::future::Future;
 use std::pin::Pin;
-use std::sync::atomic::{AtomicUsize, Ordering::SeqCst};
+use crate::sim::AtomicUsize;
+use std::sync::atomic::Ordering::SeqCst;
 use std::sync::Arc;
 use std::task::{Context, Poll};
 use std::time::Duration;
@@ -381,9 +382,9 @@ impl<T: Send> Shared<T> {
             }
             spins += 1;
             if spins <= 64 {
-                std::hint::spin_loop();
+                crate::sim::spin_loop();
             } else {
-                std::thread::yield_now();
+                crate::sim::yield_now();
             }
         }
     }
@@ -454,6 +455,15 @@ impl<T: Send> SyncQueue for Endpoint<T> {
             Endpoint::Sharded(h) => h.try_dequeue(),
             Endpoint::Unbounded(h) => h.try_dequeue(),
             Endpoint::Topo(h) => h.try_dequeue(),
+        }
+    }
+
+    fn residue_hint(&self) -> bool {
+        // Only the topology backend has per-endpoint reachability (ring
+        // sweeps require the consumer seat); the others see everything.
+        match self {
+            Endpoint::Topo(h) => h.residue_hint(),
+            _ => false,
         }
     }
 }
@@ -601,7 +611,15 @@ impl<T: Send> Receiver<T> {
             None if self.shared.is_closed() => {
                 // Drain race: an insert may have landed between the probe
                 // and the close check.
-                self.endpoint().try_dequeue().ok_or(TryRecvError::Closed)
+                match self.endpoint().try_dequeue() {
+                    Some(v) => Ok(v),
+                    // Ring residue stranded behind another endpoint's
+                    // consumer seat (DESIGN.md §11) is "empty for now",
+                    // not `Closed` — the values will surface once the
+                    // holder drains or drops.
+                    None if self.endpoint().residue_hint() => Err(TryRecvError::Empty),
+                    None => Err(TryRecvError::Closed),
+                }
             }
             None => Err(TryRecvError::Empty),
         }

@@ -55,6 +55,7 @@ pub mod channel;
 pub mod pack;
 pub mod scq;
 pub mod shard;
+pub(crate) mod sim;
 pub mod spsc;
 pub mod sync;
 pub mod topology;

@@ -16,7 +16,8 @@ use crate::WcqConfig;
 use crossbeam_utils::CachePadded;
 use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
-use std::sync::atomic::{AtomicI64, AtomicU64, Ordering::SeqCst};
+use crate::sim::{AtomicI64, AtomicU64};
+use std::sync::atomic::Ordering::SeqCst;
 
 /// Lock-free bounded MPMC queue of indices in `0..n` (`n = 2^order`).
 ///

@@ -28,7 +28,8 @@
 use crate::sync::{SyncQueue, SyncState};
 use crate::wcq::queue::{acquire_slot, WcqQueue};
 use crate::WcqConfig;
-use std::sync::atomic::{AtomicBool, Ordering::SeqCst};
+use crate::sim::AtomicBool;
+use std::sync::atomic::Ordering::SeqCst;
 use std::sync::Arc;
 
 /// Sharded wait-free bounded MPMC queue: `S` independent [`WcqQueue`]

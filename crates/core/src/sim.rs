@@ -1,0 +1,85 @@
+//! Sync-primitive seam: `std` (and raw [`dwcas`]) in production builds,
+//! the `shuttle-lite` cooperative-scheduler shims under `--cfg wcq_dst`.
+//!
+//! Every atomic-using module in this crate imports its atomics, fences,
+//! parking, and blocking primitives from here instead of `std`, so the
+//! deterministic-schedule tests (`tests/dst/`) can explore interleavings
+//! at atomic-access granularity while regular builds compile to exactly
+//! the `std` types (the re-exports are zero-cost). `Ordering` is always
+//! `std::sync::atomic::Ordering` — the shims accept it unchanged.
+//!
+//! Outside an active exploration the shims pass straight through to
+//! `std`, which is how the ordinary test suite still runs under
+//! `--cfg wcq_dst`. See `DESIGN.md` §12.
+
+#[cfg(not(wcq_dst))]
+mod imp {
+    pub use dwcas::AtomicPair;
+    pub use std::hint::spin_loop;
+    pub use std::sync::atomic::{
+        fence, AtomicBool, AtomicI64, AtomicPtr, AtomicU64, AtomicU8, AtomicUsize,
+    };
+    pub use std::sync::{Mutex, OnceLock};
+    pub use std::thread::{current, park, park_timeout, yield_now, Thread};
+}
+
+#[cfg(wcq_dst)]
+mod imp {
+    pub use shuttle_lite::atomic::{
+        fence, AtomicBool, AtomicI64, AtomicPtr, AtomicU64, AtomicU8, AtomicUsize,
+    };
+    pub use shuttle_lite::hint::spin_loop;
+    pub use shuttle_lite::sync::{Mutex, OnceLock};
+    pub use shuttle_lite::thread::{current, park, park_timeout, yield_now, Thread};
+
+    /// [`dwcas::AtomicPair`] with a scheduling point before every access,
+    /// so the explorer interleaves around DWCAS operations exactly as it
+    /// does around single-word atomics. Lives here rather than in
+    /// shuttle-lite to keep the vendored crate zero-dependency.
+    #[derive(Debug)]
+    pub struct AtomicPair(dwcas::AtomicPair);
+
+    impl AtomicPair {
+        pub const fn new(lo: u64, hi: u64) -> Self {
+            Self(dwcas::AtomicPair::new(lo, hi))
+        }
+        #[inline]
+        pub fn load2(&self) -> (u64, u64) {
+            shuttle_lite::step();
+            self.0.load2()
+        }
+        #[inline]
+        pub fn compare_exchange2(&self, current: (u64, u64), new: (u64, u64)) -> bool {
+            shuttle_lite::step();
+            self.0.compare_exchange2(current, new)
+        }
+        #[inline]
+        pub fn load_lo(&self) -> u64 {
+            shuttle_lite::step();
+            self.0.load_lo()
+        }
+        #[allow(dead_code)] // mirrors the dwcas API; core currently reads hi via load2
+        #[inline]
+        pub fn load_hi(&self) -> u64 {
+            shuttle_lite::step();
+            self.0.load_hi()
+        }
+        #[inline]
+        pub fn fetch_add_lo(&self, delta: u64) -> u64 {
+            shuttle_lite::step();
+            self.0.fetch_add_lo(delta)
+        }
+        #[inline]
+        pub fn fetch_or_lo(&self, bits: u64) -> u64 {
+            shuttle_lite::step();
+            self.0.fetch_or_lo(bits)
+        }
+        #[inline]
+        pub fn compare_exchange_lo(&self, current: u64, new: u64) -> bool {
+            shuttle_lite::step();
+            self.0.compare_exchange_lo(current, new)
+        }
+    }
+}
+
+pub(crate) use imp::*;

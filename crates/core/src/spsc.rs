@@ -67,10 +67,8 @@ use crossbeam_utils::CachePadded;
 use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
 use std::ops::Deref;
-use std::sync::atomic::{
-    AtomicUsize,
-    Ordering::{Acquire, Relaxed, Release},
-};
+use crate::sim::AtomicUsize;
+use std::sync::atomic::Ordering::{Acquire, Relaxed, Release};
 use std::sync::Arc;
 
 // ===================================================================

@@ -79,11 +79,9 @@
 use crossbeam_utils::CachePadded;
 use std::future::Future;
 use std::pin::Pin;
-use std::sync::atomic::{
-    AtomicBool, AtomicU64, AtomicUsize,
-    Ordering::{Relaxed, SeqCst},
-};
-use std::sync::{Arc, Mutex};
+use crate::sim::{AtomicBool, AtomicU64, AtomicUsize, Mutex};
+use std::sync::atomic::Ordering::{Relaxed, SeqCst};
+use std::sync::Arc;
 use std::task::{Context, Poll, Wake, Waker};
 use std::time::{Duration, Instant};
 
@@ -114,7 +112,11 @@ use std::time::{Duration, Instant};
 ///
 /// Availability is probed once (`CMD_QUERY` + registration); kernels or
 /// sandboxes without it fall back to the symmetric `SeqCst`-fence notify.
-#[cfg(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")))]
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64"),
+    not(wcq_dst)
+))]
 mod asymfence {
     use std::sync::OnceLock;
 
@@ -160,9 +162,15 @@ mod asymfence {
     }
 }
 
-/// Fallback for targets without `membarrier(2)`: report unavailable so
-/// notifiers keep the symmetric `SeqCst` fence.
-#[cfg(not(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64"))))]
+/// Fallback for targets without `membarrier(2)` — and for `wcq_dst`
+/// builds, where a syscall-side barrier is invisible to the explorer and
+/// the symmetric `SeqCst`-fence notify is the path the schedule model
+/// actually checks.
+#[cfg(not(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64"),
+    not(wcq_dst)
+)))]
 mod asymfence {
     #[inline]
     pub fn enabled() -> bool {
@@ -178,7 +186,7 @@ mod asymfence {
 
 /// What a registered waiter wants woken: a parked thread or a task waker.
 enum WaiterKind {
-    Thread(std::thread::Thread),
+    Thread(crate::sim::Thread),
     Task(Waker),
 }
 
@@ -272,7 +280,7 @@ impl Eventcount {
     #[inline]
     pub fn notify_all_fenced(&self) {
         if !asymfence::enabled() {
-            std::sync::atomic::fence(SeqCst);
+            crate::sim::fence(SeqCst);
         }
         if self.nwaiters.load(Relaxed) == 0 {
             return;
@@ -310,7 +318,7 @@ impl Eventcount {
         }
         let token = l.next_token;
         l.next_token += 1;
-        l.entries.push((token, WaiterKind::Thread(std::thread::current())));
+        l.entries.push((token, WaiterKind::Thread(crate::sim::current())));
         self.nwaiters.store(l.entries.len(), SeqCst);
         // Waiter half of the asymmetric fence: order the count store above
         // against this thread's coming re-check, and drain any notifier's
@@ -330,14 +338,14 @@ impl Eventcount {
                 return true;
             }
             match deadline {
-                None => std::thread::park(),
+                None => crate::sim::park(),
                 Some(d) => {
                     let now = Instant::now();
                     if now >= d {
                         self.cancel(token);
                         return false;
                     }
-                    std::thread::park_timeout(d - now);
+                    crate::sim::park_timeout(d - now);
                 }
             }
         }
@@ -569,6 +577,19 @@ pub trait SyncQueue {
     /// One non-blocking dequeue attempt; `None` when observed empty.
     fn try_dequeue(&mut self) -> Option<Self::Item>;
 
+    /// `true` while the queue holds elements this endpoint cannot reach
+    /// *right now* but will be able to once another endpoint acts — ring
+    /// residue stranded behind a consumer seat held elsewhere (see
+    /// `topology`, DESIGN.md §11). Dequeue paths treat `closed` plus a
+    /// residue hint as "empty for now", never `Closed`: the values still
+    /// exist and close's drain guarantee covers them. Plain queues have
+    /// no unreachable elements, hence the `false` default. Advisory, like
+    /// any concurrent emptiness probe — may flicker `true` momentarily
+    /// after the residue is drained, never `false` while it exists.
+    fn residue_hint(&self) -> bool {
+        false
+    }
+
     /// Enqueues, parking while the queue is full. Fails only when the
     /// queue is [closed](SyncState::close) (the value comes back).
     ///
@@ -727,7 +748,23 @@ fn dequeue_deadline<Q: SyncQueue>(
         if q.sync_state().is_closed() {
             // Drain race: an insert may have landed between the probe and
             // the close check.
-            return q.try_dequeue().ok_or(RecvError::Closed);
+            if let Some(v) = q.try_dequeue() {
+                return Ok(v);
+            }
+            if !q.residue_hint() {
+                return Err(RecvError::Closed);
+            }
+            // Closed, observed empty — but residue is stranded behind a
+            // consumer seat held elsewhere (DESIGN.md §11). Reporting
+            // `Closed` would drop values close promised to drain, and
+            // parking would race the holder's final pop (pops notify
+            // `not_full`, not `not_empty`). Stay awake: the window ends
+            // when the holder drains the residue or drops the seat.
+            if deadline.is_some_and(|d| Instant::now() >= d) {
+                return q.try_dequeue().ok_or(RecvError::Timeout);
+            }
+            crate::sim::yield_now();
+            continue;
         }
         let Some(token) = q.sync_state().not_empty().register_thread(key) else {
             continue;
@@ -737,8 +774,10 @@ fn dequeue_deadline<Q: SyncQueue>(
             return Ok(v);
         }
         if q.sync_state().is_closed() {
+            // Deregister and let the loop head arbitrate Closed versus
+            // stranded residue — one decision point keeps them aligned.
             q.sync_state().not_empty().cancel(token);
-            return q.try_dequeue().ok_or(RecvError::Closed);
+            continue;
         }
         if !q
             .sync_state()
@@ -850,7 +889,18 @@ impl<Q: SyncQueue> Future for DequeueFuture<'_, Q> {
             }
             if this.q.sync_state().is_closed() {
                 this.deregister();
-                return Poll::Ready(this.q.try_dequeue().ok_or(RecvError::Closed));
+                return match this.q.try_dequeue() {
+                    Some(v) => Poll::Ready(Ok(v)),
+                    // Stranded residue (DESIGN.md §11): not `Closed` yet,
+                    // and sleeping on `not_empty` would race the seat
+                    // holder's final pop — self-wake to re-poll instead
+                    // (the async twin of `dequeue_deadline`'s yield-spin).
+                    None if this.q.residue_hint() => {
+                        cx.waker().wake_by_ref();
+                        Poll::Pending
+                    }
+                    None => Poll::Ready(Err(RecvError::Closed)),
+                };
             }
             if !this
                 .q
@@ -865,8 +915,10 @@ impl<Q: SyncQueue> Future for DequeueFuture<'_, Q> {
                 return Poll::Ready(Ok(v));
             }
             if this.q.sync_state().is_closed() {
+                // As in `dequeue_deadline`: deregister and let the loop
+                // head arbitrate Closed versus stranded residue.
                 this.deregister();
-                return Poll::Ready(this.q.try_dequeue().ok_or(RecvError::Closed));
+                continue;
             }
             return Poll::Pending;
         }
@@ -891,7 +943,7 @@ impl<Q: SyncQueue> Drop for DequeueFuture<'_, Q> {
 // Minimal executor
 // ===================================================================
 
-struct ThreadWaker(std::thread::Thread);
+struct ThreadWaker(crate::sim::Thread);
 
 impl Wake for ThreadWaker {
     fn wake(self: Arc<Self>) {
@@ -913,7 +965,7 @@ impl Wake for ThreadWaker {
 /// assert_eq!(block_on(async { 21 * 2 }), 42);
 /// ```
 pub fn block_on<F: Future>(fut: F) -> F::Output {
-    let waker = Waker::from(Arc::new(ThreadWaker(std::thread::current())));
+    let waker = Waker::from(Arc::new(ThreadWaker(crate::sim::current())));
     let mut cx = Context::from_waker(&waker);
     let mut fut = std::pin::pin!(fut);
     loop {
@@ -921,7 +973,7 @@ pub fn block_on<F: Future>(fut: F) -> F::Output {
             Poll::Ready(v) => return v,
             // A wake between poll and park leaves an unpark permit, so the
             // park returns immediately — no lost wakeup.
-            Poll::Pending => std::thread::park(),
+            Poll::Pending => crate::sim::park(),
         }
     }
 }

@@ -52,12 +52,15 @@
 //! rings while the consumer seat is held: it sees the spine lane only,
 //! and may report *empty* although the seated receiver still has ring
 //! residue in front of it. No element is lost — the seated receiver (or
-//! whoever inherits its seat after a drop) always drains the rings — but
-//! a workload that parks one receiver of an exceeded-topology channel
-//! while idling the seated one indefinitely can strand that waiter until
-//! the next send or seat release. Declare the real consumer count (use
-//! [`crate::channel::bounded`] for MPMC) rather than leaning on this
-//! degraded mode.
+//! whoever inherits its seat after a drop) always drains the rings, and
+//! [`TopoEndpoint::residue_hint`] keeps the blocking/async/`try` dequeue
+//! paths honest about it: a closed channel with residue stranded behind
+//! a held seat reports *empty*, never `Closed`, and the seat release
+//! notifies `not_empty` so parked excess receivers contest the seat the
+//! moment it frees (DESIGN.md §11). Still, declare the real consumer
+//! count (use [`crate::channel::bounded`] for MPMC) rather than leaning
+//! on this degraded mode — excess receivers wait out the holder's whole
+//! tenure.
 //!
 //! This module is the backend; the public face is
 //! [`crate::channel::spsc`] / [`crate::channel::mpsc`].
@@ -66,11 +69,9 @@ use crate::spsc::Ring;
 use crate::sync::SyncState;
 use crate::wcq::queue::OwnedWcqHandle;
 use crate::{WcqConfig, WcqQueue};
-use std::sync::atomic::{
-    AtomicBool, AtomicU8,
-    Ordering::{Acquire, Relaxed, SeqCst},
-};
-use std::sync::{Arc, OnceLock};
+use crate::sim::{AtomicBool, AtomicU8, OnceLock};
+use std::sync::atomic::Ordering::{Acquire, Relaxed, SeqCst};
+use std::sync::Arc;
 
 /// Only the declared rings exist.
 const FAST: u8 = 0;
@@ -299,9 +300,9 @@ impl<T: Send> TopoEndpoint<T> {
                 }
                 spins += 1;
                 if spins <= 64 {
-                    std::hint::spin_loop();
+                    crate::sim::spin_loop();
                 } else {
-                    std::thread::yield_now();
+                    crate::sim::yield_now();
                 }
             };
             self.spine = Some(h);
@@ -364,6 +365,18 @@ impl<T: Send> TopoEndpoint<T> {
             return v;
         }
         None
+    }
+
+    /// `true` while the rings hold elements this endpoint cannot sweep
+    /// because the consumer seat is held elsewhere (DESIGN.md §11). The
+    /// blocking/async dequeue paths use this to refuse `Closed` while a
+    /// value is stranded: the holder is still draining, or its drop is
+    /// about to hand this endpoint the seat. Deliberately *not* gated on
+    /// the seat still being taken — if the holder dropped between our
+    /// failed sweep and this probe, the residue is claimable and the
+    /// caller must retry, not report `Closed`.
+    pub fn residue_hint(&self) -> bool {
+        !self.has_cons_seat && self.core.rings.iter().any(|r| !r.is_empty_hint())
     }
 
     /// Batch enqueue: drains as many items as fit from the front of
@@ -456,6 +469,12 @@ impl<T: Send> Drop for TopoEndpoint<T> {
         }
         if self.has_cons_seat {
             self.core.cons_seat.store(false, SeqCst);
+            // The seat release may surface ring residue to receivers
+            // parked on `not_empty` (their pre-park sweep failed while we
+            // held the seat). Fenced: the release is a plain store, so
+            // the Dekker pairing with a parker's registration needs the
+            // symmetric fence (see `Eventcount::notify_all_fenced`).
+            self.core.sync.notify_not_empty_fenced();
         }
         // `self.spine` (if any) drops after: quiesced slot release.
     }

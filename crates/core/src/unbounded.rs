@@ -62,7 +62,8 @@ use crate::sync::{SyncQueue, SyncState};
 use crate::{ScqQueue, WcqConfig, WcqQueue};
 use hazard::{Domain, HpHandle};
 use std::ptr;
-use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, AtomicUsize, Ordering::SeqCst};
+use crate::sim::{AtomicBool, AtomicPtr, AtomicU64, AtomicUsize};
+use std::sync::atomic::Ordering::SeqCst;
 use std::sync::Arc;
 
 /// A bounded MPMC ring usable as the node payload of the unbounded list.
@@ -416,7 +417,9 @@ impl<T: Send, R: InnerRing<T>> Unbounded<T, R> {
             // tests/unbounded_reclaim.rs hits it on every ring turnover
             // instead of requiring a perfectly timed preemption; dequeuers
             // must cope via the tail-advance step in `unlink_and_retire`.
-            #[cfg(debug_assertions)]
+            // Under `wcq_dst` the explorer owns all scheduling, so the
+            // tripwire is disabled (it would double-count yield points).
+            #[cfg(all(debug_assertions, not(wcq_dst)))]
             std::thread::yield_now();
             let _ = self.tail.compare_exchange(ltail, fresh, SeqCst, SeqCst);
             Ok(())
@@ -538,9 +541,9 @@ impl<T: Send, R: InnerRing<T>> Unbounded<T, R> {
             if !node.drained() {
                 spins += 1;
                 if spins <= DRAIN_SPIN_BOUND {
-                    std::hint::spin_loop();
+                    crate::sim::spin_loop();
                 } else {
-                    std::thread::yield_now();
+                    crate::sim::yield_now();
                 }
                 continue;
             }

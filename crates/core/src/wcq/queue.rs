@@ -7,7 +7,8 @@ use crate::wcq::ring::WcqRing;
 use crate::WcqConfig;
 use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
-use std::sync::atomic::{AtomicBool, Ordering::Relaxed, Ordering::SeqCst};
+use crate::sim::AtomicBool;
+use std::sync::atomic::{Ordering::Relaxed, Ordering::SeqCst};
 use std::sync::Arc;
 
 /// Scans `slots` for a free entry and claims it, or returns `None` when all

@@ -30,14 +30,24 @@
 //! any real schedule (and the exposure window is a single CAS that then
 //! still needs the 48-bit ticket to match).
 
-use std::sync::atomic::{AtomicU64, Ordering::Relaxed, Ordering::SeqCst};
+use crate::sim::AtomicU64;
+use std::sync::atomic::{Ordering::Relaxed, Ordering::SeqCst};
 
 /// `FIN` flag: the help request has been completed.
 pub const FIN: u64 = 1 << 63;
 /// `INC` flag: phase-1 tentative ticket claim (global increment pending).
 pub const INC: u64 = 1 << 62;
-/// Number of bits in the request tag.
+/// Number of bits in the request tag. Deterministic-schedule builds
+/// shrink the tag to 2 bits so TAG wraparound — the stale-helper hazard
+/// the tag exists to catch — is reachable within a few explored
+/// operations instead of after 2^14 slow-path requests (standard
+/// small-bounds model-checking technique; the protocol's correctness
+/// argument is width-independent).
+#[cfg(not(wcq_dst))]
 pub const TAG_BITS: u32 = 14;
+/// Number of bits in the request tag (small-bounds `wcq_dst` value).
+#[cfg(wcq_dst)]
+pub const TAG_BITS: u32 = 2;
 /// First bit of the tag field.
 pub const TAG_SHIFT: u32 = 48;
 /// Mask selecting the tag field.
@@ -197,6 +207,9 @@ mod tests {
         assert_eq!(FIN & INC, 0);
         assert_eq!((FIN | INC) & TAG_MASK, 0);
         assert_eq!((FIN | INC | TAG_MASK) & CNT_MASK, 0);
+        // The narrowed dst TAG (2 bits) deliberately leaves bits unused
+        // between TAG and INC; only the full-width layout covers u64.
+        #[cfg(not(wcq_dst))]
         assert_eq!(FIN | INC | TAG_MASK | CNT_MASK, u64::MAX);
     }
 
@@ -211,7 +224,7 @@ mod tests {
     }
 
     #[test]
-    fn tag_wraps_at_14_bits() {
+    fn tag_wraps_at_tag_bits() {
         assert_eq!(tag_from_seq(0), tag_from_seq(1 << TAG_BITS));
         assert_ne!(tag_from_seq(1), tag_from_seq(2));
         // Adjacent sequence numbers always differ in tag (the dangerous case

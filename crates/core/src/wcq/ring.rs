@@ -14,8 +14,8 @@ use crate::pack::{enq_bit, pack_w, unpack_w, RingLayout, WEntry};
 use crate::wcq::record::{cnt_of, tag_from_seq, tag_of, ThreadRec, CNT_MASK, FIN, INC};
 use crate::WcqConfig;
 use crossbeam_utils::CachePadded;
-use dwcas::AtomicPair;
-use std::sync::atomic::{AtomicI64, AtomicU64, Ordering::Relaxed, Ordering::SeqCst};
+use crate::sim::{AtomicI64, AtomicPair, AtomicU64};
+use std::sync::atomic::{Ordering::Relaxed, Ordering::SeqCst};
 
 /// Outcome of a dequeue on an index ring.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -353,8 +353,9 @@ impl WcqRing {
                 // quantum so tests/handle_churn.rs overlaps it with a drop
                 // + re-register of the helpee's slot more often — the
                 // schedule the quiesce wait exists for (same tripwire
-                // pattern as the tail-lag yield in unbounded.rs).
-                #[cfg(debug_assertions)]
+                // pattern as the tail-lag yield in unbounded.rs). Under
+                // `wcq_dst` the explorer owns all scheduling.
+                #[cfg(all(debug_assertions, not(wcq_dst)))]
                 std::thread::yield_now();
                 if thr.enqueue.load(SeqCst) == 1 {
                     self.help_enqueue(rec, thr);
@@ -404,11 +405,11 @@ impl WcqRing {
         while rec.helpers.load(SeqCst) != 0 {
             spins += 1;
             if spins <= QUIESCE_SPIN_BOUND {
-                std::hint::spin_loop();
+                crate::sim::spin_loop();
             } else {
                 // A preempted helper holds the count up for a quantum;
                 // donate ours instead of burning it.
-                std::thread::yield_now();
+                crate::sim::yield_now();
             }
         }
     }
@@ -744,8 +745,9 @@ impl WcqRing {
         // few-core hosts the slow path otherwise completes before any peer
         // gets to observe `pending == 1`, and the helping machinery (plus
         // the quiesce-on-release protocol it necessitates) would go
-        // untested. Production builds keep the paper's behavior.
-        #[cfg(debug_assertions)]
+        // untested. Production builds keep the paper's behavior, and
+        // `wcq_dst` builds let the explorer own all scheduling.
+        #[cfg(all(debug_assertions, not(wcq_dst)))]
         std::thread::yield_now();
         self.enqueue_slow(rec, tag | tail, index, rec, tag);
         rec.pending.store(0, SeqCst);
@@ -778,7 +780,7 @@ impl WcqRing {
         rec.seq2.store(seq, SeqCst);
         rec.pending.store(1, SeqCst);
         // See the publish-side yield in `enqueue`.
-        #[cfg(debug_assertions)]
+        #[cfg(all(debug_assertions, not(wcq_dst)))]
         std::thread::yield_now();
         self.dequeue_slow(rec, tag | head, rec, tag);
         rec.pending.store(0, SeqCst);

@@ -21,8 +21,24 @@
 #![warn(missing_docs)]
 
 use std::collections::HashSet;
-use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicUsize, Ordering::Relaxed, Ordering::SeqCst};
-use std::sync::Mutex;
+use std::sync::atomic::Ordering::{Relaxed, SeqCst};
+
+// Same seam as `wcq::sim`: production builds use `std`; `--cfg wcq_dst`
+// routes every atomic and the orphan-list mutex through the shuttle-lite
+// scheduler shims so the validate-after-publish protocol is explorable
+// (and so a simulated thread never blocks on an OS mutex the scheduler
+// cannot see). `AtomicPtr` appears in the public `protect` signature, so
+// callers compiled under the same cfg see the same type.
+#[cfg(not(wcq_dst))]
+use std::sync::{
+    atomic::{AtomicBool, AtomicPtr, AtomicUsize},
+    Mutex,
+};
+#[cfg(wcq_dst)]
+use shuttle_lite::{
+    atomic::{AtomicBool, AtomicPtr, AtomicUsize},
+    sync::Mutex,
+};
 
 /// Hazard slots per thread. MSQueue needs 2, LCRQ 2, CRTurn 3; 4 gives
 /// headroom for composed structures.

@@ -1,0 +1,317 @@
+//! Deterministic-schedule tests (DST): model-checks the stack's trickiest
+//! protocols under the shuttle-lite explorer. Compiled only under
+//! `RUSTFLAGS="--cfg wcq_dst"`, which routes every atomic in `wcq` and
+//! `hazard` through the `wcq::sim` seam (DESIGN.md §12).
+//!
+//! Each test explores ≥10k schedules (seeded random, bounded preemptions;
+//! override with `WCQ_DST_SCHEDULES` / `WCQ_DST_SEED` /
+//! `WCQ_DST_PREEMPTIONS`) and is deterministic for a given seed. Failing
+//! schedules are minimized and printed as an RLE tape for
+//! `shuttle_lite::replay`. The `regressions` module pins minimized
+//! schedules from defects the explorer has found.
+//!
+//! Model-size discipline: 2–3 threads, 2–6 operations, ring order ≤ 2,
+//! `WcqConfig::stress()` where the helping slow path is under test —
+//! the protocols' state machines are small-bounds-reachable (TAG_BITS is
+//! 2 under `wcq_dst` for exactly this reason).
+#![cfg(wcq_dst)]
+
+use std::sync::Arc;
+
+use shuttle_lite::{thread, Explorer};
+use wcq::{channel, WcqConfig, WcqQueue};
+
+mod regressions;
+
+// ===================================================================
+// Model 1: helper drive vs. quiesce-on-release
+// ===================================================================
+
+/// Producer publishes slow-path help requests (stress config: patience 1,
+/// help every op) and then drops its handle — the PR 5 quiesce-on-release
+/// protocol must let any in-flight helper finish driving before the slot
+/// is released. Consumer helps on every operation. Exact FIFO delivery.
+fn quiesce_release_model() {
+    let cfg = WcqConfig::stress();
+    let q = Arc::new(WcqQueue::with_config(2, 3, &cfg));
+    let qa = q.clone();
+    let producer = thread::spawn(move || {
+        let mut h = qa.register_owned().expect("producer slot");
+        h.enqueue(1u64).unwrap();
+        h.enqueue(2u64).unwrap();
+        // Drop mid-protocol: helpers may still be driving our record.
+    });
+    let qb = q.clone();
+    let consumer = thread::spawn(move || {
+        let mut h = qb.register_owned().expect("consumer slot");
+        let mut got = Vec::new();
+        while got.len() < 2 {
+            match h.dequeue() {
+                Some(v) => got.push(v),
+                None => thread::yield_now(),
+            }
+        }
+        got
+    });
+    producer.join().unwrap();
+    let got = consumer.join().unwrap();
+    assert_eq!(got, vec![1, 2], "exact in-order delivery");
+    assert_eq!(q.register().expect("all slots released").dequeue(), None);
+}
+
+#[test]
+fn dst_helper_drive_vs_quiesce_release() {
+    Explorer::new("quiesce-release").check(quiesce_release_model);
+}
+
+// ===================================================================
+// Model 2: TAG wraparound with a stale helper
+// ===================================================================
+
+/// `TAG_BITS == 2` under `wcq_dst`, so per-record request tags wrap after
+/// four slow-path publishes. Five operations per side force wrap while
+/// the peer holds (possibly stale) helping references; the seqlock +
+/// phase-2 protocol must never double-apply or lose a request.
+fn tag_wrap_model() {
+    assert_eq!(wcq::wcq::record::TAG_BITS, 2, "small-bounds tag in dst builds");
+    let cfg = WcqConfig::stress();
+    let q = Arc::new(WcqQueue::with_config(2, 3, &cfg));
+    let qa = q.clone();
+    let producer = thread::spawn(move || {
+        let mut h = qa.register_owned().expect("producer slot");
+        for v in 0..5u64 {
+            let mut v = v;
+            // Ring order 2 (4 slots) can report full while the consumer
+            // lags; bounded occupancy keeps the model small.
+            loop {
+                match h.enqueue(v) {
+                    Ok(()) => break,
+                    Err(back) => {
+                        v = back;
+                        thread::yield_now();
+                    }
+                }
+            }
+        }
+    });
+    let qb = q.clone();
+    let consumer = thread::spawn(move || {
+        let mut h = qb.register_owned().expect("consumer slot");
+        let mut got = Vec::new();
+        while got.len() < 5 {
+            match h.dequeue() {
+                Some(v) => got.push(v),
+                None => thread::yield_now(),
+            }
+        }
+        got
+    });
+    producer.join().unwrap();
+    let got = consumer.join().unwrap();
+    assert_eq!(got, vec![0, 1, 2, 3, 4], "exact delivery across tag wrap");
+}
+
+#[test]
+fn dst_tag_wrap_with_stale_helper() {
+    Explorer::new("tag-wrap").check(tag_wrap_model);
+}
+
+// ===================================================================
+// Model 3: slot recycle + re-registration
+// ===================================================================
+
+/// A thread releases its slot mid-stream and re-registers (recycling the
+/// slot, bumping the record's TAG/owner epoch) while the peer may hold a
+/// helping reference to the *old* incarnation. Values must be delivered
+/// exactly once; the recycled slot must come up clean.
+fn slot_recycle_model() {
+    let cfg = WcqConfig::stress();
+    let q = Arc::new(WcqQueue::with_config(2, 2, &cfg));
+    let qa = q.clone();
+    let producer = thread::spawn(move || {
+        let mut h = qa.register_owned().expect("first registration");
+        h.enqueue(10u64).unwrap();
+        drop(h); // release + quiesce
+        let mut h = qa.register_owned().expect("re-registration");
+        h.enqueue(20u64).unwrap();
+    });
+    let qb = q.clone();
+    let consumer = thread::spawn(move || {
+        let mut h = qb.register_owned().expect("consumer slot");
+        let mut got = Vec::new();
+        while got.len() < 2 {
+            match h.dequeue() {
+                Some(v) => got.push(v),
+                None => thread::yield_now(),
+            }
+        }
+        got
+    });
+    producer.join().unwrap();
+    let got = consumer.join().unwrap();
+    assert_eq!(got, vec![10, 20], "exact delivery across slot recycle");
+}
+
+#[test]
+fn dst_slot_recycle_and_reregistration() {
+    Explorer::new("slot-recycle").check(slot_recycle_model);
+}
+
+// ===================================================================
+// Model 4: graft mode transition with seated + excess endpoints
+// ===================================================================
+
+/// Topology-declared SPSC channel: the seated producer streams over its
+/// ring while a second (out-of-declaration) producer forces the
+/// FAST→SPINE graft concurrently. Exact delivery and per-producer FIFO
+/// must hold across the mode transition; the consumer must drain both the
+/// ring lane and the grafted spine.
+fn graft_model() {
+    let (mut tx, mut rx) = channel::spsc::<u64>(2, 3);
+    let mut tx2 = tx.clone(); // beyond the declared 1 producer → graft
+    let seated = thread::spawn(move || {
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+    });
+    let excess = thread::spawn(move || {
+        tx2.send(10).unwrap();
+        tx2.send(11).unwrap();
+    });
+    let mut got = Vec::new();
+    while got.len() < 4 {
+        match rx.try_recv() {
+            Ok(v) => got.push(v),
+            Err(_) => thread::yield_now(),
+        }
+    }
+    seated.join().unwrap();
+    excess.join().unwrap();
+    let mut sorted = got.clone();
+    sorted.sort_unstable();
+    assert_eq!(sorted, vec![1, 2, 10, 11], "exact delivery across graft");
+    let pos = |v: u64| got.iter().position(|&x| x == v).unwrap();
+    assert!(pos(1) < pos(2), "per-producer FIFO (seated): {got:?}");
+    assert!(pos(10) < pos(11), "per-producer FIFO (excess): {got:?}");
+}
+
+#[test]
+fn dst_graft_mode_transition() {
+    Explorer::new("graft-transition").check(graft_model);
+}
+
+// ===================================================================
+// Model 5: eventcount park vs. fenced notify
+// ===================================================================
+
+/// Blocking rendezvous over a capacity-2 ring: the consumer parks on
+/// empty, the producer parks on full, and each side's wake rides the
+/// eventcount's Dekker pairing (`wcq_dst` builds always take the
+/// symmetric-fence notify path — the membarrier shortcut is cfg'd out).
+/// Any lost wakeup parks a thread forever, which the explorer reports as
+/// a deadlock.
+fn eventcount_model() {
+    let (mut tx, mut rx) = channel::spsc::<u64>(1, 2);
+    let consumer = thread::spawn(move || {
+        let mut got = Vec::new();
+        while let Ok(v) = rx.recv() {
+            got.push(v);
+        }
+        got
+    });
+    for v in 0..3u64 {
+        tx.send(v).unwrap(); // capacity 2: may park on full
+    }
+    drop(tx); // close: consumer must wake and drain, then see Closed
+    let got = consumer.join().unwrap();
+    assert_eq!(got, vec![0, 1, 2], "exact delivery, no lost wakeup");
+}
+
+#[test]
+fn dst_eventcount_park_vs_fenced_notify() {
+    Explorer::new("eventcount-park").check(eventcount_model);
+}
+
+// ===================================================================
+// Model 6: degraded mode — residue stranded behind the consumer seat
+// ===================================================================
+
+/// DESIGN.md §11 bugfix model. The consumer-seat holder takes one value
+/// and drops with residue still in its ring while the channel is already
+/// closed. An out-of-declaration receiver (a clone past the declared
+/// 1-consumer topology) cannot sweep the rings while the seat is held —
+/// it must *wait out* that window, inherit the seat, and drain the
+/// residue, never reporting `Closed` while a value is stranded.
+///
+/// Pre-fix, `recv` mapped "closed + nothing I can reach" straight to
+/// `Closed`, losing the residue whenever the excess receiver ran between
+/// the close and the holder's drop (regression `degraded_residue` pins
+/// the explorer's minimized schedule for exactly that interleaving).
+fn degraded_residue_model() {
+    let (mut tx, mut rx) = channel::spsc::<u64>(2, 3);
+    let mut rx2 = rx.clone(); // beyond the declared 1 consumer
+    tx.send(1).unwrap();
+    tx.send(2).unwrap();
+    drop(tx); // closed with both values in the declared ring
+    let holder = thread::spawn(move || {
+        // Claims the consumer seat (first operation), takes one value,
+        // then drops the endpoint with the other still in the ring —
+        // unless `rx2` won the seat race, in which case it sees Closed.
+        rx.recv().ok()
+    });
+    let mut got = Vec::new();
+    loop {
+        match rx2.recv() {
+            Ok(v) => got.push(v),
+            Err(e) => {
+                assert_eq!(e, wcq::sync::RecvError::Closed);
+                break;
+            }
+        }
+    }
+    got.extend(holder.join().unwrap());
+    got.sort_unstable();
+    assert_eq!(got, vec![1, 2], "residue must be inherited, not dropped");
+}
+
+#[test]
+fn dst_degraded_residue_inheritance() {
+    Explorer::new("degraded-residue").check(degraded_residue_model);
+}
+
+// ===================================================================
+// Explorer sanity: determinism of the whole DST harness
+// ===================================================================
+
+/// The schedule stream is a pure function of the seed: two explorations
+/// of a failing model must report byte-identical minimized schedules.
+/// Guards the seed-replay contract the regression tests depend on.
+#[test]
+fn dst_seed_replay_is_deterministic() {
+    fn racy() {
+        use shuttle_lite::atomic::{AtomicU64, Ordering::SeqCst};
+        let n = Arc::new(AtomicU64::new(0));
+        let n2 = n.clone();
+        let t = thread::spawn(move || {
+            let v = n2.load(SeqCst);
+            n2.store(v + 1, SeqCst);
+        });
+        let v = n.load(SeqCst);
+        n.store(v + 1, SeqCst);
+        t.join().unwrap();
+        assert_eq!(n.load(SeqCst), 2, "planted lost update");
+    }
+    let find = || {
+        Explorer::new("determinism")
+            .seed(0xd57)
+            .schedules(2_000)
+            .find_failure(racy)
+            .expect("planted race must be found")
+    };
+    let a = find();
+    let b = find();
+    assert_eq!(a.schedule, b.schedule);
+    assert_eq!(a.schedule_index, b.schedule_index);
+    // And the minimized schedule replays to the same failure.
+    let r = std::panic::catch_unwind(|| shuttle_lite::replay(&a.schedule, racy));
+    assert!(r.is_err(), "minimized schedule must reproduce");
+}

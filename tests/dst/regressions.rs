@@ -1,0 +1,18 @@
+//! Minimized-schedule regressions: every defect the explorer has found
+//! gets its failing decision tape checked in here, replayed verbatim so
+//! the bug's exact interleaving stays covered forever (reverting the fix
+//! makes the replay panic). Tapes come straight from the explorer's
+//! failure report (`minimized schedule: "..."`).
+
+/// Degraded-mode residue loss (DESIGN.md §11), found by the explorer on
+/// schedule #2 of `dst_degraded_residue_inheritance`'s default run (seed
+/// `0x5eedcafe`) and minimized to 3 runs: the seat holder takes one value
+/// off the closed channel, the excess receiver is scheduled before the
+/// holder's drop, maps "closed + nothing reachable" to `Closed`, and the
+/// ring residue is never delivered (`[1] != [1, 2]`). Fixed by
+/// `residue_hint` + the seat-release notify; reverting either makes this
+/// replay panic again.
+#[test]
+fn degraded_residue_minimized_schedule() {
+    shuttle_lite::replay("0*26,1*9,0*5", super::degraded_residue_model);
+}

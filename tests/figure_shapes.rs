@@ -74,6 +74,10 @@ fn ymc_live_segments_track_backlog_not_history() {
 /// probe. Debug builds compress the gap to call-overhead territory, so the
 /// bound is a conservative 1.1×; release-mode magnitude lives in the
 /// figure harness (2.7× vs FAA, 10–1000× vs the real queues).
+/// Not meaningful under `wcq_dst`: the sim seam puts a TLS check on every
+/// wCQ atomic that the FAA reference's plain `std` atomics do not pay,
+/// which eats the 1.1× margin.
+#[cfg(not(wcq_dst))]
 #[test]
 fn threshold_makes_empty_dequeue_constant_time() {
     const N: u64 = 2_000_000;

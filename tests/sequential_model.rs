@@ -703,4 +703,64 @@ proptest! {
             prop_assert_eq!(&got, &lanes[lane], "lane {} FIFO across the graft", lane);
         }
     }
+
+    /// Seat inheritance (DESIGN.md §11): the consumer-seat holder drops
+    /// mid-stream with residue still in its ring; a cloned receiver
+    /// inherits the seat and must drain *exactly* the outstanding
+    /// backlog — FIFO against the `VecDeque` oracle, with count and
+    /// checksum conserved, and the closed edge honest (never `Closed`
+    /// while a value is stranded, no spurious `Empty` once the seat is
+    /// free).
+    #[test]
+    fn spsc_channel_seat_inheritance_conserves(ops in ops(300), cut in 1usize..200) {
+        let (mut tx, rx) = wcq::channel::spsc::<u64>(5, 4);
+        let mut rx2 = rx.clone(); // beyond the declared 1 consumer
+        let mut holder = Some(rx);
+        let mut oracle: std::collections::VecDeque<u64> = Default::default();
+        let mut accepted = 0usize;
+        let mut sent_sum = 0u64;
+        let mut received = 0usize;
+        let mut got_sum = 0u64;
+        for (i, op) in ops.into_iter().enumerate() {
+            if i == cut {
+                holder = None; // seat holder drops, residue and all
+            }
+            match op {
+                Op::Enq(v) => {
+                    if tx.try_send(v).is_ok() {
+                        oracle.push_back(v);
+                        accepted += 1;
+                        sent_sum += v;
+                    }
+                }
+                Op::Deq => {
+                    let r = match holder.as_mut() {
+                        Some(h) => h.try_recv(), // claims the seat
+                        None => rx2.try_recv(),  // inheritor
+                    };
+                    if let Ok(v) = r {
+                        prop_assert_eq!(Some(v), oracle.pop_front(), "FIFO vs oracle");
+                        received += 1;
+                        got_sum += v;
+                    }
+                }
+            }
+        }
+        drop(holder);
+        drop(tx); // close: the inheritor must drain the exact backlog
+        loop {
+            match rx2.try_recv() {
+                Ok(v) => {
+                    prop_assert_eq!(Some(v), oracle.pop_front(), "FIFO vs oracle");
+                    received += 1;
+                    got_sum += v;
+                }
+                Err(wcq::channel::TryRecvError::Closed) => break,
+                Err(e) => prop_assert!(false, "unexpected {:?} draining inherited residue", e),
+            }
+        }
+        prop_assert!(oracle.is_empty(), "inheritor drained exactly");
+        prop_assert_eq!(received, accepted, "count conserved across the seat handoff");
+        prop_assert_eq!(got_sum, sent_sum, "checksum conserved across the seat handoff");
+    }
 }

@@ -175,3 +175,48 @@ fn closed_edges_survive_the_graft() {
     assert_eq!(rx.recv(), Ok(8));
     assert_eq!(rx.recv(), Err(RecvError::Closed));
 }
+
+/// DESIGN.md §11 degraded-mode regression: an out-of-declaration receiver
+/// must never be told `Closed` while ring residue is stranded behind
+/// another endpoint's live consumer seat. Pre-fix, every dequeue path
+/// mapped "closed + nothing reachable from here" straight to `Closed`
+/// and the residue was silently dropped.
+#[test]
+fn excess_receiver_waits_out_stranded_residue() {
+    let (mut tx, mut rx) = channel::spsc::<u64>(2, 4);
+    let mut rx2 = rx.clone(); // beyond the declared 1 consumer
+    tx.try_send(1).unwrap();
+    tx.try_send(2).unwrap();
+    assert_eq!(rx.recv(), Ok(1)); // `rx` claims the consumer seat
+    drop(tx); // closed, with residue (2) in `rx`'s ring
+
+    // The seat is held and `rx` has not drained: "empty for now", never
+    // `Closed` — and a deadline expires as a timeout, not a close.
+    assert_eq!(rx2.try_recv(), Err(TryRecvError::Empty));
+    assert_eq!(
+        rx2.recv_timeout(Duration::from_millis(5)),
+        Err(RecvError::Timeout)
+    );
+
+    drop(rx); // seat released with the residue still in the ring
+    assert_eq!(rx2.recv(), Ok(2), "residue inherited, not dropped");
+    assert_eq!(rx2.recv(), Err(RecvError::Closed));
+}
+
+/// The blocking twin: a parked/spinning excess receiver outlives the seat
+/// holder's whole tenure and still delivers the stranded value.
+#[test]
+fn blocking_excess_receiver_inherits_residue() {
+    let (mut tx, rx) = channel::spsc::<u64>(2, 4);
+    let mut rx2 = rx.clone();
+    let mut rx = rx;
+    tx.try_send(7).unwrap();
+    assert_eq!(rx.recv(), Ok(7)); // seat claimed
+    tx.try_send(8).unwrap();
+    drop(tx); // closed with residue (8) behind the held seat
+    let waiter = std::thread::spawn(move || rx2.recv());
+    // Give the waiter time to hit the closed-with-residue window.
+    std::thread::sleep(Duration::from_millis(20));
+    drop(rx); // hand over the seat
+    assert_eq!(waiter.join().unwrap(), Ok(8));
+}

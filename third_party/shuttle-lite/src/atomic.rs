@@ -1,0 +1,268 @@
+//! `std::sync::atomic` stand-ins. Each shim wraps the real atomic and
+//! inserts a scheduling point before every operation, so the explorer
+//! enumerates interleavings at atomic-access granularity.
+//!
+//! Exploration is sequentially consistent: because only one simulated
+//! thread runs at a time and every access is a program-order step, the
+//! schedule space covered is that of SC executions. Weak-memory
+//! reorderings are *not* modeled (see DESIGN.md §12 for the argument why
+//! the wCQ protocols under test are SC-robust at their decision points).
+
+pub use std::sync::atomic::Ordering;
+
+use crate::runtime::step;
+
+macro_rules! int_atomic {
+    ($name:ident, $std:ident, $ty:ty) => {
+        #[repr(transparent)]
+        #[derive(Debug)]
+        pub struct $name(std::sync::atomic::$std);
+
+        impl $name {
+            pub const fn new(v: $ty) -> Self {
+                Self(std::sync::atomic::$std::new(v))
+            }
+            #[inline]
+            pub fn load(&self, o: Ordering) -> $ty {
+                step();
+                self.0.load(o)
+            }
+            #[inline]
+            pub fn store(&self, v: $ty, o: Ordering) {
+                step();
+                self.0.store(v, o)
+            }
+            #[inline]
+            pub fn swap(&self, v: $ty, o: Ordering) -> $ty {
+                step();
+                self.0.swap(v, o)
+            }
+            #[inline]
+            pub fn compare_exchange(
+                &self,
+                cur: $ty,
+                new: $ty,
+                ok: Ordering,
+                err: Ordering,
+            ) -> Result<$ty, $ty> {
+                step();
+                self.0.compare_exchange(cur, new, ok, err)
+            }
+            #[inline]
+            pub fn compare_exchange_weak(
+                &self,
+                cur: $ty,
+                new: $ty,
+                ok: Ordering,
+                err: Ordering,
+            ) -> Result<$ty, $ty> {
+                step();
+                self.0.compare_exchange_weak(cur, new, ok, err)
+            }
+            #[inline]
+            pub fn fetch_add(&self, v: $ty, o: Ordering) -> $ty {
+                step();
+                self.0.fetch_add(v, o)
+            }
+            #[inline]
+            pub fn fetch_sub(&self, v: $ty, o: Ordering) -> $ty {
+                step();
+                self.0.fetch_sub(v, o)
+            }
+            #[inline]
+            pub fn fetch_or(&self, v: $ty, o: Ordering) -> $ty {
+                step();
+                self.0.fetch_or(v, o)
+            }
+            #[inline]
+            pub fn fetch_and(&self, v: $ty, o: Ordering) -> $ty {
+                step();
+                self.0.fetch_and(v, o)
+            }
+            #[inline]
+            pub fn fetch_xor(&self, v: $ty, o: Ordering) -> $ty {
+                step();
+                self.0.fetch_xor(v, o)
+            }
+            #[inline]
+            pub fn fetch_max(&self, v: $ty, o: Ordering) -> $ty {
+                step();
+                self.0.fetch_max(v, o)
+            }
+            #[inline]
+            pub fn fetch_min(&self, v: $ty, o: Ordering) -> $ty {
+                step();
+                self.0.fetch_min(v, o)
+            }
+            #[inline]
+            pub fn fetch_update<F: FnMut($ty) -> Option<$ty>>(
+                &self,
+                set: Ordering,
+                fetch: Ordering,
+                f: F,
+            ) -> Result<$ty, $ty> {
+                step();
+                self.0.fetch_update(set, fetch, f)
+            }
+            #[inline]
+            pub fn into_inner(self) -> $ty {
+                self.0.into_inner()
+            }
+            #[inline]
+            pub fn get_mut(&mut self) -> &mut $ty {
+                self.0.get_mut()
+            }
+        }
+
+        impl Default for $name {
+            fn default() -> Self {
+                Self::new(Default::default())
+            }
+        }
+    };
+}
+
+int_atomic!(AtomicU8, AtomicU8, u8);
+int_atomic!(AtomicU32, AtomicU32, u32);
+int_atomic!(AtomicU64, AtomicU64, u64);
+int_atomic!(AtomicI64, AtomicI64, i64);
+int_atomic!(AtomicUsize, AtomicUsize, usize);
+
+#[repr(transparent)]
+#[derive(Debug, Default)]
+pub struct AtomicBool(std::sync::atomic::AtomicBool);
+
+impl AtomicBool {
+    pub const fn new(v: bool) -> Self {
+        Self(std::sync::atomic::AtomicBool::new(v))
+    }
+    #[inline]
+    pub fn load(&self, o: Ordering) -> bool {
+        step();
+        self.0.load(o)
+    }
+    #[inline]
+    pub fn store(&self, v: bool, o: Ordering) {
+        step();
+        self.0.store(v, o)
+    }
+    #[inline]
+    pub fn swap(&self, v: bool, o: Ordering) -> bool {
+        step();
+        self.0.swap(v, o)
+    }
+    #[inline]
+    pub fn compare_exchange(
+        &self,
+        cur: bool,
+        new: bool,
+        ok: Ordering,
+        err: Ordering,
+    ) -> Result<bool, bool> {
+        step();
+        self.0.compare_exchange(cur, new, ok, err)
+    }
+    #[inline]
+    pub fn compare_exchange_weak(
+        &self,
+        cur: bool,
+        new: bool,
+        ok: Ordering,
+        err: Ordering,
+    ) -> Result<bool, bool> {
+        step();
+        self.0.compare_exchange_weak(cur, new, ok, err)
+    }
+    #[inline]
+    pub fn fetch_or(&self, v: bool, o: Ordering) -> bool {
+        step();
+        self.0.fetch_or(v, o)
+    }
+    #[inline]
+    pub fn fetch_and(&self, v: bool, o: Ordering) -> bool {
+        step();
+        self.0.fetch_and(v, o)
+    }
+    #[inline]
+    pub fn fetch_xor(&self, v: bool, o: Ordering) -> bool {
+        step();
+        self.0.fetch_xor(v, o)
+    }
+    #[inline]
+    pub fn into_inner(self) -> bool {
+        self.0.into_inner()
+    }
+    #[inline]
+    pub fn get_mut(&mut self) -> &mut bool {
+        self.0.get_mut()
+    }
+}
+
+#[repr(transparent)]
+#[derive(Debug)]
+pub struct AtomicPtr<T>(std::sync::atomic::AtomicPtr<T>);
+
+impl<T> AtomicPtr<T> {
+    pub const fn new(p: *mut T) -> Self {
+        Self(std::sync::atomic::AtomicPtr::new(p))
+    }
+    #[inline]
+    pub fn load(&self, o: Ordering) -> *mut T {
+        step();
+        self.0.load(o)
+    }
+    #[inline]
+    pub fn store(&self, p: *mut T, o: Ordering) {
+        step();
+        self.0.store(p, o)
+    }
+    #[inline]
+    pub fn swap(&self, p: *mut T, o: Ordering) -> *mut T {
+        step();
+        self.0.swap(p, o)
+    }
+    #[inline]
+    pub fn compare_exchange(
+        &self,
+        cur: *mut T,
+        new: *mut T,
+        ok: Ordering,
+        err: Ordering,
+    ) -> Result<*mut T, *mut T> {
+        step();
+        self.0.compare_exchange(cur, new, ok, err)
+    }
+    #[inline]
+    pub fn compare_exchange_weak(
+        &self,
+        cur: *mut T,
+        new: *mut T,
+        ok: Ordering,
+        err: Ordering,
+    ) -> Result<*mut T, *mut T> {
+        step();
+        self.0.compare_exchange_weak(cur, new, ok, err)
+    }
+    #[inline]
+    pub fn into_inner(self) -> *mut T {
+        self.0.into_inner()
+    }
+    #[inline]
+    pub fn get_mut(&mut self) -> &mut *mut T {
+        self.0.get_mut()
+    }
+}
+
+impl<T> Default for AtomicPtr<T> {
+    fn default() -> Self {
+        Self::new(std::ptr::null_mut())
+    }
+}
+
+/// Memory fence: a scheduling point, then the real fence (for the
+/// pass-through case; under simulation SC makes it a no-op semantically).
+#[inline]
+pub fn fence(o: Ordering) {
+    step();
+    std::sync::atomic::fence(o)
+}

@@ -1,0 +1,321 @@
+//! The schedule explorer: runs a model closure under many schedules
+//! (seeded random with bounded preemptions, or bounded DFS), minimizes any
+//! failing schedule, and replays recorded schedules deterministically.
+
+use std::panic::AssertUnwindSafe;
+
+use crate::runtime::{ctx, set_ctx, Ctx, Policy, Runtime};
+
+/// A failing schedule, minimized and encoded for replay.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// What went wrong (panic message, deadlock, or step-limit report).
+    pub message: String,
+    /// Minimized decision tape, RLE-encoded (`"0*12,1*3,0*2"` = thread 0
+    /// for 12 decisions, thread 1 for 3, thread 0 for 2). Feed to
+    /// [`replay`].
+    pub schedule: String,
+    /// Index of the schedule that first failed (with the explorer's seed,
+    /// identifies the original unminimized run).
+    pub schedule_index: usize,
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}\n  minimized schedule: \"{}\" (from schedule #{})",
+            self.message, self.schedule, self.schedule_index
+        )
+    }
+}
+
+/// Encodes a decision tape as a run-length string: `"0*12,1*3"`.
+pub fn encode_schedule(tape: &[usize]) -> String {
+    let mut s = String::new();
+    let mut i = 0;
+    while i < tape.len() {
+        let t = tape[i];
+        let mut n = 1;
+        while i + n < tape.len() && tape[i + n] == t {
+            n += 1;
+        }
+        if !s.is_empty() {
+            s.push(',');
+        }
+        if n == 1 {
+            s.push_str(&t.to_string());
+        } else {
+            s.push_str(&format!("{t}*{n}"));
+        }
+        i += n;
+    }
+    s
+}
+
+/// Decodes [`encode_schedule`]'s format. Panics on malformed input.
+pub fn decode_schedule(s: &str) -> Vec<usize> {
+    let mut tape = Vec::new();
+    for part in s.split(',').filter(|p| !p.is_empty()) {
+        let (t, n) = match part.split_once('*') {
+            Some((t, n)) => (
+                t.trim().parse::<usize>().expect("schedule: bad thread id"),
+                n.trim().parse::<usize>().expect("schedule: bad run length"),
+            ),
+            None => (part.trim().parse::<usize>().expect("schedule: bad thread id"), 1),
+        };
+        tape.extend(std::iter::repeat_n(t, n));
+    }
+    tape
+}
+
+/// Per-schedule seed derivation (SplitMix64 finalizer over seed ⊕ index).
+fn mix(seed: u64, i: u64) -> u64 {
+    let mut z = seed ^ i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Explorer configuration. Environment overrides (read in [`Explorer::new`]):
+/// `WCQ_DST_SCHEDULES`, `WCQ_DST_SEED` (hex ok with `0x`), `WCQ_DST_PREEMPTIONS`.
+pub struct Explorer {
+    name: String,
+    schedules: usize,
+    seed: u64,
+    preemptions: usize,
+    step_limit: u64,
+    minimize_budget: usize,
+}
+
+fn env_usize(key: &str) -> Option<usize> {
+    std::env::var(key).ok()?.trim().parse().ok()
+}
+
+fn env_u64(key: &str) -> Option<u64> {
+    let v = std::env::var(key).ok()?;
+    let v = v.trim();
+    if let Some(hex) = v.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        v.parse().ok()
+    }
+}
+
+impl Explorer {
+    pub fn new(name: &str) -> Explorer {
+        assert!(
+            ctx().is_none(),
+            "nested explorations are not supported (Explorer created inside a schedule)"
+        );
+        Explorer {
+            name: name.to_string(),
+            schedules: env_usize("WCQ_DST_SCHEDULES").unwrap_or(10_000),
+            seed: env_u64("WCQ_DST_SEED").unwrap_or(0x5eed_cafe),
+            preemptions: env_usize("WCQ_DST_PREEMPTIONS").unwrap_or(3),
+            step_limit: 1_000_000,
+            minimize_budget: 300,
+        }
+    }
+
+    pub fn schedules(mut self, n: usize) -> Self {
+        self.schedules = n;
+        self
+    }
+
+    pub fn seed(mut self, s: u64) -> Self {
+        self.seed = s;
+        self
+    }
+
+    pub fn preemptions(mut self, p: usize) -> Self {
+        self.preemptions = p;
+        self
+    }
+
+    pub fn step_limit(mut self, n: u64) -> Self {
+        self.step_limit = n;
+        self
+    }
+
+    /// Runs `body` once under `policy` on the calling thread (simulated
+    /// thread 0). Returns the decision tape, the failure (if any), and the
+    /// policy back (DFS tree cursor).
+    fn run_schedule<F: Fn()>(
+        &self,
+        policy: Policy,
+        body: &F,
+    ) -> (Vec<usize>, Option<String>, Policy) {
+        let rt = Runtime::new(policy, self.step_limit);
+        set_ctx(Some(Ctx { rt: rt.clone(), tid: 0 }));
+        let r = std::panic::catch_unwind(AssertUnwindSafe(body));
+        if let Err(p) = r {
+            rt.record_panic(0, p.as_ref());
+        }
+        rt.finish_main_and_drain();
+        set_ctx(None);
+        rt.join_os_threads();
+        rt.take_outcome()
+    }
+
+    /// Random exploration; returns the first (minimized) failure, or
+    /// `None` after the full schedule budget passes clean.
+    pub fn find_failure<F: Fn()>(&self, body: F) -> Option<Failure> {
+        for i in 0..self.schedules {
+            let policy = Policy::random(mix(self.seed, i as u64), self.preemptions);
+            let (tape, failure, _) = self.run_schedule(policy, &body);
+            if let Some(msg) = failure {
+                let (tape, msg) = self.minimize(tape, msg, &body);
+                return Some(Failure {
+                    message: msg,
+                    schedule: encode_schedule(&tape),
+                    schedule_index: i,
+                });
+            }
+        }
+        None
+    }
+
+    /// Random exploration that panics with a replay recipe on failure.
+    pub fn check<F: Fn()>(&self, body: F) {
+        if let Some(f) = self.find_failure(body) {
+            panic!(
+                "[{}] schedule #{} (seed {:#x}) failed: {}\n  replay with: \
+                 shuttle_lite::replay(\"{}\", || ...)",
+                self.name, f.schedule_index, self.seed, f.message, f.schedule
+            );
+        }
+    }
+
+    /// Bounded-depth-first exploration (exhaustive within the preemption
+    /// bound, capped at the schedule budget). Panics on failure like
+    /// [`check`](Self::check).
+    pub fn check_dfs<F: Fn()>(&self, body: F) {
+        let mut prefix = Vec::new();
+        for i in 0..self.schedules {
+            let policy = Policy::Dfs {
+                prefix: std::mem::take(&mut prefix),
+                cursor: 0,
+                budget: self.preemptions,
+            };
+            let (tape, failure, policy) = self.run_schedule(policy, &body);
+            if let Some(msg) = failure {
+                let (tape, msg) = self.minimize(tape, msg, &body);
+                panic!(
+                    "[{}] DFS path #{} failed: {}\n  minimized schedule: \"{}\"\n  replay \
+                     with: shuttle_lite::replay(\"{}\", || ...)",
+                    self.name,
+                    i,
+                    msg,
+                    encode_schedule(&tape),
+                    encode_schedule(&tape)
+                );
+            }
+            let Policy::Dfs { prefix: p, .. } = policy else { unreachable!() };
+            prefix = p;
+            if !Policy::dfs_advance(&mut prefix) {
+                return; // tree exhausted: fully explored within bounds
+            }
+        }
+    }
+
+    /// Replays one recorded schedule; any failure panics with its message
+    /// (so a checked-in minimized schedule is an ordinary failing test
+    /// when the bug it pinned is reintroduced).
+    pub fn replay<F: Fn()>(&self, schedule: &str, body: F) {
+        let tape = decode_schedule(schedule);
+        let (_, failure, _) = self.run_schedule(Policy::replay(tape), &body);
+        if let Some(msg) = failure {
+            panic!("[{}] replay of \"{}\" failed: {}", self.name, schedule, msg);
+        }
+    }
+
+    /// Greedy tape minimization: repeatedly try dropping whole same-thread
+    /// runs and truncating the tail, keeping any candidate that still
+    /// fails. Bounded by `minimize_budget` replays.
+    fn minimize<F: Fn()>(
+        &self,
+        tape: Vec<usize>,
+        msg: String,
+        body: &F,
+    ) -> (Vec<usize>, String) {
+        let mut best = tape;
+        let mut best_msg = msg;
+        let mut budget = self.minimize_budget;
+        let try_candidate = |cand: Vec<usize>, budget: &mut usize| -> Option<(Vec<usize>, String)> {
+            *budget -= 1;
+            let (_, failure, _) = self.run_schedule(Policy::replay(cand.clone()), body);
+            failure.map(|m| (cand, m))
+        };
+        // Pass structure: alternate truncation and run-removal until a
+        // full pass makes no progress (or the budget runs out).
+        loop {
+            let mut improved = false;
+            // Tail truncation at run boundaries, longest cut first.
+            let runs = run_boundaries(&best);
+            for &cut in runs.iter().rev() {
+                if cut >= best.len() || budget == 0 {
+                    continue;
+                }
+                if let Some((cand, m)) = try_candidate(best[..cut].to_vec(), &mut budget) {
+                    best = cand;
+                    best_msg = m;
+                    improved = true;
+                    break;
+                }
+            }
+            // Splice out one interior run at a time (rear first: later
+            // context is most often incidental).
+            let runs = run_spans(&best);
+            for &(start, len) in runs.iter().rev() {
+                if budget == 0 {
+                    break;
+                }
+                let mut cand = Vec::with_capacity(best.len() - len);
+                cand.extend_from_slice(&best[..start]);
+                cand.extend_from_slice(&best[start + len..]);
+                if let Some((cand, m)) = try_candidate(cand, &mut budget) {
+                    best = cand;
+                    best_msg = m;
+                    improved = true;
+                    break;
+                }
+            }
+            if !improved || budget == 0 {
+                return (best, best_msg);
+            }
+        }
+    }
+}
+
+/// Prefix lengths at which a same-thread run ends (candidate cut points).
+fn run_boundaries(tape: &[usize]) -> Vec<usize> {
+    let mut out = vec![0];
+    for i in 1..tape.len() {
+        if tape[i] != tape[i - 1] {
+            out.push(i);
+        }
+    }
+    out
+}
+
+/// `(start, len)` spans of maximal same-thread runs.
+fn run_spans(tape: &[usize]) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < tape.len() {
+        let mut n = 1;
+        while i + n < tape.len() && tape[i + n] == tape[i] {
+            n += 1;
+        }
+        out.push((i, n));
+        i += n;
+    }
+    out
+}
+
+/// Replays one schedule recorded by an [`Explorer`] failure report.
+/// Panics (test failure) if the schedule still triggers the defect.
+pub fn replay<F: Fn()>(schedule: &str, body: F) {
+    Explorer::new("replay").replay(schedule, body)
+}

@@ -1,0 +1,15 @@
+//! `std::hint` stand-ins.
+
+use crate::runtime::ctx;
+
+/// Spin-loop hint. Under simulation this is a *voluntary* yield point:
+/// a spinning thread offers the baton to every runnable peer, so bounded
+/// spins make progress without burning the preemption budget, and genuine
+/// livelocks hit the step limit instead of hanging.
+#[inline]
+pub fn spin_loop() {
+    match ctx() {
+        Some(c) => c.rt.yield_point(c.tid, true),
+        None => std::hint::spin_loop(),
+    }
+}

@@ -1,0 +1,42 @@
+//! shuttle-lite: a minimal loom/shuttle-style cooperative scheduler and
+//! interleaving explorer, vendored offline like the rest of
+//! `third_party/` (zero dependencies).
+//!
+//! # Model
+//!
+//! Code under test imports `shuttle_lite::{atomic, sync, thread, hint}`
+//! instead of the `std` equivalents (in this workspace, via the
+//! `wcq::sim` seam behind `--cfg wcq_dst`). Outside an exploration every
+//! shim is a transparent pass-through to `std`, so the regular test suite
+//! still runs. Inside [`Explorer::check`]/[`check_dfs`](Explorer::check_dfs)
+//! each simulated thread is a real OS thread, but a baton (one mutex +
+//! condvar) lets exactly one run at a time; every shimmed operation is a
+//! scheduling point where a [policy](Explorer) decides who runs next.
+//!
+//! * **Random policy** — seeded SplitMix64, bounded preemptions
+//!   (involuntary switches); voluntary yields (spin hints, `yield_now`,
+//!   blocking) always offer the baton. Deterministic per seed.
+//! * **DFS policy** — iterative depth-first enumeration of the decision
+//!   tree, exhaustive within the preemption bound.
+//! * **Replay policy** — follows a recorded decision tape
+//!   (`"0*12,1*3"`), for checked-in minimized regressions.
+//!
+//! Exploration is sequentially consistent (single active thread ⇒ SC
+//! interleavings); weak-memory reorderings are out of scope.
+//!
+//! Failure modes detected: panics (assertion failures), deadlock — no
+//! runnable thread while some are blocked, which is exactly a lost
+//! wakeup for parked threads — and step-limit overrun (livelock). A
+//! failing schedule is greedily minimized and reported as an RLE tape
+//! for [`replay`].
+
+pub mod atomic;
+pub mod hint;
+pub mod sync;
+pub mod thread;
+
+mod explore;
+mod runtime;
+
+pub use explore::{decode_schedule, encode_schedule, replay, Explorer, Failure};
+pub use runtime::{in_sim, step};

@@ -1,0 +1,580 @@
+//! The cooperative scheduler: one OS thread per simulated thread, exactly
+//! one runnable at a time, handing the baton at every instrumented
+//! operation. Scheduling decisions are delegated to a [`Policy`] and
+//! recorded, so any execution can be replayed or minimized from its
+//! decision tape alone.
+
+use std::cell::{Cell, RefCell};
+use std::panic::AssertUnwindSafe;
+use std::sync::{Arc, Condvar, Mutex};
+
+// ===================================================================
+// Thread-local simulation context
+// ===================================================================
+
+thread_local! {
+    /// Fast flag checked by every shim operation; `false` means the shims
+    /// are transparent pass-throughs (no simulation on this thread).
+    static SIM_ACTIVE: Cell<bool> = const { Cell::new(false) };
+    static CTX: RefCell<Option<Ctx>> = const { RefCell::new(None) };
+}
+
+#[derive(Clone)]
+pub(crate) struct Ctx {
+    pub rt: Arc<Runtime>,
+    pub tid: usize,
+}
+
+/// Returns the calling thread's simulation context, if any.
+pub(crate) fn ctx() -> Option<Ctx> {
+    if !SIM_ACTIVE.with(|f| f.get()) {
+        return None;
+    }
+    CTX.with(|c| c.borrow().clone())
+}
+
+/// `true` when the calling thread is a simulated thread of an active
+/// exploration (shims intercept; panics are captured by the explorer).
+pub fn in_sim() -> bool {
+    SIM_ACTIVE.with(|f| f.get())
+}
+
+pub(crate) fn set_ctx(c: Option<Ctx>) {
+    SIM_ACTIVE.with(|f| f.set(c.is_some()));
+    CTX.with(|slot| *slot.borrow_mut() = c);
+}
+
+/// Instrumentation point: before every shimmed atomic/fence operation.
+/// A no-op outside a simulation.
+#[inline]
+pub fn step() {
+    if let Some(c) = ctx() {
+        c.rt.yield_point(c.tid, false);
+    }
+}
+
+/// Marker payload for panics used to unwind simulated threads when a
+/// schedule is being torn down (after a failure elsewhere). Never reported
+/// as a failure itself.
+pub(crate) struct Abort;
+
+fn abort_unwind() -> ! {
+    std::panic::panic_any(Abort)
+}
+
+/// `true` when the calling thread must NOT be unwound via [`Abort`]: it is
+/// already panicking, so its shim operations are running inside drop glue
+/// and a second panic would be a double panic (instant process abort).
+/// Such a thread free-runs its destructors to completion instead of
+/// taking scheduler turns — the schedule is already failed, so the lost
+/// interleaving precision is irrelevant; not crashing the test binary is
+/// not.
+#[inline]
+fn unwinding() -> bool {
+    std::thread::panicking()
+}
+
+/// Renders a caught panic payload for failure reports.
+pub(crate) fn payload_msg(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic (non-string payload)".to_string()
+    }
+}
+
+// ===================================================================
+// Scheduling policies
+// ===================================================================
+
+/// SplitMix64 — deterministic, seedable, and good enough to diversify
+/// schedules.
+pub(crate) struct SplitMix64(pub u64);
+
+impl SplitMix64 {
+    pub fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// One node of the DFS prefix: which option was taken at a decision point
+/// and how many options existed there.
+pub(crate) struct DfsNode {
+    pub choice: usize,
+    pub options: Vec<usize>,
+}
+
+/// How the scheduler picks the next thread at each decision point.
+pub(crate) enum Policy {
+    /// Seeded probabilistic exploration with a preemption budget.
+    Random {
+        rng: SplitMix64,
+        /// Involuntary switches (preemptions) still allowed this run.
+        budget: usize,
+    },
+    /// Iterative depth-first enumeration; `prefix` carries the tree cursor
+    /// across runs.
+    Dfs {
+        prefix: Vec<DfsNode>,
+        cursor: usize,
+        /// Preemption bound: involuntary branching stops after this many
+        /// preemptions on a path (voluntary points always branch).
+        budget: usize,
+    },
+    /// Follow a recorded tape; fall back to "continue current, else lowest
+    /// runnable" once the tape ends or desyncs.
+    Replay { tape: Vec<usize>, pos: usize },
+}
+
+impl Policy {
+    pub fn random(seed: u64, preemptions: usize) -> Policy {
+        Policy::Random {
+            rng: SplitMix64(seed),
+            budget: preemptions,
+        }
+    }
+
+    pub fn replay(tape: Vec<usize>) -> Policy {
+        Policy::Replay { tape, pos: 0 }
+    }
+
+    /// Picks the next thread id from `options` (non-empty, ascending;
+    /// runnable threads only). `current` is the thread that reached the
+    /// decision point; `voluntary` is `true` when it yielded, blocked, or
+    /// finished (switching away then is not a preemption).
+    fn choose(&mut self, current: usize, options: &[usize], voluntary: bool) -> usize {
+        let cur_ok = options.contains(&current);
+        match self {
+            Policy::Random { rng, budget } => {
+                if cur_ok && !voluntary {
+                    // Preempt with probability 1/8 while budget remains.
+                    if *budget == 0 || rng.next() % 8 != 0 {
+                        return current;
+                    }
+                    let others: Vec<usize> =
+                        options.iter().copied().filter(|&t| t != current).collect();
+                    if others.is_empty() {
+                        return current;
+                    }
+                    *budget -= 1;
+                    return others[(rng.next() % others.len() as u64) as usize];
+                }
+                options[(rng.next() % options.len() as u64) as usize]
+            }
+            Policy::Dfs {
+                prefix,
+                cursor,
+                budget,
+            } => {
+                // Restrict involuntary branching once the preemption budget
+                // for this path is spent: continue the current thread.
+                let opts: Vec<usize> = if cur_ok && !voluntary && *budget == 0 {
+                    vec![current]
+                } else {
+                    // Bias the first path toward sequential execution:
+                    // current first at involuntary points (no preemption on
+                    // choice 0), current *last* at voluntary points (a
+                    // spinning thread must let its peer run for progress).
+                    let mut v: Vec<usize> = Vec::with_capacity(options.len());
+                    if cur_ok && !voluntary {
+                        v.push(current);
+                    }
+                    v.extend(options.iter().copied().filter(|&t| t != current));
+                    if cur_ok && voluntary {
+                        v.push(current);
+                    }
+                    v
+                };
+                let i = *cursor;
+                *cursor += 1;
+                if i < prefix.len() {
+                    // Deterministic replays of the prefix must see the same
+                    // option sets; desync means the model itself is
+                    // nondeterministic.
+                    let node = &prefix[i];
+                    debug_assert_eq!(
+                        node.options, opts,
+                        "DFS desync at decision {i}: nondeterministic model"
+                    );
+                    let pick = node.options[node.choice.min(node.options.len() - 1)];
+                    if pick != current && cur_ok && !voluntary {
+                        *budget = budget.saturating_sub(1);
+                    }
+                    pick
+                } else {
+                    let pick = opts[0];
+                    prefix.push(DfsNode {
+                        choice: 0,
+                        options: opts,
+                    });
+                    pick
+                }
+            }
+            Policy::Replay { tape, pos } => {
+                let hint = tape.get(*pos).copied();
+                *pos += 1;
+                match hint {
+                    Some(t) if options.contains(&t) => t,
+                    // Past the tape (or an unrunnable hint) the run must
+                    // still terminate: stay on the current thread at
+                    // involuntary points, but *rotate* on a voluntary
+                    // yield — replaying "current" there starves the
+                    // yielded-to thread and turns spin-yield loops into
+                    // step-limit livelocks.
+                    _ if cur_ok && !voluntary => current,
+                    _ => options
+                        .iter()
+                        .copied()
+                        .find(|&t| t > current)
+                        .unwrap_or(options[0]),
+                }
+            }
+        }
+    }
+
+    /// Advances a DFS prefix to the next unexplored path. Returns `false`
+    /// when the tree is exhausted.
+    pub fn dfs_advance(prefix: &mut Vec<DfsNode>) -> bool {
+        while let Some(last) = prefix.last_mut() {
+            if last.choice + 1 < last.options.len() {
+                last.choice += 1;
+                return true;
+            }
+            prefix.pop();
+        }
+        false
+    }
+}
+
+// ===================================================================
+// Runtime state
+// ===================================================================
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum Block {
+    /// `thread::park` with no permit.
+    Park,
+    /// Contended shim mutex / once-lock, keyed by address.
+    Resource(usize),
+    /// Joining the given simulated thread.
+    Join(usize),
+}
+
+enum Status {
+    Runnable,
+    Blocked(Block),
+    Finished,
+}
+
+struct ThreadState {
+    status: Status,
+    /// `unpark` permit (std semantics: at most one is banked).
+    permit: bool,
+}
+
+struct Sched {
+    threads: Vec<ThreadState>,
+    active: usize,
+    policy: Policy,
+    decisions: Vec<usize>,
+    steps: u64,
+    step_limit: u64,
+    live: usize,
+    failure: Option<String>,
+    aborting: bool,
+}
+
+/// One schedule's shared scheduler state. Created per schedule by the
+/// explorer; simulated threads hold it through their TLS [`Ctx`].
+pub(crate) struct Runtime {
+    sched: Mutex<Sched>,
+    cv: Condvar,
+    /// OS handles of spawned simulated threads; joined at schedule
+    /// teardown so no thread leaks across schedules.
+    os_threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl Runtime {
+    pub fn new(policy: Policy, step_limit: u64) -> Arc<Runtime> {
+        Arc::new(Runtime {
+            os_threads: Mutex::new(Vec::new()),
+            sched: Mutex::new(Sched {
+                threads: vec![ThreadState {
+                    status: Status::Runnable,
+                    permit: false,
+                }],
+                active: 0,
+                policy,
+                decisions: Vec::new(),
+                steps: 0,
+                step_limit,
+                live: 1,
+                failure: None,
+                aborting: false,
+            }),
+            cv: Condvar::new(),
+        })
+    }
+
+    /// Registers a new simulated thread (runnable, scheduled later).
+    pub fn register_thread(&self) -> usize {
+        let mut g = self.sched.lock().unwrap_or_else(|e| e.into_inner());
+        g.threads.push(ThreadState {
+            status: Status::Runnable,
+            permit: false,
+        });
+        g.live += 1;
+        g.threads.len() - 1
+    }
+
+    /// Picks and installs the next active thread. Caller must have already
+    /// updated `me`'s status. Panics (via [`Abort`]) on step-limit and
+    /// deadlock failures.
+    fn reschedule(&self, g: &mut Sched, me: usize, voluntary: bool) {
+        g.steps += 1;
+        if g.steps > g.step_limit && g.failure.is_none() {
+            g.failure = Some(format!(
+                "step limit {} exceeded: possible livelock",
+                g.step_limit
+            ));
+            g.aborting = true;
+            self.cv.notify_all();
+            if unwinding() {
+                return; // drop glue hit the limit: free-run the teardown
+            }
+            abort_unwind();
+        }
+        let options: Vec<usize> = g
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| matches!(t.status, Status::Runnable))
+            .map(|(i, _)| i)
+            .collect();
+        if options.is_empty() {
+            if g.live == 0 {
+                // Schedule complete; wake the controller.
+                g.active = usize::MAX;
+                self.cv.notify_all();
+                return;
+            }
+            // Lost wakeup / deadlock: every live thread is blocked.
+            if g.failure.is_none() {
+                let mut dump = String::new();
+                for (i, t) in g.threads.iter().enumerate() {
+                    if let Status::Blocked(b) = t.status {
+                        dump.push_str(&format!(" t{i}:{b:?}"));
+                    }
+                }
+                g.failure = Some(format!(
+                    "deadlock: no runnable thread (lost wakeup?) —{dump}"
+                ));
+            }
+            g.aborting = true;
+            self.cv.notify_all();
+            if unwinding() {
+                return; // see above
+            }
+            abort_unwind();
+        }
+        let next = g.policy.choose(me, &options, voluntary);
+        g.decisions.push(next);
+        g.active = next;
+        if next != me {
+            self.cv.notify_all();
+        }
+    }
+
+    fn wait_for_turn<'a>(
+        &self,
+        mut g: std::sync::MutexGuard<'a, Sched>,
+        me: usize,
+    ) -> std::sync::MutexGuard<'a, Sched> {
+        while g.active != me && !g.aborting {
+            g = self.cv.wait(g).unwrap_or_else(|e| e.into_inner());
+        }
+        if g.aborting && !unwinding() {
+            drop(g);
+            abort_unwind();
+        }
+        g
+    }
+
+    /// A scheduling point for a runnable thread (shim op or `yield_now`).
+    pub fn yield_point(&self, me: usize, voluntary: bool) {
+        let mut g = self.sched.lock().unwrap_or_else(|e| e.into_inner());
+        if g.aborting {
+            drop(g);
+            if unwinding() {
+                return; // drop glue on a failed schedule: free-run
+            }
+            abort_unwind();
+        }
+        self.reschedule(&mut g, me, voluntary);
+        let _g = self.wait_for_turn(g, me);
+    }
+
+    /// Blocks the calling simulated thread until some event flips it back
+    /// to runnable *and* the scheduler picks it.
+    pub fn block_on(&self, me: usize, why: Block) {
+        let mut g = self.sched.lock().unwrap_or_else(|e| e.into_inner());
+        if g.aborting {
+            drop(g);
+            if unwinding() {
+                return; // spurious wake: drop glue must not block or abort
+            }
+            abort_unwind();
+        }
+        // Park-specific: consume a banked permit instead of blocking.
+        if why == Block::Park && g.threads[me].permit {
+            g.threads[me].permit = false;
+            self.reschedule(&mut g, me, true);
+            let _g = self.wait_for_turn(g, me);
+            return;
+        }
+        if let Block::Join(target) = why {
+            if matches!(g.threads[target].status, Status::Finished) {
+                return;
+            }
+        }
+        g.threads[me].status = Status::Blocked(why);
+        self.reschedule(&mut g, me, true);
+        let _g = self.wait_for_turn(g, me);
+    }
+
+    /// `unpark`: wake a park-blocked thread or bank the permit.
+    pub fn unpark(&self, target: usize) {
+        let mut g = self.sched.lock().unwrap_or_else(|e| e.into_inner());
+        match g.threads[target].status {
+            Status::Blocked(Block::Park) => g.threads[target].status = Status::Runnable,
+            Status::Finished => {}
+            _ => g.threads[target].permit = true,
+        }
+    }
+
+    /// Wakes every thread blocked on `addr` (shim mutex unlock / once-lock
+    /// publication). They re-contend when scheduled.
+    pub fn release_resource(&self, addr: usize) {
+        let mut g = self.sched.lock().unwrap_or_else(|e| e.into_inner());
+        for t in g.threads.iter_mut() {
+            if matches!(t.status, Status::Blocked(Block::Resource(a)) if a == addr) {
+                t.status = Status::Runnable;
+            }
+        }
+    }
+
+    /// First scheduling of a freshly spawned thread. Returns `false` when
+    /// the schedule is already aborting (the closure must not run).
+    pub fn wait_first_turn(&self, me: usize) -> bool {
+        let mut g = self.sched.lock().unwrap_or_else(|e| e.into_inner());
+        while g.active != me && !g.aborting {
+            g = self.cv.wait(g).unwrap_or_else(|e| e.into_inner());
+        }
+        !g.aborting
+    }
+
+    /// Records the first real failure of the schedule ([`Abort`] unwinds
+    /// are ignored) and starts tearing the schedule down.
+    pub fn record_panic(&self, tid: usize, payload: &(dyn std::any::Any + Send)) {
+        if payload.downcast_ref::<Abort>().is_some() {
+            return;
+        }
+        let mut g = self.sched.lock().unwrap_or_else(|e| e.into_inner());
+        if g.failure.is_none() {
+            g.failure = Some(format!("t{tid} panicked: {}", payload_msg(payload)));
+        }
+        g.aborting = true;
+        // Unblock everything so blocked threads can observe `aborting`,
+        // unwind, and drain.
+        for t in g.threads.iter_mut() {
+            if matches!(t.status, Status::Blocked(_)) {
+                t.status = Status::Runnable;
+            }
+        }
+        self.cv.notify_all();
+    }
+
+    /// Marks `me` finished, wakes its joiners, and hands the baton on.
+    pub fn finish(&self, me: usize) {
+        let mut g = self.sched.lock().unwrap_or_else(|e| e.into_inner());
+        g.threads[me].status = Status::Finished;
+        g.live -= 1;
+        for t in g.threads.iter_mut() {
+            if matches!(t.status, Status::Blocked(Block::Join(j)) if j == me) {
+                t.status = Status::Runnable;
+            }
+        }
+        if g.aborting {
+            self.cv.notify_all();
+            return;
+        }
+        // Finishing must not panic even on step-limit/deadlock discovery:
+        // catch the Abort unwind here; the controller reads `failure`.
+        let res = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            self.reschedule(&mut g, me, true);
+        }));
+        if res.is_err() {
+            // reschedule() aborted; lock was released by the unwind — just
+            // make sure everyone wakes. (MutexGuard was moved into the
+            // closure via &mut, so the lock is still held here.)
+            self.cv.notify_all();
+        }
+    }
+
+    /// Controller-side: after the schedule body returned on thread 0, keep
+    /// the remaining simulated threads running until all finish.
+    pub fn finish_main_and_drain(&self) {
+        let mut g = self.sched.lock().unwrap_or_else(|e| e.into_inner());
+        g.threads[0].status = Status::Finished;
+        g.live -= 1;
+        for t in g.threads.iter_mut() {
+            if matches!(t.status, Status::Blocked(Block::Join(j)) if j == 0) {
+                t.status = Status::Runnable;
+            }
+        }
+        if g.live > 0 && !g.aborting {
+            let res = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                self.reschedule(&mut g, 0, true);
+            }));
+            if res.is_err() {
+                self.cv.notify_all();
+            }
+        } else {
+            self.cv.notify_all();
+        }
+        while g.live > 0 {
+            g = self.cv.wait(g).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    pub fn add_os_thread(&self, h: std::thread::JoinHandle<()>) {
+        self.os_threads.lock().unwrap_or_else(|e| e.into_inner()).push(h);
+    }
+
+    /// Joins every spawned OS thread. Call only after
+    /// [`finish_main_and_drain`](Self::finish_main_and_drain) — all
+    /// simulated closures have returned by then, so the joins are prompt.
+    pub fn join_os_threads(&self) {
+        let handles = std::mem::take(&mut *self.os_threads.lock().unwrap_or_else(|e| e.into_inner()));
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+
+    /// Takes the run's outcome out of the scheduler: the decision tape
+    /// and the failure (if any), plus the policy for reuse (DFS cursor
+    /// state).
+    pub fn take_outcome(&self) -> (Vec<usize>, Option<String>, Policy) {
+        let mut g = self.sched.lock().unwrap_or_else(|e| e.into_inner());
+        let decisions = std::mem::take(&mut g.decisions);
+        let failure = g.failure.take();
+        let policy = std::mem::replace(&mut g.policy, Policy::replay(Vec::new()));
+        (decisions, failure, policy)
+    }
+}

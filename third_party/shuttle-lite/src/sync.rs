@@ -1,0 +1,206 @@
+//! `std::sync` blocking-primitive stand-ins: `Mutex` and `OnceLock`.
+//!
+//! Both block through the scheduler (`Block::Resource(addr)`) instead of
+//! the OS, so a waiter is visible to the deadlock detector and the
+//! explorer can interleave around contention. The block-after-failed-
+//! try-lock pattern is sound here precisely because only one simulated
+//! thread runs at a time: the owner cannot release between our failed
+//! `try_lock` and our block, so the wake on release cannot be missed.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::TryLockError;
+
+use crate::runtime::{ctx, step, Block};
+
+pub struct Mutex<T: ?Sized> {
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    pub const fn new(t: T) -> Self {
+        Self { inner: std::sync::Mutex::new(t) }
+    }
+
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Always returns `Ok` (poisoning is swallowed: a poisoned schedule is
+    /// already aborting, and every blocked thread unwinds at its next
+    /// scheduling point anyway).
+    pub fn lock(&self) -> Result<MutexGuard<'_, T>, std::convert::Infallible> {
+        let addr = self as *const _ as *const () as usize;
+        match ctx() {
+            None => {
+                let g = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+                Ok(MutexGuard { g: Some(g), rel: None })
+            }
+            Some(c) => {
+                c.rt.yield_point(c.tid, false);
+                loop {
+                    match self.inner.try_lock() {
+                        Ok(g) => {
+                            return Ok(MutexGuard {
+                                g: Some(g),
+                                rel: Some((c.rt.clone(), addr)),
+                            })
+                        }
+                        Err(TryLockError::Poisoned(p)) => {
+                            return Ok(MutexGuard {
+                                g: Some(p.into_inner()),
+                                rel: Some((c.rt.clone(), addr)),
+                            })
+                        }
+                        Err(TryLockError::WouldBlock) => c.rt.block_on(c.tid, Block::Resource(addr)),
+                    }
+                }
+            }
+        }
+    }
+
+    #[allow(clippy::result_unit_err)] // boolean try: there is no error detail to carry
+    pub fn try_lock(&self) -> Result<MutexGuard<'_, T>, ()> {
+        let addr = self as *const _ as *const () as usize;
+        let rel = ctx().map(|c| {
+            c.rt.yield_point(c.tid, false);
+            (c.rt, addr)
+        });
+        match self.inner.try_lock() {
+            Ok(g) => Ok(MutexGuard { g: Some(g), rel }),
+            Err(TryLockError::Poisoned(p)) => Ok(MutexGuard { g: Some(p.into_inner()), rel }),
+            Err(TryLockError::WouldBlock) => Err(()),
+        }
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        match self.inner.get_mut() {
+            Ok(t) => t,
+            Err(e) => e.into_inner(),
+        }
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Self::new(T::default())
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+pub struct MutexGuard<'a, T: ?Sized> {
+    g: Option<std::sync::MutexGuard<'a, T>>,
+    rel: Option<(std::sync::Arc<crate::runtime::Runtime>, usize)>,
+}
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.g.as_ref().unwrap()
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.g.as_mut().unwrap()
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Release the real lock first, then wake scheduler-blocked
+        // waiters; no one can observe the window because we still hold
+        // the baton.
+        self.g = None;
+        if let Some((rt, addr)) = self.rel.take() {
+            rt.release_resource(addr);
+        }
+    }
+}
+
+const UNINIT: u8 = 0;
+const BUSY: u8 = 1;
+const READY: u8 = 2;
+
+/// Three-state once-cell. Losers of the initialization race block through
+/// the scheduler (the std `OnceLock` would block their OS thread where
+/// the explorer cannot see it, deadlocking the baton).
+pub struct OnceLock<T> {
+    state: AtomicU8,
+    value: UnsafeCell<Option<T>>,
+}
+
+unsafe impl<T: Send> Send for OnceLock<T> {}
+unsafe impl<T: Send + Sync> Sync for OnceLock<T> {}
+
+impl<T> OnceLock<T> {
+    pub const fn new() -> Self {
+        Self {
+            state: AtomicU8::new(UNINIT),
+            value: UnsafeCell::new(None),
+        }
+    }
+
+    fn value_ref(&self) -> &T {
+        unsafe { (*self.value.get()).as_ref().unwrap() }
+    }
+
+    pub fn get(&self) -> Option<&T> {
+        step();
+        if self.state.load(Ordering::Acquire) == READY {
+            Some(self.value_ref())
+        } else {
+            None
+        }
+    }
+
+    pub fn get_or_init<F: FnOnce() -> T>(&self, f: F) -> &T {
+        let addr = self as *const _ as *const () as usize;
+        loop {
+            step();
+            match self.state.compare_exchange(
+                UNINIT,
+                BUSY,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => {
+                    let v = f();
+                    unsafe { *self.value.get() = Some(v) };
+                    self.state.store(READY, Ordering::Release);
+                    if let Some(c) = ctx() {
+                        c.rt.release_resource(addr);
+                    }
+                    return self.value_ref();
+                }
+                Err(BUSY) => match ctx() {
+                    Some(c) => c.rt.block_on(c.tid, Block::Resource(addr)),
+                    None => std::thread::yield_now(),
+                },
+                Err(_) => return self.value_ref(),
+            }
+        }
+    }
+
+    pub fn set(&self, v: T) -> Result<(), T> {
+        let mut v = Some(v);
+        self.get_or_init(|| v.take().unwrap());
+        match v {
+            None => Ok(()),
+            Some(v) => Err(v),
+        }
+    }
+}
+
+impl<T> Default for OnceLock<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}

@@ -1,0 +1,151 @@
+//! `std::thread` stand-ins. Outside a simulation every function is a
+//! transparent pass-through; inside one, spawn/park/yield go through the
+//! cooperative scheduler so the explorer owns every interleaving.
+
+use std::panic::AssertUnwindSafe;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use crate::runtime::{ctx, set_ctx, Block, Ctx, Runtime};
+
+/// Handle to a (possibly simulated) thread; supports `unpark`.
+#[derive(Clone)]
+pub struct Thread(Repr);
+
+#[derive(Clone)]
+enum Repr {
+    Os(std::thread::Thread),
+    Sim { rt: Arc<Runtime>, tid: usize },
+}
+
+impl Thread {
+    pub fn unpark(&self) {
+        match &self.0 {
+            Repr::Os(t) => t.unpark(),
+            Repr::Sim { rt, tid } => rt.unpark(*tid),
+        }
+    }
+}
+
+impl std::fmt::Debug for Thread {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.0 {
+            Repr::Os(t) => write!(f, "Thread({:?})", t.id()),
+            Repr::Sim { tid, .. } => write!(f, "Thread(sim t{tid})"),
+        }
+    }
+}
+
+/// Handle of the calling thread.
+pub fn current() -> Thread {
+    match ctx() {
+        Some(c) => Thread(Repr::Sim { rt: c.rt, tid: c.tid }),
+        None => Thread(Repr::Os(std::thread::current())),
+    }
+}
+
+/// Blocks until unparked (simulated: a scheduler block the deadlock
+/// detector can see — a park nobody will unpark is reported as a lost
+/// wakeup).
+pub fn park() {
+    match ctx() {
+        Some(c) => c.rt.block_on(c.tid, Block::Park),
+        None => std::thread::park(),
+    }
+}
+
+/// Simulated `park_timeout` models the spurious-wakeup/timeout case: it
+/// returns immediately at a voluntary yield point, forcing the caller's
+/// recheck loop to be correct without real time.
+pub fn park_timeout(dur: Duration) {
+    match ctx() {
+        Some(c) => c.rt.yield_point(c.tid, true),
+        None => std::thread::park_timeout(dur),
+    }
+}
+
+pub fn yield_now() {
+    match ctx() {
+        Some(c) => c.rt.yield_point(c.tid, true),
+        None => std::thread::yield_now(),
+    }
+}
+
+pub struct JoinHandle<T> {
+    inner: Inner<T>,
+    thread: Thread,
+}
+
+enum Inner<T> {
+    Os(std::thread::JoinHandle<T>),
+    Sim {
+        rt: Arc<Runtime>,
+        tid: usize,
+        result: Arc<Mutex<Option<std::thread::Result<T>>>>,
+    },
+}
+
+impl<T> JoinHandle<T> {
+    pub fn thread(&self) -> &Thread {
+        &self.thread
+    }
+
+    pub fn join(self) -> std::thread::Result<T> {
+        match self.inner {
+            Inner::Os(h) => h.join(),
+            Inner::Sim { rt, tid, result } => {
+                let me = ctx().expect("joining a simulated thread from outside its simulation");
+                rt.block_on(me.tid, Block::Join(tid));
+                result
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .take()
+                    .expect("simulated thread finished without a result")
+            }
+        }
+    }
+}
+
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let Some(c) = ctx() else {
+        let h = std::thread::spawn(f);
+        let thread = Thread(Repr::Os(h.thread().clone()));
+        return JoinHandle { inner: Inner::Os(h), thread };
+    };
+    let rt = c.rt.clone();
+    let tid = rt.register_thread();
+    let result: Arc<Mutex<Option<std::thread::Result<T>>>> = Arc::new(Mutex::new(None));
+    let rt2 = rt.clone();
+    let result2 = result.clone();
+    let os = std::thread::Builder::new()
+        .name(format!("sim-t{tid}"))
+        .spawn(move || {
+            set_ctx(Some(Ctx { rt: rt2.clone(), tid }));
+            if rt2.wait_first_turn(tid) {
+                match std::panic::catch_unwind(AssertUnwindSafe(f)) {
+                    Ok(v) => {
+                        *result2.lock().unwrap_or_else(|e| e.into_inner()) = Some(Ok(v));
+                    }
+                    Err(p) => {
+                        rt2.record_panic(tid, p.as_ref());
+                        *result2.lock().unwrap_or_else(|e| e.into_inner()) = Some(Err(p));
+                    }
+                }
+            }
+            rt2.finish(tid);
+            set_ctx(None);
+        })
+        .expect("spawn simulated thread");
+    rt.add_os_thread(os);
+    // Scheduling point: the child is runnable from here on, so the
+    // explorer can interleave it with the parent's very next operation.
+    rt.yield_point(c.tid, false);
+    JoinHandle {
+        inner: Inner::Sim { rt: rt.clone(), tid, result },
+        thread: Thread(Repr::Sim { rt, tid }),
+    }
+}
