@@ -169,6 +169,36 @@ fn ablate_batch(c: &mut Criterion) {
     g.finish();
 }
 
+/// Registration-slot orderings (the ORDERINGS.md SeqCst → Acquire/Release
+/// downgrade, weak-DST proven by `dst_slot_handoff_*`): the claim/release
+/// pair at both ordering levels — on x86-64 the release store compiles to
+/// a plain `mov` where the SeqCst store needs `xchg` — plus the real
+/// `register()`/drop cycle, which now rides the downgraded pair.
+fn ablate_slot_orderings(c: &mut Criterion) {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    let mut g = c.benchmark_group("slot_orderings");
+    for (label, claim, release) in [
+        ("seqcst", Ordering::SeqCst, Ordering::SeqCst),
+        ("acqrel", Ordering::Acquire, Ordering::Release),
+    ] {
+        let slot = AtomicBool::new(false);
+        g.bench_function(format!("claim_release/{label}"), |b| {
+            b.iter(|| {
+                let ok = slot
+                    .compare_exchange(false, true, claim, Ordering::Relaxed)
+                    .is_ok();
+                std::hint::black_box(ok);
+                slot.store(false, release);
+            })
+        });
+    }
+    g.bench_function("register_cycle", |b| {
+        let q: wcq::WcqQueue<u64> = wcq::WcqQueue::new(4, 2);
+        b.iter(|| std::hint::black_box(q.register().unwrap()))
+    });
+    g.finish();
+}
+
 fn dwcas_primitives(c: &mut Criterion) {
     let mut g = c.benchmark_group(format!("dwcas[{}]", dwcas::BACKEND));
     let pair = dwcas::AtomicPair::new(0, 0);
@@ -208,6 +238,7 @@ criterion_group!(
     ablate_catchup,
     ablate_remap,
     ablate_batch,
+    ablate_slot_orderings,
     dwcas_primitives
 );
 criterion_main!(benches);

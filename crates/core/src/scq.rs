@@ -14,9 +14,8 @@
 use crate::pack::{pack_s, unpack_s, RingLayout, SEntry};
 use crate::WcqConfig;
 use crossbeam_utils::CachePadded;
-use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
-use crate::sim::{AtomicI64, AtomicU64};
+use crate::sim::{AtomicI64, AtomicU64, DataCell};
 use std::sync::atomic::Ordering::SeqCst;
 
 /// Lock-free bounded MPMC queue of indices in `0..n` (`n = 2^order`).
@@ -261,7 +260,7 @@ impl ScqRing {
 pub struct ScqQueue<T> {
     aq: ScqRing,
     fq: ScqRing,
-    data: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    data: Box<[DataCell<MaybeUninit<T>>]>,
 }
 
 // SAFETY: slots are transferred between threads with the index acting as an
@@ -285,7 +284,7 @@ impl<T> ScqQueue<T> {
             aq: ScqRing::new_empty(order, cfg),
             fq: ScqRing::new_full(order, cfg),
             data: (0..n)
-                .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+                .map(|_| DataCell::new(MaybeUninit::uninit()))
                 .collect(),
         }
     }
@@ -302,7 +301,7 @@ impl<T> ScqQueue<T> {
         };
         // SAFETY: index `i` was dequeued from `fq`, granting exclusive write
         // access to `data[i]` until it is published through `aq`.
-        unsafe { (*self.data[i as usize].get()).write(v) };
+        self.data[i as usize].with_mut(|p| unsafe { (*p).write(v) });
         self.aq.enqueue(i);
         Ok(())
     }
@@ -311,8 +310,9 @@ impl<T> ScqQueue<T> {
     pub fn dequeue(&self) -> Option<T> {
         let i = self.aq.dequeue()?;
         // SAFETY: index `i` was dequeued from `aq`; the matching enqueuer
-        // initialized the slot before publishing `i`.
-        let v = unsafe { (*self.data[i as usize].get()).assume_init_read() };
+        // initialized the slot before publishing `i`. `with_mut`: the read
+        // un-initializes the slot.
+        let v = self.data[i as usize].with_mut(|p| unsafe { (*p).assume_init_read() });
         self.fq.enqueue(i);
         Some(v)
     }

@@ -64,10 +64,9 @@
 //! ```
 
 use crossbeam_utils::CachePadded;
-use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
 use std::ops::Deref;
-use crate::sim::AtomicUsize;
+use crate::sim::{AtomicUsize, DataCell};
 use std::sync::atomic::Ordering::{Acquire, Relaxed, Release};
 use std::sync::Arc;
 
@@ -153,15 +152,17 @@ struct ConsBlock {
 /// buffer, so `tail - head` is the live element count and full/empty are
 /// never ambiguous without sacrificing a slot.
 pub struct Ring<T: Send, L: IndexLayout = Padded> {
-    buf: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    buf: Box<[DataCell<MaybeUninit<T>>]>,
     mask: usize,
     prod: L::Of<ProdBlock>,
     cons: L::Of<ConsBlock>,
 }
 
 // SAFETY: the raw-op exclusivity contract (one producer, one consumer at a
-// time) is what makes the UnsafeCell slots data-race free; the indices are
-// atomics. `T: Send` is required because elements cross threads.
+// time) is what makes the plain slot cells data-race free; the indices are
+// atomics, and under weak-model DST the `DataCell` shim's vector clocks
+// check exactly this claim. `T: Send` is required because elements cross
+// threads.
 unsafe impl<T: Send, L: IndexLayout> Send for Ring<T, L> {}
 unsafe impl<T: Send, L: IndexLayout> Sync for Ring<T, L> {}
 
@@ -181,7 +182,7 @@ impl<T: Send, L: IndexLayout> Ring<T, L> {
         let n = 1usize << order;
         Ring {
             buf: (0..n)
-                .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+                .map(|_| DataCell::new(MaybeUninit::uninit()))
                 .collect(),
             mask: n - 1,
             prod: ProdBlock {
@@ -253,7 +254,7 @@ impl<T: Send, L: IndexLayout> Ring<T, L> {
         }
         // SAFETY: slot `tail & mask` is vacant — the consumer only reads
         // below `tail`, and only this producer writes.
-        unsafe { (*self.buf[tail & self.mask].get()).write(v) };
+        self.buf[tail & self.mask].with_mut(|p| unsafe { (*p).write(v) });
         self.prod.tail.store(tail.wrapping_add(1), Release); // publish
         Ok(())
     }
@@ -297,7 +298,7 @@ impl<T: Send, L: IndexLayout> Ring<T, L> {
         }
         // SAFETY: head < tail, so the slot was initialized by the producer
         // and its write is visible via the Acquire load of `tail`.
-        let v = unsafe { (*self.buf[head & self.mask].get()).assume_init_read() };
+        let v = self.buf[head & self.mask].with_mut(|p| unsafe { (*p).assume_init_read() });
         self.cons.head.store(head.wrapping_add(1), Release); // free the slot
         Some(v)
     }
@@ -324,9 +325,10 @@ impl<T: Send, L: IndexLayout> Ring<T, L> {
         for i in 0..run {
             // SAFETY: each slot in `head..head+run` is initialized and
             // visible (Acquire on `tail`), and only this consumer reads it.
-            out.push(unsafe {
-                (*self.buf[head.wrapping_add(i) & self.mask].get()).assume_init_read()
-            });
+            out.push(self.buf[head.wrapping_add(i) & self.mask].with_mut(|p| {
+                // SAFETY: see above.
+                unsafe { (*p).assume_init_read() }
+            }));
         }
         self.cons.head.store(head.wrapping_add(run), Release);
         run
@@ -386,7 +388,7 @@ impl<T: Send, L: IndexLayout> Reservation<'_, T, L> {
         let idx = self.base.wrapping_add(self.written) & self.ring.mask;
         // SAFETY: the slot is inside the reserved window — vacant, and
         // only this reservation (which borrows the producer) writes it.
-        unsafe { (*self.ring.buf[idx].get()).write(v) };
+        self.ring.buf[idx].with_mut(|p| unsafe { (*p).write(v) });
         self.written += 1;
         Ok(())
     }
@@ -410,7 +412,7 @@ impl<T: Send, L: IndexLayout> Drop for Reservation<'_, T, L> {
         for i in 0..self.written {
             let idx = self.base.wrapping_add(i) & self.ring.mask;
             // SAFETY: written by this reservation, published to nobody.
-            unsafe { (*self.ring.buf[idx].get()).assume_init_drop() };
+            self.ring.buf[idx].with_mut(|p| unsafe { (*p).assume_init_drop() });
         }
     }
 }

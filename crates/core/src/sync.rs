@@ -162,14 +162,33 @@ mod asymfence {
     }
 }
 
-/// Fallback for targets without `membarrier(2)` — and for `wcq_dst`
-/// builds, where a syscall-side barrier is invisible to the explorer and
-/// the symmetric `SeqCst`-fence notify is the path the schedule model
-/// actually checks.
-#[cfg(not(all(
-    target_os = "linux",
-    any(target_arch = "x86_64", target_arch = "aarch64"),
-    not(wcq_dst)
+/// `wcq_dst` builds: inside an exploration the barrier is *modeled* — the
+/// weak memory simulator treats [`shuttle_lite::membarrier`] as a `SeqCst`
+/// fence executed on behalf of every simulated thread, which is the IPI
+/// semantics the real syscall provides. That lets the DST models search
+/// the actual asymmetric notify protocol (Relaxed waiter-count load, no
+/// notifier fence) instead of the symmetric fallback. Outside an
+/// exploration (pass-through tests in a `wcq_dst` build) it stays
+/// disabled and the symmetric `SeqCst`-fence notify runs.
+#[cfg(wcq_dst)]
+mod asymfence {
+    #[inline]
+    pub fn enabled() -> bool {
+        shuttle_lite::in_sim()
+    }
+
+    pub fn heavy() {
+        shuttle_lite::membarrier();
+    }
+}
+
+/// Fallback for targets without `membarrier(2)`: symmetric fencing only.
+#[cfg(not(any(
+    wcq_dst,
+    all(
+        target_os = "linux",
+        any(target_arch = "x86_64", target_arch = "aarch64")
+    )
 )))]
 mod asymfence {
     #[inline]

@@ -5,23 +5,27 @@
 use crate::sync::{SyncQueue, SyncState};
 use crate::wcq::ring::WcqRing;
 use crate::WcqConfig;
-use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
-use crate::sim::AtomicBool;
-use std::sync::atomic::{Ordering::Relaxed, Ordering::SeqCst};
+use crate::sim::{AtomicBool, DataCell};
+use std::sync::atomic::Ordering::{Acquire, Relaxed, Release};
 use std::sync::Arc;
 
 /// Scans `slots` for a free entry and claims it, or returns `None` when all
 /// are taken. Occupied slots are skipped with a plain load and the CAS uses
 /// a `Relaxed` failure ordering, so registration churn does not hammer
-/// SeqCst read-modify-writes on every occupied slot — only the single
-/// winning CAS pays for ordering.
+/// read-modify-writes on every occupied slot — only the single winning CAS
+/// pays for ordering.
+///
+/// The winning CAS is `Acquire`: it synchronizes with the `Release` store
+/// in [`WcqQueue::release_slot`], so the new owner observes the previous
+/// owner's quiesced record state (the downgrade from `SeqCst` is proven by
+/// the `dst_slot_handoff_*` weak-DST models; see ORDERINGS.md).
 pub(crate) fn acquire_slot(slots: &[AtomicBool]) -> Option<usize> {
     for (tid, slot) in slots.iter().enumerate() {
         if slot.load(Relaxed) {
             continue; // occupied: don't even attempt the CAS
         }
-        if slot.compare_exchange(false, true, SeqCst, Relaxed).is_ok() {
+        if slot.compare_exchange(false, true, Acquire, Relaxed).is_ok() {
             return Some(tid);
         }
     }
@@ -51,7 +55,7 @@ pub(crate) fn acquire_slot(slots: &[AtomicBool]) -> Option<usize> {
 pub struct WcqQueue<T> {
     aq: WcqRing,
     fq: WcqRing,
-    data: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    data: Box<[DataCell<MaybeUninit<T>>]>,
     slots: Box<[AtomicBool]>,
     /// Parking state for the blocking/async facade ([`crate::sync`]).
     /// Pure spin users pay one `SeqCst` load per op to check for sleepers.
@@ -80,7 +84,7 @@ impl<T> WcqQueue<T> {
             aq: WcqRing::new_empty(order, max_threads, cfg),
             fq: WcqRing::new_full(order, max_threads, cfg),
             data: (0..n)
-                .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+                .map(|_| DataCell::new(MaybeUninit::uninit()))
                 .collect(),
             slots: (0..max_threads).map(|_| AtomicBool::new(false)).collect(),
             sync: SyncState::new(),
@@ -173,7 +177,11 @@ impl<T> WcqQueue<T> {
     /// driving (the handle `Drop`s funnel through here).
     fn release_slot(&self, tid: usize) {
         self.quiesce_records(tid);
-        self.slots[tid].store(false, SeqCst);
+        // `Release` publishes the quiesced record state to whichever thread
+        // claims the slot next via the `Acquire` CAS in [`acquire_slot`] —
+        // the slot flag needs no place in the SeqCst total order, only this
+        // one handoff edge (weak-DST proven; see ORDERINGS.md).
+        self.slots[tid].store(false, Release);
     }
 
     /// `true` while no elements are observable (threshold fast check on
@@ -230,7 +238,7 @@ impl<T> WcqQueue<T> {
         };
         // SAFETY: `i` came from `fq`, granting exclusive access to `data[i]`
         // until it is published through `aq`.
-        unsafe { (*self.data[i as usize].get()).write(v) };
+        self.data[i as usize].with_mut(|p| unsafe { (*p).write(v) });
         self.aq.enqueue(tid, i);
         Ok(())
     }
@@ -238,8 +246,8 @@ impl<T> WcqQueue<T> {
     fn dequeue_tid_quiet(&self, tid: usize) -> Option<T> {
         let i = self.aq.dequeue(tid)?;
         // SAFETY: `i` came from `aq`; the matching enqueuer initialized the
-        // slot before publishing it.
-        let v = unsafe { (*self.data[i as usize].get()).assume_init_read() };
+        // slot before publishing it. `with_mut`: the read un-initializes.
+        let v = self.data[i as usize].with_mut(|p| unsafe { (*p).assume_init_read() });
         self.fq.enqueue(tid, i);
         Some(v)
     }
@@ -314,7 +322,7 @@ impl<T> WcqQueue<T> {
                 };
                 let v = it.next().expect("len checked above");
                 // SAFETY: `i` came from `fq` (exclusive slot token).
-                unsafe { (*self.data[i as usize].get()).write(v) };
+                self.data[i as usize].with_mut(|p| unsafe { (*p).write(v) });
                 self.aq.enqueue(tid, i);
                 total += 1;
                 continue;
@@ -324,7 +332,7 @@ impl<T> WcqQueue<T> {
             for &i in &idxs[..got] {
                 let v = it.next().expect("claimed at most it.len() slots");
                 // SAFETY: as above.
-                unsafe { (*self.data[i as usize].get()).write(v) };
+                self.data[i as usize].with_mut(|p| unsafe { (*p).write(v) });
             }
             self.aq.enqueue_batch(tid, &idxs[..got]);
             total += got;
@@ -345,14 +353,14 @@ impl<T> WcqQueue<T> {
                     break; // empty
                 };
                 // SAFETY: `i` came from `aq`; the enqueuer initialized it.
-                out.push(unsafe { (*self.data[i as usize].get()).assume_init_read() });
+                out.push(self.data[i as usize].with_mut(|p| unsafe { (*p).assume_init_read() }));
                 self.fq.enqueue(tid, i);
                 total += 1;
                 continue;
             }
             for &i in &idxs[..got] {
                 // SAFETY: as above.
-                out.push(unsafe { (*self.data[i as usize].get()).assume_init_read() });
+                out.push(self.data[i as usize].with_mut(|p| unsafe { (*p).assume_init_read() }));
             }
             // Recycle the whole run of slots to `fq` under one tail F&A.
             self.fq.enqueue_batch(tid, &idxs[..got]);
@@ -561,7 +569,7 @@ impl<T> SyncQueue for OwnedWcqHandle<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicUsize;
+    use std::sync::atomic::{AtomicUsize, Ordering::SeqCst};
 
     #[test]
     fn register_exhaustion_and_reuse() {

@@ -18,6 +18,7 @@
 
 use std::sync::Arc;
 
+use shuttle_lite::atomic::Ordering;
 use shuttle_lite::{thread, Explorer};
 use wcq::{channel, WcqConfig, WcqQueue};
 
@@ -205,10 +206,12 @@ fn dst_graft_mode_transition() {
 
 /// Blocking rendezvous over a capacity-2 ring: the consumer parks on
 /// empty, the producer parks on full, and each side's wake rides the
-/// eventcount's Dekker pairing (`wcq_dst` builds always take the
-/// symmetric-fence notify path — the membarrier shortcut is cfg'd out).
-/// Any lost wakeup parks a thread forever, which the explorer reports as
-/// a deadlock.
+/// eventcount's Dekker pairing. `wcq_dst` builds route the asymmetric
+/// membarrier shortcut through the simulator's modeled heavyweight fence
+/// (`shuttle_lite::membarrier`), so under `WCQ_DST_WEAK=1` this model
+/// checks the real production pairing: relaxed waiter loads against the
+/// notifier's fence-free fast path. Any lost wakeup parks a thread
+/// forever, which the explorer reports as a deadlock.
 fn eventcount_model() {
     let (mut tx, mut rx) = channel::spsc::<u64>(1, 2);
     let consumer = thread::spawn(move || {
@@ -276,6 +279,74 @@ fn degraded_residue_model() {
 #[test]
 fn dst_degraded_residue_inheritance() {
     Explorer::new("degraded-residue").check(degraded_residue_model);
+}
+
+// ===================================================================
+// Model 7: registration-slot handoff — the SeqCst→Acquire/Release
+// downgrade's proof obligation (ORDERINGS.md)
+// ===================================================================
+
+/// Distilled `acquire_slot`/`release_slot` (wcq/queue.rs): the state a
+/// thread slot hands between owners, reduced to one tracked cell. The
+/// owner mutates the record state and releases the slot flag; the
+/// claimant CASes the flag back (one attempt, exactly the registration
+/// scan's shape) and mutates the same state. The release store must be
+/// at least `Release` and the claim CAS at least `Acquire` — exactly
+/// what the queue now uses instead of `SeqCst`. Running the pair with
+/// either side `Relaxed` is the downgrade's wrong-by-construction
+/// variant: the weak model must flag the cell race (regression
+/// `slot_downgrade_*` pins the minimized tape).
+fn slot_downgrade_model(release_o: Ordering, claim_ok: Ordering) {
+    use shuttle_lite::atomic::AtomicBool;
+    use shuttle_lite::cell::UnsafeCell;
+    struct Slot {
+        occupied: AtomicBool,
+        record: UnsafeCell<u64>,
+    }
+    // SAFETY: the access discipline under test IS the slot protocol.
+    unsafe impl Sync for Slot {}
+    let slot = Arc::new(Slot {
+        occupied: AtomicBool::new(true), // owner currently registered
+        record: UnsafeCell::new(0),
+    });
+    let s2 = slot.clone();
+    let claimant = thread::spawn(move || {
+        // Registration scan: skip-load is Relaxed, claim CAS success is
+        // the ordering under test.
+        if !s2.occupied.load(Ordering::Relaxed)
+            && s2
+                .occupied
+                .compare_exchange(false, true, claim_ok, Ordering::Relaxed)
+                .is_ok()
+        {
+            s2.record.with_mut(|p| unsafe { *p += 1 });
+        }
+    });
+    // Owner: quiesce (mutate record state), then release the slot.
+    slot.record.with_mut(|p| unsafe { *p += 1 });
+    slot.occupied.store(false, release_o);
+    claimant.join().unwrap();
+}
+
+/// The downgraded orderings are sufficient: no race, ≥10k weak schedules.
+#[test]
+fn dst_slot_handoff_release_acquire_is_sufficient() {
+    Explorer::new("slot-downgrade")
+        .weak(true)
+        .check(|| slot_downgrade_model(Ordering::Release, Ordering::Acquire));
+}
+
+/// And nothing weaker is: relaxing the release store (one notch below
+/// what `release_slot` uses) must be flagged as a data race. This is the
+/// executable revert-verification for the downgrade — if the weak engine
+/// ever stops seeing this, the downgrade's evidence is void.
+#[test]
+fn dst_slot_handoff_relaxed_release_is_flagged() {
+    let f = Explorer::new("slot-downgrade-wrong")
+        .weak(true)
+        .find_failure(|| slot_downgrade_model(Ordering::Relaxed, Ordering::Acquire))
+        .expect("weak model must flag the relaxed slot release");
+    assert!(f.message.contains("data race"), "wrong failure: {f}");
 }
 
 // ===================================================================

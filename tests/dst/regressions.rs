@@ -16,3 +16,35 @@
 fn degraded_residue_minimized_schedule() {
     shuttle_lite::replay("0*26,1*9,0*5", super::degraded_residue_model);
 }
+
+/// The slot-handoff ordering downgrade (`SeqCst` → `Acquire`/`Release` in
+/// `wcq::queue`'s `acquire_slot`/`release_slot`, see ORDERINGS.md), revert-
+/// verified both ways under the weak memory model:
+///
+/// * the wrong-by-construction variant (release store `Relaxed`, one
+///   notch below what the queue uses) races on the handed-off record
+///   state under the **empty** tape — the explorer minimized the failing
+///   schedule to all-default decisions, so no interleaving trickery is
+///   needed, only the missing release edge;
+/// * the downgraded orderings survive the same schedule.
+///
+/// If the weak engine ever stops flagging the first half, the downgrade's
+/// evidence is void and this pins the exact reproducer.
+#[test]
+fn slot_downgrade_minimized_schedule() {
+    use shuttle_lite::atomic::Ordering;
+    let wrong = std::panic::catch_unwind(|| {
+        shuttle_lite::Explorer::new("slot-downgrade-wrong")
+            .weak(true)
+            .replay("", || {
+                super::slot_downgrade_model(Ordering::Relaxed, Ordering::Acquire)
+            });
+    });
+    assert!(wrong.is_err(), "relaxed slot release must race on the pinned schedule");
+    // The queue's actual orderings pass the identical schedule.
+    shuttle_lite::Explorer::new("slot-downgrade")
+        .weak(true)
+        .replay("", || {
+            super::slot_downgrade_model(Ordering::Release, Ordering::Acquire)
+        });
+}

@@ -2,40 +2,99 @@
 //! inserts a scheduling point before every operation, so the explorer
 //! enumerates interleavings at atomic-access granularity.
 //!
-//! Exploration is sequentially consistent: because only one simulated
-//! thread runs at a time and every access is a program-order step, the
-//! schedule space covered is that of SC executions. Weak-memory
-//! reorderings are *not* modeled (see DESIGN.md §12 for the argument why
-//! the wCQ protocols under test are SC-robust at their decision points).
+//! Two memory models, chosen per exploration:
+//!
+//! * **SC (default)** — the shim performs the real operation; because only
+//!   one simulated thread runs at a time and every access is a
+//!   program-order step, the schedule space covered is that of
+//!   sequentially consistent executions.
+//! * **Weak** ([`Explorer::weak`](crate::Explorer::weak)) — operations are
+//!   routed through the release/acquire + relaxed simulator in the
+//!   private `weak` module: loads may return stale-but-coherent stores (a tape
+//!   decision), release/acquire clocks decide what synchronizes, and
+//!   `SeqCst` restores a total order. Stored values are mirrored into the
+//!   real atomic (`Relaxed`) so `into_inner`/`get_mut`, pass-through code,
+//!   and the teardown of failed schedules all see truthful state.
 
 pub use std::sync::atomic::Ordering;
 
-use crate::runtime::step;
+use crate::runtime::{step, weak_ctx};
+use crate::weak::LazyId;
 
 macro_rules! int_atomic {
     ($name:ident, $std:ident, $ty:ty) => {
-        #[repr(transparent)]
         #[derive(Debug)]
-        pub struct $name(std::sync::atomic::$std);
+        pub struct $name {
+            v: std::sync::atomic::$std,
+            loc: LazyId,
+        }
 
         impl $name {
             pub const fn new(v: $ty) -> Self {
-                Self(std::sync::atomic::$std::new(v))
+                Self {
+                    v: std::sync::atomic::$std::new(v),
+                    loc: LazyId::new(),
+                }
+            }
+            /// Weak-engine location id, registering on first use (seeded
+            /// from the mirrored real value, so statics keep their state
+            /// across schedules just like under the SC shims).
+            #[inline]
+            fn loc(&self, c: &crate::runtime::Ctx) -> u32 {
+                self.loc.resolve(c.rt.generation(), || {
+                    c.rt.weak_alloc_loc(self.v.load(Ordering::Relaxed) as u128)
+                })
+            }
+            /// Weak RMW plumbing shared by every `fetch_*`/CAS shim:
+            /// computes on `$ty` truncations of the 128-bit history values
+            /// and mirrors a successful store into the real atomic.
+            #[inline]
+            fn weak_rmw(
+                &self,
+                c: &crate::runtime::Ctx,
+                ok: Ordering,
+                err: Ordering,
+                f: &mut dyn FnMut($ty) -> Option<$ty>,
+            ) -> ($ty, bool) {
+                let loc = self.loc(c);
+                let mut stored_val: $ty = 0 as $ty;
+                let (old, stored) = c.rt.weak_rmw(c.tid, loc, ok, err, &mut |x| {
+                    let n = f(x as $ty)?;
+                    stored_val = n;
+                    Some(n as u128)
+                });
+                if stored {
+                    self.v.store(stored_val, Ordering::Relaxed);
+                }
+                (old as $ty, stored)
             }
             #[inline]
             pub fn load(&self, o: Ordering) -> $ty {
                 step();
-                self.0.load(o)
+                if let Some(c) = weak_ctx() {
+                    let loc = self.loc(&c);
+                    return c.rt.weak_load(c.tid, loc, o) as $ty;
+                }
+                self.v.load(o)
             }
             #[inline]
             pub fn store(&self, v: $ty, o: Ordering) {
                 step();
-                self.0.store(v, o)
+                if let Some(c) = weak_ctx() {
+                    let loc = self.loc(&c);
+                    c.rt.weak_store(c.tid, loc, o, v as u128);
+                    self.v.store(v, Ordering::Relaxed);
+                    return;
+                }
+                self.v.store(v, o)
             }
             #[inline]
             pub fn swap(&self, v: $ty, o: Ordering) -> $ty {
                 step();
-                self.0.swap(v, o)
+                if let Some(c) = weak_ctx() {
+                    return self.weak_rmw(&c, o, Ordering::Relaxed, &mut |_| Some(v)).0;
+                }
+                self.v.swap(v, o)
             }
             #[inline]
             pub fn compare_exchange(
@@ -46,8 +105,20 @@ macro_rules! int_atomic {
                 err: Ordering,
             ) -> Result<$ty, $ty> {
                 step();
-                self.0.compare_exchange(cur, new, ok, err)
+                if let Some(c) = weak_ctx() {
+                    let (old, stored) = self.weak_rmw(&c, ok, err, &mut |x| {
+                        if x == cur {
+                            Some(new)
+                        } else {
+                            None
+                        }
+                    });
+                    return if stored { Ok(old) } else { Err(old) };
+                }
+                self.v.compare_exchange(cur, new, ok, err)
             }
+            /// Weak mode never fails spuriously (allowed: spurious failure
+            /// is permitted, not required).
             #[inline]
             pub fn compare_exchange_weak(
                 &self,
@@ -57,60 +128,103 @@ macro_rules! int_atomic {
                 err: Ordering,
             ) -> Result<$ty, $ty> {
                 step();
-                self.0.compare_exchange_weak(cur, new, ok, err)
+                if let Some(c) = weak_ctx() {
+                    let (old, stored) = self.weak_rmw(&c, ok, err, &mut |x| {
+                        if x == cur {
+                            Some(new)
+                        } else {
+                            None
+                        }
+                    });
+                    return if stored { Ok(old) } else { Err(old) };
+                }
+                self.v.compare_exchange_weak(cur, new, ok, err)
             }
             #[inline]
             pub fn fetch_add(&self, v: $ty, o: Ordering) -> $ty {
                 step();
-                self.0.fetch_add(v, o)
+                if let Some(c) = weak_ctx() {
+                    return self
+                        .weak_rmw(&c, o, Ordering::Relaxed, &mut |x| Some(x.wrapping_add(v)))
+                        .0;
+                }
+                self.v.fetch_add(v, o)
             }
             #[inline]
             pub fn fetch_sub(&self, v: $ty, o: Ordering) -> $ty {
                 step();
-                self.0.fetch_sub(v, o)
+                if let Some(c) = weak_ctx() {
+                    return self
+                        .weak_rmw(&c, o, Ordering::Relaxed, &mut |x| Some(x.wrapping_sub(v)))
+                        .0;
+                }
+                self.v.fetch_sub(v, o)
             }
             #[inline]
             pub fn fetch_or(&self, v: $ty, o: Ordering) -> $ty {
                 step();
-                self.0.fetch_or(v, o)
+                if let Some(c) = weak_ctx() {
+                    return self.weak_rmw(&c, o, Ordering::Relaxed, &mut |x| Some(x | v)).0;
+                }
+                self.v.fetch_or(v, o)
             }
             #[inline]
             pub fn fetch_and(&self, v: $ty, o: Ordering) -> $ty {
                 step();
-                self.0.fetch_and(v, o)
+                if let Some(c) = weak_ctx() {
+                    return self.weak_rmw(&c, o, Ordering::Relaxed, &mut |x| Some(x & v)).0;
+                }
+                self.v.fetch_and(v, o)
             }
             #[inline]
             pub fn fetch_xor(&self, v: $ty, o: Ordering) -> $ty {
                 step();
-                self.0.fetch_xor(v, o)
+                if let Some(c) = weak_ctx() {
+                    return self.weak_rmw(&c, o, Ordering::Relaxed, &mut |x| Some(x ^ v)).0;
+                }
+                self.v.fetch_xor(v, o)
             }
             #[inline]
             pub fn fetch_max(&self, v: $ty, o: Ordering) -> $ty {
                 step();
-                self.0.fetch_max(v, o)
+                if let Some(c) = weak_ctx() {
+                    return self
+                        .weak_rmw(&c, o, Ordering::Relaxed, &mut |x| Some(x.max(v)))
+                        .0;
+                }
+                self.v.fetch_max(v, o)
             }
             #[inline]
             pub fn fetch_min(&self, v: $ty, o: Ordering) -> $ty {
                 step();
-                self.0.fetch_min(v, o)
+                if let Some(c) = weak_ctx() {
+                    return self
+                        .weak_rmw(&c, o, Ordering::Relaxed, &mut |x| Some(x.min(v)))
+                        .0;
+                }
+                self.v.fetch_min(v, o)
             }
             #[inline]
             pub fn fetch_update<F: FnMut($ty) -> Option<$ty>>(
                 &self,
                 set: Ordering,
                 fetch: Ordering,
-                f: F,
+                mut f: F,
             ) -> Result<$ty, $ty> {
                 step();
-                self.0.fetch_update(set, fetch, f)
+                if let Some(c) = weak_ctx() {
+                    let (old, stored) = self.weak_rmw(&c, set, fetch, &mut f);
+                    return if stored { Ok(old) } else { Err(old) };
+                }
+                self.v.fetch_update(set, fetch, f)
             }
             #[inline]
             pub fn into_inner(self) -> $ty {
-                self.0.into_inner()
+                self.v.into_inner()
             }
             #[inline]
             pub fn get_mut(&mut self) -> &mut $ty {
-                self.0.get_mut()
+                self.v.get_mut()
             }
         }
 
@@ -128,28 +242,72 @@ int_atomic!(AtomicU64, AtomicU64, u64);
 int_atomic!(AtomicI64, AtomicI64, i64);
 int_atomic!(AtomicUsize, AtomicUsize, usize);
 
-#[repr(transparent)]
 #[derive(Debug, Default)]
-pub struct AtomicBool(std::sync::atomic::AtomicBool);
+pub struct AtomicBool {
+    v: std::sync::atomic::AtomicBool,
+    loc: LazyId,
+}
 
 impl AtomicBool {
     pub const fn new(v: bool) -> Self {
-        Self(std::sync::atomic::AtomicBool::new(v))
+        Self {
+            v: std::sync::atomic::AtomicBool::new(v),
+            loc: LazyId::new(),
+        }
+    }
+    #[inline]
+    fn loc(&self, c: &crate::runtime::Ctx) -> u32 {
+        self.loc.resolve(c.rt.generation(), || {
+            c.rt.weak_alloc_loc(self.v.load(Ordering::Relaxed) as u128)
+        })
+    }
+    #[inline]
+    fn weak_rmw(
+        &self,
+        c: &crate::runtime::Ctx,
+        ok: Ordering,
+        err: Ordering,
+        f: &mut dyn FnMut(bool) -> Option<bool>,
+    ) -> (bool, bool) {
+        let loc = self.loc(c);
+        let mut stored_val = false;
+        let (old, stored) = c.rt.weak_rmw(c.tid, loc, ok, err, &mut |x| {
+            let n = f(x != 0)?;
+            stored_val = n;
+            Some(n as u128)
+        });
+        if stored {
+            self.v.store(stored_val, Ordering::Relaxed);
+        }
+        (old != 0, stored)
     }
     #[inline]
     pub fn load(&self, o: Ordering) -> bool {
         step();
-        self.0.load(o)
+        if let Some(c) = weak_ctx() {
+            let loc = self.loc(&c);
+            return c.rt.weak_load(c.tid, loc, o) != 0;
+        }
+        self.v.load(o)
     }
     #[inline]
     pub fn store(&self, v: bool, o: Ordering) {
         step();
-        self.0.store(v, o)
+        if let Some(c) = weak_ctx() {
+            let loc = self.loc(&c);
+            c.rt.weak_store(c.tid, loc, o, v as u128);
+            self.v.store(v, Ordering::Relaxed);
+            return;
+        }
+        self.v.store(v, o)
     }
     #[inline]
     pub fn swap(&self, v: bool, o: Ordering) -> bool {
         step();
-        self.0.swap(v, o)
+        if let Some(c) = weak_ctx() {
+            return self.weak_rmw(&c, o, Ordering::Relaxed, &mut |_| Some(v)).0;
+        }
+        self.v.swap(v, o)
     }
     #[inline]
     pub fn compare_exchange(
@@ -160,7 +318,12 @@ impl AtomicBool {
         err: Ordering,
     ) -> Result<bool, bool> {
         step();
-        self.0.compare_exchange(cur, new, ok, err)
+        if let Some(c) = weak_ctx() {
+            let (old, stored) =
+                self.weak_rmw(&c, ok, err, &mut |x| if x == cur { Some(new) } else { None });
+            return if stored { Ok(old) } else { Err(old) };
+        }
+        self.v.compare_exchange(cur, new, ok, err)
     }
     #[inline]
     pub fn compare_exchange_weak(
@@ -171,55 +334,99 @@ impl AtomicBool {
         err: Ordering,
     ) -> Result<bool, bool> {
         step();
-        self.0.compare_exchange_weak(cur, new, ok, err)
+        if let Some(c) = weak_ctx() {
+            let (old, stored) =
+                self.weak_rmw(&c, ok, err, &mut |x| if x == cur { Some(new) } else { None });
+            return if stored { Ok(old) } else { Err(old) };
+        }
+        self.v.compare_exchange_weak(cur, new, ok, err)
     }
     #[inline]
     pub fn fetch_or(&self, v: bool, o: Ordering) -> bool {
         step();
-        self.0.fetch_or(v, o)
+        if let Some(c) = weak_ctx() {
+            return self.weak_rmw(&c, o, Ordering::Relaxed, &mut |x| Some(x | v)).0;
+        }
+        self.v.fetch_or(v, o)
     }
     #[inline]
     pub fn fetch_and(&self, v: bool, o: Ordering) -> bool {
         step();
-        self.0.fetch_and(v, o)
+        if let Some(c) = weak_ctx() {
+            return self.weak_rmw(&c, o, Ordering::Relaxed, &mut |x| Some(x & v)).0;
+        }
+        self.v.fetch_and(v, o)
     }
     #[inline]
     pub fn fetch_xor(&self, v: bool, o: Ordering) -> bool {
         step();
-        self.0.fetch_xor(v, o)
+        if let Some(c) = weak_ctx() {
+            return self.weak_rmw(&c, o, Ordering::Relaxed, &mut |x| Some(x ^ v)).0;
+        }
+        self.v.fetch_xor(v, o)
     }
     #[inline]
     pub fn into_inner(self) -> bool {
-        self.0.into_inner()
+        self.v.into_inner()
     }
     #[inline]
     pub fn get_mut(&mut self) -> &mut bool {
-        self.0.get_mut()
+        self.v.get_mut()
     }
 }
 
-#[repr(transparent)]
 #[derive(Debug)]
-pub struct AtomicPtr<T>(std::sync::atomic::AtomicPtr<T>);
+pub struct AtomicPtr<T> {
+    v: std::sync::atomic::AtomicPtr<T>,
+    loc: LazyId,
+}
 
 impl<T> AtomicPtr<T> {
     pub const fn new(p: *mut T) -> Self {
-        Self(std::sync::atomic::AtomicPtr::new(p))
+        Self {
+            v: std::sync::atomic::AtomicPtr::new(p),
+            loc: LazyId::new(),
+        }
+    }
+    #[inline]
+    fn loc(&self, c: &crate::runtime::Ctx) -> u32 {
+        self.loc.resolve(c.rt.generation(), || {
+            c.rt
+                .weak_alloc_loc(self.v.load(Ordering::Relaxed) as usize as u128)
+        })
     }
     #[inline]
     pub fn load(&self, o: Ordering) -> *mut T {
         step();
-        self.0.load(o)
+        if let Some(c) = weak_ctx() {
+            let loc = self.loc(&c);
+            return c.rt.weak_load(c.tid, loc, o) as usize as *mut T;
+        }
+        self.v.load(o)
     }
     #[inline]
     pub fn store(&self, p: *mut T, o: Ordering) {
         step();
-        self.0.store(p, o)
+        if let Some(c) = weak_ctx() {
+            let loc = self.loc(&c);
+            c.rt.weak_store(c.tid, loc, o, p as usize as u128);
+            self.v.store(p, Ordering::Relaxed);
+            return;
+        }
+        self.v.store(p, o)
     }
     #[inline]
     pub fn swap(&self, p: *mut T, o: Ordering) -> *mut T {
         step();
-        self.0.swap(p, o)
+        if let Some(c) = weak_ctx() {
+            let loc = self.loc(&c);
+            let (old, _) = c.rt.weak_rmw(c.tid, loc, o, Ordering::Relaxed, &mut |_| {
+                Some(p as usize as u128)
+            });
+            self.v.store(p, Ordering::Relaxed);
+            return old as usize as *mut T;
+        }
+        self.v.swap(p, o)
     }
     #[inline]
     pub fn compare_exchange(
@@ -230,7 +437,22 @@ impl<T> AtomicPtr<T> {
         err: Ordering,
     ) -> Result<*mut T, *mut T> {
         step();
-        self.0.compare_exchange(cur, new, ok, err)
+        if let Some(c) = weak_ctx() {
+            let loc = self.loc(&c);
+            let (old, stored) = c.rt.weak_rmw(c.tid, loc, ok, err, &mut |x| {
+                if x == cur as usize as u128 {
+                    Some(new as usize as u128)
+                } else {
+                    None
+                }
+            });
+            if stored {
+                self.v.store(new, Ordering::Relaxed);
+                return Ok(old as usize as *mut T);
+            }
+            return Err(old as usize as *mut T);
+        }
+        self.v.compare_exchange(cur, new, ok, err)
     }
     #[inline]
     pub fn compare_exchange_weak(
@@ -240,16 +462,15 @@ impl<T> AtomicPtr<T> {
         ok: Ordering,
         err: Ordering,
     ) -> Result<*mut T, *mut T> {
-        step();
-        self.0.compare_exchange_weak(cur, new, ok, err)
+        self.compare_exchange(cur, new, ok, err)
     }
     #[inline]
     pub fn into_inner(self) -> *mut T {
-        self.0.into_inner()
+        self.v.into_inner()
     }
     #[inline]
     pub fn get_mut(&mut self) -> &mut *mut T {
-        self.0.get_mut()
+        self.v.get_mut()
     }
 }
 
@@ -259,10 +480,14 @@ impl<T> Default for AtomicPtr<T> {
     }
 }
 
-/// Memory fence: a scheduling point, then the real fence (for the
-/// pass-through case; under simulation SC makes it a no-op semantically).
+/// Memory fence: a scheduling point, the weak-model fence semantics when
+/// simulated weakly, then the real fence (pass-through correctness; under
+/// simulation the real fence is semantically inert).
 #[inline]
 pub fn fence(o: Ordering) {
     step();
+    if let Some(c) = weak_ctx() {
+        c.rt.weak_fence(c.tid, o);
+    }
     std::sync::atomic::fence(o)
 }

@@ -1,0 +1,88 @@
+//! A tracked `UnsafeCell`: the shim that turns weak explorations into a
+//! data-race detector for *plain* (non-atomic) shared data.
+//!
+//! Under the weak model every [`with`](UnsafeCell::with) /
+//! [`with_mut`](UnsafeCell::with_mut) access is checked against the
+//! happens-before clocks of all prior conflicting accesses; two accesses
+//! not ordered by synchronization (at least one a write) fail the schedule
+//! with a replayable race report — even when the chosen interleaving
+//! happened to execute them "safely" apart, which is exactly what stress
+//! testing cannot do. Under SC exploration and outside a simulation the
+//! cell is a zero-bookkeeping pass-through.
+
+use crate::runtime::weak_ctx;
+use crate::weak::{CellAccess, LazyId};
+
+/// Drop-in for `std::cell::UnsafeCell` in code under DST. Use
+/// [`with`](Self::with)/[`with_mut`](Self::with_mut) for accesses that
+/// must be race-checked; [`get`](Self::get) is the *untracked* escape
+/// hatch for paths whose safety comes from ownership rather than
+/// synchronization (e.g. drop glue behind `Arc`, whose internal refcount
+/// edges the simulator cannot see).
+#[derive(Debug, Default)]
+pub struct UnsafeCell<T> {
+    id: LazyId,
+    inner: std::cell::UnsafeCell<T>,
+}
+
+// Same bounds as std's UnsafeCell (the LazyId is an AtomicU64).
+unsafe impl<T: Send> Send for UnsafeCell<T> {}
+
+impl<T> UnsafeCell<T> {
+    pub const fn new(t: T) -> Self {
+        Self {
+            id: LazyId::new(),
+            inner: std::cell::UnsafeCell::new(t),
+        }
+    }
+
+    fn track(&self, kind: CellAccess) {
+        // Drop glue of a failed schedule free-runs; never double-panic.
+        if std::thread::panicking() {
+            return;
+        }
+        if let Some(c) = weak_ctx() {
+            let id = self
+                .id
+                .resolve(c.rt.generation(), || c.rt.weak_alloc_cell());
+            c.rt.weak_cell_access(c.tid, id, kind);
+        }
+    }
+
+    /// Shared (read) access, race-checked under the weak model.
+    ///
+    /// # Safety contract
+    /// Same as dereferencing `std::cell::UnsafeCell::get` immutably: the
+    /// caller guarantees no concurrent `&mut` aliases. The tracker
+    /// *checks* that guarantee; it does not create it.
+    #[inline]
+    pub fn with<R>(&self, f: impl FnOnce(*const T) -> R) -> R {
+        self.track(CellAccess::Read);
+        f(self.inner.get())
+    }
+
+    /// Exclusive (write) access, race-checked under the weak model.
+    #[inline]
+    pub fn with_mut<R>(&self, f: impl FnOnce(*mut T) -> R) -> R {
+        self.track(CellAccess::Write);
+        f(self.inner.get())
+    }
+
+    /// Untracked raw pointer — accesses through it are invisible to the
+    /// race detector. Reserve for ownership-proven paths (drops, `&mut`
+    /// construction).
+    #[inline]
+    pub fn get(&self) -> *mut T {
+        self.inner.get()
+    }
+
+    #[inline]
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut()
+    }
+
+    #[inline]
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner()
+    }
+}

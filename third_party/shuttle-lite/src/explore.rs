@@ -78,7 +78,9 @@ fn mix(seed: u64, i: u64) -> u64 {
 }
 
 /// Explorer configuration. Environment overrides (read in [`Explorer::new`]):
-/// `WCQ_DST_SCHEDULES`, `WCQ_DST_SEED` (hex ok with `0x`), `WCQ_DST_PREEMPTIONS`.
+/// `WCQ_DST_ITERS` (alias `WCQ_DST_SCHEDULES`), `WCQ_DST_SEED` (hex ok with
+/// `0x`), `WCQ_DST_PREEMPTIONS`, `WCQ_DST_WEAK` (`1`/`true` switches every
+/// exploration to the weak memory model).
 pub struct Explorer {
     name: String,
     schedules: usize,
@@ -86,6 +88,7 @@ pub struct Explorer {
     preemptions: usize,
     step_limit: u64,
     minimize_budget: usize,
+    weak: bool,
 }
 
 fn env_usize(key: &str) -> Option<usize> {
@@ -102,6 +105,13 @@ fn env_u64(key: &str) -> Option<u64> {
     }
 }
 
+fn env_flag(key: &str) -> bool {
+    matches!(
+        std::env::var(key).as_deref().map(str::trim),
+        Ok("1") | Ok("true") | Ok("yes") | Ok("on")
+    )
+}
+
 impl Explorer {
     pub fn new(name: &str) -> Explorer {
         assert!(
@@ -110,11 +120,14 @@ impl Explorer {
         );
         Explorer {
             name: name.to_string(),
-            schedules: env_usize("WCQ_DST_SCHEDULES").unwrap_or(10_000),
+            schedules: env_usize("WCQ_DST_ITERS")
+                .or_else(|| env_usize("WCQ_DST_SCHEDULES"))
+                .unwrap_or(10_000),
             seed: env_u64("WCQ_DST_SEED").unwrap_or(0x5eed_cafe),
             preemptions: env_usize("WCQ_DST_PREEMPTIONS").unwrap_or(3),
             step_limit: 1_000_000,
             minimize_budget: 300,
+            weak: env_flag("WCQ_DST_WEAK"),
         }
     }
 
@@ -138,6 +151,14 @@ impl Explorer {
         self
     }
 
+    /// Switches this exploration to the weak (release/acquire + relaxed)
+    /// memory model. SC stays the fast default; `WCQ_DST_WEAK=1` flips the
+    /// default for a whole test run.
+    pub fn weak(mut self, on: bool) -> Self {
+        self.weak = on;
+        self
+    }
+
     /// Runs `body` once under `policy` on the calling thread (simulated
     /// thread 0). Returns the decision tape, the failure (if any), and the
     /// policy back (DFS tree cursor).
@@ -146,7 +167,7 @@ impl Explorer {
         policy: Policy,
         body: &F,
     ) -> (Vec<usize>, Option<String>, Policy) {
-        let rt = Runtime::new(policy, self.step_limit);
+        let rt = Runtime::new(policy, self.step_limit, self.weak);
         set_ctx(Some(Ctx { rt: rt.clone(), tid: 0 }));
         let r = std::panic::catch_unwind(AssertUnwindSafe(body));
         if let Err(p) = r {
@@ -179,10 +200,18 @@ impl Explorer {
     /// Random exploration that panics with a replay recipe on failure.
     pub fn check<F: Fn()>(&self, body: F) {
         if let Some(f) = self.find_failure(body) {
+            let weak_note = if self.weak { ".weak(true)" } else { "" };
             panic!(
-                "[{}] schedule #{} (seed {:#x}) failed: {}\n  replay with: \
-                 shuttle_lite::replay(\"{}\", || ...)",
-                self.name, f.schedule_index, self.seed, f.message, f.schedule
+                "[{}] schedule #{} (seed {:#x}{}) failed: {}\n  replay with: \
+                 Explorer::new(\"{}\"){}.replay(\"{}\", || ...)",
+                self.name,
+                f.schedule_index,
+                self.seed,
+                if self.weak { ", weak model" } else { "" },
+                f.message,
+                self.name,
+                weak_note,
+                f.schedule
             );
         }
     }

@@ -21,22 +21,37 @@
 //! * **Replay policy** — follows a recorded decision tape
 //!   (`"0*12,1*3"`), for checked-in minimized regressions.
 //!
-//! Exploration is sequentially consistent (single active thread ⇒ SC
-//! interleavings); weak-memory reorderings are out of scope.
+//! # Memory models
+//!
+//! SC exploration is the fast default: a single active thread at
+//! atomic-op granularity covers exactly the sequentially consistent
+//! interleavings. [`Explorer::weak`] (or `WCQ_DST_WEAK=1`) switches to an
+//! operational C11-style **weak model**: per-location modification-order
+//! histories with per-thread vector-clock views, so a relaxed or acquire
+//! load may return any coherence-eligible older store (a recorded tape
+//! decision, replayed and minimized like a thread choice), release/acquire
+//! clocks decide what synchronizes, fences and `SeqCst` restore order, and
+//! [`membarrier`] models the asymmetric process-wide barrier. Tracked
+//! [`cell::UnsafeCell`] shims make weak explorations a vector-clock
+//! **data-race detector** for plain shared data. See `weak.rs` module docs
+//! for exact semantics and the documented over-approximations.
 //!
 //! Failure modes detected: panics (assertion failures), deadlock — no
 //! runnable thread while some are blocked, which is exactly a lost
-//! wakeup for parked threads — and step-limit overrun (livelock). A
-//! failing schedule is greedily minimized and reported as an RLE tape
-//! for [`replay`].
+//! wakeup for parked threads — step-limit overrun (livelock), and, under
+//! the weak model, data races on tracked cells. A failing schedule is
+//! greedily minimized and reported as an RLE tape for [`replay`].
 
 pub mod atomic;
+pub mod cell;
 pub mod hint;
 pub mod sync;
 pub mod thread;
 
 mod explore;
 mod runtime;
+mod weak;
 
 pub use explore::{decode_schedule, encode_schedule, replay, Explorer, Failure};
-pub use runtime::{in_sim, step};
+pub use runtime::{in_sim, membarrier, step};
+pub use weak::WeakLoc;

@@ -6,7 +6,10 @@
 
 use std::cell::{Cell, RefCell};
 use std::panic::AssertUnwindSafe;
+use std::sync::atomic::Ordering;
 use std::sync::{Arc, Condvar, Mutex};
+
+use crate::weak::{CellAccess, WeakState};
 
 // ===================================================================
 // Thread-local simulation context
@@ -44,12 +47,30 @@ pub(crate) fn set_ctx(c: Option<Ctx>) {
     CTX.with(|slot| *slot.borrow_mut() = c);
 }
 
+/// The calling thread's context when it is simulated *and* the exploration
+/// runs the weak memory model; `None` under SC exploration or pass-through.
+pub(crate) fn weak_ctx() -> Option<Ctx> {
+    ctx().filter(|c| c.rt.weak_on())
+}
+
 /// Instrumentation point: before every shimmed atomic/fence operation.
 /// A no-op outside a simulation.
 #[inline]
 pub fn step() {
     if let Some(c) = ctx() {
         c.rt.yield_point(c.tid, false);
+    }
+}
+
+/// Models an asymmetric process-wide barrier (`membarrier(2)` /
+/// `MEMBARRIER_CMD_PRIVATE_EXPEDITED`): under the weak model, a SeqCst
+/// fence executed on behalf of *every* simulated thread at its current
+/// point. Under SC exploration or outside a simulation it is only a
+/// scheduling point — the caller owns the real syscall in those builds.
+pub fn membarrier() {
+    step();
+    if let Some(c) = weak_ctx() {
+        c.rt.weak_membarrier(c.tid);
     }
 }
 
@@ -238,6 +259,52 @@ impl Policy {
         }
     }
 
+    /// Picks which of `n` coherence-eligible stores a weak load returns
+    /// (`0` = coherence-newest). A second kind of decision point sharing
+    /// the tape with thread choices: Random is biased toward the newest
+    /// store (stale reads are rare on real hardware but must stay
+    /// reachable), DFS enumerates all `n`, Replay follows the tape.
+    /// Never consumes preemption budget — reading stale is not a context
+    /// switch.
+    pub fn choose_read(&mut self, n: usize) -> usize {
+        match self {
+            Policy::Random { rng, .. } => {
+                if rng.next() % 2 == 0 {
+                    0
+                } else {
+                    (rng.next() % n as u64) as usize
+                }
+            }
+            Policy::Dfs { prefix, cursor, .. } => {
+                let opts: Vec<usize> = (0..n).collect();
+                let i = *cursor;
+                *cursor += 1;
+                if i < prefix.len() {
+                    let node = &prefix[i];
+                    debug_assert_eq!(
+                        node.options, opts,
+                        "DFS desync at read decision {i}: nondeterministic model"
+                    );
+                    node.options[node.choice.min(node.options.len() - 1)]
+                } else {
+                    prefix.push(DfsNode {
+                        choice: 0,
+                        options: opts,
+                    });
+                    0
+                }
+            }
+            Policy::Replay { tape, pos } => {
+                let hint = tape.get(*pos).copied();
+                *pos += 1;
+                match hint {
+                    Some(a) if a < n => a,
+                    _ => 0,
+                }
+            }
+        }
+    }
+
     /// Advances a DFS prefix to the next unexplored path. Returns `false`
     /// when the tree is exhausted.
     pub fn dfs_advance(prefix: &mut Vec<DfsNode>) -> bool {
@@ -288,6 +355,8 @@ struct Sched {
     live: usize,
     failure: Option<String>,
     aborting: bool,
+    /// Weak-memory engine; `Some` iff this exploration runs the weak model.
+    weak: Option<WeakState>,
 }
 
 /// One schedule's shared scheduler state. Created per schedule by the
@@ -298,12 +367,25 @@ pub(crate) struct Runtime {
     /// OS handles of spawned simulated threads; joined at schedule
     /// teardown so no thread leaks across schedules.
     os_threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    /// `true` when this exploration runs the weak memory model (immutable
+    /// after construction — checked lock-free on every shim op).
+    weak_on: bool,
+    /// Generation stamp for this runtime; weak-location caches embedded in
+    /// shims ([`crate::weak::LazyId`]) are valid only for a matching
+    /// generation, so statics re-register per schedule.
+    generation: u64,
 }
 
+/// Runtime generation counter (see [`Runtime::generation`]). Starts at 1 so
+/// a zeroed [`crate::weak::LazyId`] cache can never match.
+static GENERATION: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+
 impl Runtime {
-    pub fn new(policy: Policy, step_limit: u64) -> Arc<Runtime> {
+    pub fn new(policy: Policy, step_limit: u64, weak: bool) -> Arc<Runtime> {
         Arc::new(Runtime {
             os_threads: Mutex::new(Vec::new()),
+            weak_on: weak,
+            generation: GENERATION.fetch_add(1, Ordering::Relaxed) & 0xFFFF_FFFF,
             sched: Mutex::new(Sched {
                 threads: vec![ThreadState {
                     status: Status::Runnable,
@@ -317,20 +399,35 @@ impl Runtime {
                 live: 1,
                 failure: None,
                 aborting: false,
+                weak: weak.then(WeakState::new),
             }),
             cv: Condvar::new(),
         })
     }
 
+    pub fn weak_on(&self) -> bool {
+        self.weak_on
+    }
+
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
     /// Registers a new simulated thread (runnable, scheduled later).
-    pub fn register_thread(&self) -> usize {
+    /// `parent` is the registering thread — under the weak model the child
+    /// inherits its view (the spawn happens-before edge).
+    pub fn register_thread(&self, parent: usize) -> usize {
         let mut g = self.sched.lock().unwrap_or_else(|e| e.into_inner());
         g.threads.push(ThreadState {
             status: Status::Runnable,
             permit: false,
         });
         g.live += 1;
-        g.threads.len() - 1
+        let tid = g.threads.len() - 1;
+        if let Some(w) = g.weak.as_mut() {
+            w.on_spawn(parent, tid);
+        }
+        tid
     }
 
     /// Picks and installs the next active thread. Caller must have already
@@ -434,38 +531,73 @@ impl Runtime {
         // Park-specific: consume a banked permit instead of blocking.
         if why == Block::Park && g.threads[me].permit {
             g.threads[me].permit = false;
+            if let Some(w) = g.weak.as_mut() {
+                w.on_wake(me);
+            }
             self.reschedule(&mut g, me, true);
             let _g = self.wait_for_turn(g, me);
             return;
         }
         if let Block::Join(target) = why {
             if matches!(g.threads[target].status, Status::Finished) {
+                if let Some(w) = g.weak.as_mut() {
+                    w.on_join(me, target);
+                }
                 return;
             }
         }
         g.threads[me].status = Status::Blocked(why);
         self.reschedule(&mut g, me, true);
-        let _g = self.wait_for_turn(g, me);
+        let mut g = self.wait_for_turn(g, me);
+        // Happens-before edges for the event that woke us.
+        if let Some(w) = g.weak.as_mut() {
+            match why {
+                Block::Park => w.on_wake(me),
+                Block::Join(target) => w.on_join(me, target),
+                Block::Resource(_) => {}
+            }
+        }
     }
 
-    /// `unpark`: wake a park-blocked thread or bank the permit.
-    pub fn unpark(&self, target: usize) {
+    /// `unpark`: wake a park-blocked thread or bank the permit. `from` is
+    /// the unparking thread (for the weak model's unpark→park-return edge).
+    pub fn unpark(&self, from: Option<usize>, target: usize) {
         let mut g = self.sched.lock().unwrap_or_else(|e| e.into_inner());
         match g.threads[target].status {
             Status::Blocked(Block::Park) => g.threads[target].status = Status::Runnable,
-            Status::Finished => {}
+            Status::Finished => return,
             _ => g.threads[target].permit = true,
+        }
+        if let (Some(w), Some(from)) = (g.weak.as_mut(), from) {
+            w.on_unpark(from, target);
         }
     }
 
     /// Wakes every thread blocked on `addr` (shim mutex unlock / once-lock
-    /// publication). They re-contend when scheduled.
-    pub fn release_resource(&self, addr: usize) {
+    /// publication). They re-contend when scheduled. `from` is the
+    /// releasing thread (the weak model records its view as the resource's
+    /// release clock).
+    pub fn release_resource(&self, from: Option<usize>, addr: usize) {
         let mut g = self.sched.lock().unwrap_or_else(|e| e.into_inner());
+        if let (Some(w), Some(from)) = (g.weak.as_mut(), from) {
+            w.on_resource_release(from, addr);
+        }
         for t in g.threads.iter_mut() {
             if matches!(t.status, Status::Blocked(Block::Resource(a)) if a == addr) {
                 t.status = Status::Runnable;
             }
+        }
+    }
+
+    /// Records acquisition of a resource (shim mutex lock / once-lock
+    /// read): the acquirer absorbs every prior releaser's view.
+    pub fn acquire_resource(&self, tid: usize, addr: usize) {
+        if !self.weak_on {
+            return;
+        }
+        let mut g = self.sched.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(w) = g.weak.as_mut() {
+            w.on_resource_acquire(tid, addr);
         }
     }
 
@@ -564,6 +696,115 @@ impl Runtime {
         let handles = std::mem::take(&mut *self.os_threads.lock().unwrap_or_else(|e| e.into_inner()));
         for h in handles {
             let _ = h.join();
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // Weak-memory operations (called by the shims; `weak_on` is true)
+    // ---------------------------------------------------------------
+
+    /// Registers a weak location with `init` as its primordial store.
+    pub fn weak_alloc_loc(&self, init: u128) -> u32 {
+        let mut g = self.sched.lock().unwrap_or_else(|e| e.into_inner());
+        g.weak.as_mut().expect("weak mode").alloc_loc(init)
+    }
+
+    /// Registers a tracked data cell for race detection.
+    pub fn weak_alloc_cell(&self) -> u32 {
+        let mut g = self.sched.lock().unwrap_or_else(|e| e.into_inner());
+        g.weak.as_mut().expect("weak mode").alloc_cell()
+    }
+
+    /// Weak atomic load: picks among the coherence-eligible stores (a tape
+    /// decision when more than one is visible). During teardown of a
+    /// failed schedule it returns the coherence-newest value instead —
+    /// free-running drop glue must see truthful state, and the tape no
+    /// longer matters.
+    pub fn weak_load(&self, tid: usize, loc: u32, o: Ordering) -> u128 {
+        let mut g = self.sched.lock().unwrap_or_else(|e| e.into_inner());
+        if g.aborting || unwinding() {
+            return g.weak.as_mut().expect("weak mode").latest(loc);
+        }
+        let Sched {
+            weak,
+            policy,
+            decisions,
+            ..
+        } = &mut *g;
+        weak.as_mut()
+            .expect("weak mode")
+            .load(tid, loc, o, policy, decisions)
+    }
+
+    /// Weak atomic store (no decision point: stores always append to the
+    /// modification order).
+    pub fn weak_store(&self, tid: usize, loc: u32, o: Ordering, val: u128) {
+        let mut g = self.sched.lock().unwrap_or_else(|e| e.into_inner());
+        g.weak
+            .as_mut()
+            .expect("weak mode")
+            .store(tid, loc, o, val);
+    }
+
+    /// Weak read-modify-write: reads the coherence-latest store; `f`
+    /// returns `Some(new)` to store or `None` for a failed CAS. Returns
+    /// `(old, stored)`.
+    pub fn weak_rmw(
+        &self,
+        tid: usize,
+        loc: u32,
+        ok: Ordering,
+        err: Ordering,
+        f: &mut dyn FnMut(u128) -> Option<u128>,
+    ) -> (u128, bool) {
+        let mut g = self.sched.lock().unwrap_or_else(|e| e.into_inner());
+        g.weak
+            .as_mut()
+            .expect("weak mode")
+            .rmw(tid, loc, ok, err, f)
+    }
+
+    /// Weak memory fence.
+    pub fn weak_fence(&self, tid: usize, o: Ordering) {
+        let mut g = self.sched.lock().unwrap_or_else(|e| e.into_inner());
+        g.weak.as_mut().expect("weak mode").fence(tid, o);
+    }
+
+    /// Weak asymmetric process-wide barrier (see [`membarrier`]).
+    pub fn weak_membarrier(&self, tid: usize) {
+        let mut g = self.sched.lock().unwrap_or_else(|e| e.into_inner());
+        g.weak.as_mut().expect("weak mode").membarrier(tid);
+    }
+
+    /// Records a tracked-cell access; a detected data race fails the
+    /// schedule exactly like an assertion (recorded, minimized,
+    /// replayable).
+    pub fn weak_cell_access(&self, tid: usize, cell: u32, kind: CellAccess) {
+        let mut g = self.sched.lock().unwrap_or_else(|e| e.into_inner());
+        if g.aborting {
+            return;
+        }
+        let res = g
+            .weak
+            .as_mut()
+            .expect("weak mode")
+            .cell_access(tid, cell, kind);
+        if let Err(msg) = res {
+            if g.failure.is_none() {
+                g.failure = Some(msg);
+            }
+            g.aborting = true;
+            for t in g.threads.iter_mut() {
+                if matches!(t.status, Status::Blocked(_)) {
+                    t.status = Status::Runnable;
+                }
+            }
+            self.cv.notify_all();
+            if unwinding() {
+                return;
+            }
+            drop(g);
+            abort_unwind();
         }
     }
 

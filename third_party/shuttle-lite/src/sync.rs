@@ -43,16 +43,18 @@ impl<T: ?Sized> Mutex<T> {
                 loop {
                     match self.inner.try_lock() {
                         Ok(g) => {
+                            c.rt.acquire_resource(c.tid, addr);
                             return Ok(MutexGuard {
                                 g: Some(g),
                                 rel: Some((c.rt.clone(), addr)),
-                            })
+                            });
                         }
                         Err(TryLockError::Poisoned(p)) => {
+                            c.rt.acquire_resource(c.tid, addr);
                             return Ok(MutexGuard {
                                 g: Some(p.into_inner()),
                                 rel: Some((c.rt.clone(), addr)),
-                            })
+                            });
                         }
                         Err(TryLockError::WouldBlock) => c.rt.block_on(c.tid, Block::Resource(addr)),
                     }
@@ -66,11 +68,27 @@ impl<T: ?Sized> Mutex<T> {
         let addr = self as *const _ as *const () as usize;
         let rel = ctx().map(|c| {
             c.rt.yield_point(c.tid, false);
-            (c.rt, addr)
+            (c.rt, c.tid, addr)
         });
         match self.inner.try_lock() {
-            Ok(g) => Ok(MutexGuard { g: Some(g), rel }),
-            Err(TryLockError::Poisoned(p)) => Ok(MutexGuard { g: Some(p.into_inner()), rel }),
+            Ok(g) => {
+                if let Some((rt, tid, addr)) = &rel {
+                    rt.acquire_resource(*tid, *addr);
+                }
+                Ok(MutexGuard {
+                    g: Some(g),
+                    rel: rel.map(|(rt, _, addr)| (rt, addr)),
+                })
+            }
+            Err(TryLockError::Poisoned(p)) => {
+                if let Some((rt, tid, addr)) = &rel {
+                    rt.acquire_resource(*tid, *addr);
+                }
+                Ok(MutexGuard {
+                    g: Some(p.into_inner()),
+                    rel: rel.map(|(rt, _, addr)| (rt, addr)),
+                })
+            }
             Err(TryLockError::WouldBlock) => Err(()),
         }
     }
@@ -120,7 +138,7 @@ impl<T: ?Sized> Drop for MutexGuard<'_, T> {
         // the baton.
         self.g = None;
         if let Some((rt, addr)) = self.rel.take() {
-            rt.release_resource(addr);
+            rt.release_resource(ctx().map(|c| c.tid), addr);
         }
     }
 }
@@ -155,6 +173,13 @@ impl<T> OnceLock<T> {
     pub fn get(&self) -> Option<&T> {
         step();
         if self.state.load(Ordering::Acquire) == READY {
+            // The internal state atomic is a real std atomic; under the
+            // weak model the init→get synchronizes-with edge is modeled
+            // through the resource clock instead.
+            if let Some(c) = ctx() {
+                c.rt
+                    .acquire_resource(c.tid, self as *const _ as *const () as usize);
+            }
             Some(self.value_ref())
         } else {
             None
@@ -176,7 +201,7 @@ impl<T> OnceLock<T> {
                     unsafe { *self.value.get() = Some(v) };
                     self.state.store(READY, Ordering::Release);
                     if let Some(c) = ctx() {
-                        c.rt.release_resource(addr);
+                        c.rt.release_resource(Some(c.tid), addr);
                     }
                     return self.value_ref();
                 }
@@ -184,7 +209,12 @@ impl<T> OnceLock<T> {
                     Some(c) => c.rt.block_on(c.tid, Block::Resource(addr)),
                     None => std::thread::yield_now(),
                 },
-                Err(_) => return self.value_ref(),
+                Err(_) => {
+                    if let Some(c) = ctx() {
+                        c.rt.acquire_resource(c.tid, addr);
+                    }
+                    return self.value_ref();
+                }
             }
         }
     }

@@ -22,7 +22,7 @@ impl Thread {
     pub fn unpark(&self) {
         match &self.0 {
             Repr::Os(t) => t.unpark(),
-            Repr::Sim { rt, tid } => rt.unpark(*tid),
+            Repr::Sim { rt, tid } => rt.unpark(ctx().map(|c| c.tid), *tid),
         }
     }
 }
@@ -117,7 +117,7 @@ where
         return JoinHandle { inner: Inner::Os(h), thread };
     };
     let rt = c.rt.clone();
-    let tid = rt.register_thread();
+    let tid = rt.register_thread(c.tid);
     let result: Arc<Mutex<Option<std::thread::Result<T>>>> = Arc::new(Mutex::new(None));
     let rt2 = rt.clone();
     let result2 = result.clone();

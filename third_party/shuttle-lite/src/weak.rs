@@ -1,0 +1,650 @@
+//! The weak-memory engine: a release/acquire + relaxed operational
+//! simulator layered under the cooperative scheduler.
+//!
+//! # Model
+//!
+//! Each atomic location keeps its **modification order** as an append-only
+//! store history; each simulated thread keeps a **view** (a vector clock of
+//! what it knows happened-before). A load may legally return *any* store
+//! that coherence does not rule out for the reading thread — the policy
+//! picks which, and the pick is recorded on the decision tape exactly like
+//! a scheduling choice, so weak executions replay and minimize the same
+//! way schedules do.
+//!
+//! Per operation:
+//!
+//! * **store(Release)** attaches the storer's full view as the store's
+//!   `sync` clock; an acquiring reader joins it (classic message passing).
+//!   **store(Relaxed)** attaches only the clock published by the thread's
+//!   last `fence(Release)` (empty if none), so an unfenced relaxed store
+//!   synchronizes nothing.
+//! * **load(Acquire)** joins the chosen store's `sync` clock into the
+//!   reader's view; **load(Relaxed)** banks it in a pending set that only
+//!   a later `fence(Acquire)` claims.
+//! * **RMWs** read the coherence-latest store (hardware atomicity), and a
+//!   successful RMW continues the release sequence: its store's `sync`
+//!   inherits the displaced store's `sync`, so `fetch_add(Relaxed)` in the
+//!   middle of a release chain does not sever it. Failed CAS is a load of
+//!   the latest store with the failure ordering.
+//! * **SeqCst** operations and `fence(SeqCst)` maintain a global SC clock:
+//!   the thread's view absorbs it and feeds back into it. This restores a
+//!   total order over SeqCst accesses (an all-SeqCst program explores
+//!   exactly its SC interleavings). It is deliberately a little *stronger*
+//!   than C11 S-order on mixed-ordering corner cases — sound for a bug
+//!   hunter: it can only hide behaviors SeqCst code was entitled to forbid.
+//! * **membarrier** ([`crate::membarrier`]) models the asymmetric
+//!   `membarrier(2)` fence: a SeqCst fence executed *on behalf of every
+//!   thread* at its current point, which is exactly the IPI semantics the
+//!   eventcount's fenced-notify path relies on.
+//!
+//! # Coherence
+//!
+//! A reader's window into a location's history is bounded below by the
+//! newest store it is *aware of* — a store whose own tick is inside the
+//! reader's view (write→read coherence) or one it already read
+//! (read→read coherence) — and above by the newest store. The window is
+//! further capped at the [`WINDOW`] newest eligible stores, a bounded
+//! store-buffer analogue that keeps the branching factor finite.
+//!
+//! # Data-race detection
+//!
+//! [`crate::cell::UnsafeCell`] routes every access here. Reads and writes
+//! carry the accessor's epoch (its own view component, bumped per access);
+//! a write racing any access, or a read racing a write, that is not
+//! ordered by happens-before is reported as a test failure with both
+//! thread ids — turning the explorer into a dynamic race detector for the
+//! plain-store publication idioms the queues use.
+
+use std::collections::HashMap;
+use std::sync::atomic::Ordering;
+
+use crate::runtime::{weak_ctx, Policy};
+
+/// Visible-window cap: a load chooses among at most this many of the
+/// newest coherence-eligible stores. A bounded store-buffer analogue; keeps
+/// DFS branching and tape entropy finite without hiding the classic
+/// litmus behaviors (SB/MP/LB need a window of 2).
+pub(crate) const WINDOW: usize = 4;
+
+// ===================================================================
+// Vector clocks
+// ===================================================================
+
+/// A grow-on-demand vector clock; index = simulated thread id.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub(crate) struct VClock(Vec<u32>);
+
+impl VClock {
+    pub fn get(&self, t: usize) -> u32 {
+        self.0.get(t).copied().unwrap_or(0)
+    }
+
+    pub fn set(&mut self, t: usize, v: u32) {
+        if self.0.len() <= t {
+            self.0.resize(t + 1, 0);
+        }
+        self.0[t] = v;
+    }
+
+    /// Pointwise max.
+    pub fn join(&mut self, other: &VClock) {
+        if self.0.len() < other.0.len() {
+            self.0.resize(other.0.len(), 0);
+        }
+        for (a, &b) in self.0.iter_mut().zip(other.0.iter()) {
+            *a = (*a).max(b);
+        }
+    }
+
+    /// First thread whose component in `other` is ahead of this view —
+    /// `None` means all of `other`'s events happened-before this view;
+    /// `Some(t)` is the race witness.
+    fn first_gap(&self, other: &VClock) -> Option<usize> {
+        other
+            .0
+            .iter()
+            .enumerate()
+            .find(|&(t, &v)| v > self.get(t))
+            .map(|(t, _)| t)
+    }
+}
+
+// ===================================================================
+// Locations, cells, thread views
+// ===================================================================
+
+/// One entry of a location's modification order.
+struct StoreElem {
+    val: u128,
+    /// Storing thread and its own-component tick — the store's identity
+    /// for coherence ("is this store inside your view?").
+    tid: usize,
+    tick: u32,
+    /// Clock an acquiring reader joins (release/fence semantics).
+    sync: VClock,
+}
+
+/// An atomic location: its modification order, pruned from the front once
+/// every thread's coherence floor has moved past (`base` keeps absolute
+/// indices stable across pruning).
+#[derive(Default)]
+struct Location {
+    base: usize,
+    stores: Vec<StoreElem>,
+}
+
+/// Race-detector state of one tracked data cell (FastTrack-style, full
+/// vectors — the models are tiny, so no epoch compression is needed).
+#[derive(Default)]
+struct CellState {
+    /// Per-thread epoch of its last write to the cell.
+    writes: VClock,
+    /// Per-thread epoch of its last read of the cell.
+    reads: VClock,
+}
+
+/// One simulated thread's memory-model state.
+#[derive(Default)]
+struct ThreadMem {
+    /// Happens-before view: everything this thread knows already happened.
+    hb: VClock,
+    /// Clock published by this thread's last `fence(Release)` — what a
+    /// subsequent relaxed store hands to acquiring readers.
+    rel_fence: VClock,
+    /// Sync clocks banked by relaxed loads, claimed by `fence(Acquire)`.
+    acq_pending: VClock,
+    /// Happens-before carried by pending unparks, claimed when a park
+    /// completes (permit consumption included).
+    wake_pending: VClock,
+    /// Read→read coherence floor: newest absolute index read per location.
+    last_read: HashMap<u32, usize>,
+}
+
+/// Access kind for [`WeakState::cell_access`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum CellAccess {
+    Read,
+    Write,
+}
+
+// ===================================================================
+// The engine
+// ===================================================================
+
+/// Weak-memory state of one schedule. Lives inside the scheduler mutex;
+/// every method runs with the baton held, so no interior synchronization
+/// is needed.
+pub(crate) struct WeakState {
+    locs: Vec<Location>,
+    cells: Vec<CellState>,
+    threads: Vec<ThreadMem>,
+    /// The global SeqCst clock (see module docs).
+    sc: VClock,
+    /// Release clocks of scheduler-level resources (shim mutexes and
+    /// once-locks), keyed by address — models the synchronizes-with edge
+    /// of unlock→lock and init→get.
+    resources: HashMap<usize, VClock>,
+}
+
+impl WeakState {
+    pub fn new() -> WeakState {
+        WeakState {
+            locs: Vec::new(),
+            cells: Vec::new(),
+            threads: vec![ThreadMem::default()], // main thread (tid 0)
+            sc: VClock::default(),
+            resources: HashMap::new(),
+        }
+    }
+
+    fn thread(&mut self, tid: usize) -> &mut ThreadMem {
+        if self.threads.len() <= tid {
+            self.threads.resize_with(tid + 1, ThreadMem::default);
+        }
+        &mut self.threads[tid]
+    }
+
+    // ---------------------------------------------------------------
+    // Thread-lifecycle happens-before edges
+    // ---------------------------------------------------------------
+
+    /// `spawn` edge: the child starts with the parent's full view.
+    pub fn on_spawn(&mut self, parent: usize, child: usize) {
+        let hb = self.thread(parent).hb.clone();
+        self.thread(child).hb = hb;
+    }
+
+    /// `join` edge: the joiner absorbs the finished thread's final view.
+    pub fn on_join(&mut self, joiner: usize, target: usize) {
+        let hb = self.thread(target).hb.clone();
+        self.thread(joiner).hb.join(&hb);
+    }
+
+    /// `unpark` edge: bank the unparker's view with the permit.
+    pub fn on_unpark(&mut self, from: usize, target: usize) {
+        let hb = self.thread(from).hb.clone();
+        self.thread(target).wake_pending.join(&hb);
+    }
+
+    /// Park return / permit consumption: claim banked unparker views.
+    pub fn on_wake(&mut self, tid: usize) {
+        let pending = std::mem::take(&mut self.thread(tid).wake_pending);
+        self.thread(tid).hb.join(&pending);
+    }
+
+    /// Resource (shim mutex / once-lock) release: publish the owner's view.
+    pub fn on_resource_release(&mut self, tid: usize, addr: usize) {
+        let hb = self.thread(tid).hb.clone();
+        self.resources.entry(addr).or_default().join(&hb);
+    }
+
+    /// Resource acquisition: absorb every prior releaser's view.
+    pub fn on_resource_acquire(&mut self, tid: usize, addr: usize) {
+        if let Some(clk) = self.resources.get(&addr) {
+            let clk = clk.clone();
+            self.thread(tid).hb.join(&clk);
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // Fences
+    // ---------------------------------------------------------------
+
+    /// `fence(o)` by `tid`.
+    pub fn fence(&mut self, tid: usize, o: Ordering) {
+        self.thread(tid);
+        if matches!(o, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst) {
+            let pending = std::mem::take(&mut self.thread(tid).acq_pending);
+            self.thread(tid).hb.join(&pending);
+        }
+        if o == Ordering::SeqCst {
+            self.sc_sync(tid);
+        }
+        if matches!(o, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst) {
+            let hb = self.thread(tid).hb.clone();
+            self.thread(tid).rel_fence = hb;
+        }
+    }
+
+    /// The SC-clock handshake: view absorbs the global clock and feeds
+    /// back into it.
+    fn sc_sync(&mut self, tid: usize) {
+        let t = &mut self.threads[tid];
+        t.hb.join(&self.sc);
+        self.sc.join(&t.hb);
+    }
+
+    /// `membarrier(2)` model: a SeqCst fence executed on behalf of every
+    /// simulated thread at its current point (the IPI broadcast). Two
+    /// passes so the merge is symmetric regardless of thread order.
+    pub fn membarrier(&mut self, caller: usize) {
+        self.thread(caller); // ensure allocated
+        for t in &self.threads {
+            self.sc.join(&t.hb);
+        }
+        for t in &mut self.threads {
+            t.hb.join(&self.sc);
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // Atomic locations
+    // ---------------------------------------------------------------
+
+    /// Allocates a fresh location whose history starts with `init` as a
+    /// primordial store (visible to everyone, synchronizing nothing —
+    /// creation is ordered by ownership transfer, not by the location).
+    pub fn alloc_loc(&mut self, init: u128) -> u32 {
+        self.locs.push(Location {
+            base: 0,
+            stores: vec![StoreElem {
+                val: init,
+                tid: usize::MAX,
+                tick: 0,
+                sync: VClock::default(),
+            }],
+        });
+        (self.locs.len() - 1) as u32
+    }
+
+    pub fn alloc_cell(&mut self) -> u32 {
+        self.cells.push(CellState::default());
+        (self.cells.len() - 1) as u32
+    }
+
+    /// The absolute index of the newest store the thread is *required* to
+    /// read at or above: write→read coherence (newest store whose tick is
+    /// inside the view) joined with read→read coherence (`last_read`).
+    fn floor(&self, tid: usize, loc: u32) -> usize {
+        let l = &self.locs[loc as usize];
+        let t = &self.threads[tid];
+        let mut floor = l.base; // primordial/pruned prefix is always known
+        for (i, s) in l.stores.iter().enumerate() {
+            if s.tid == usize::MAX || s.tick <= t.hb.get(s.tid) {
+                floor = l.base + i;
+            }
+        }
+        floor.max(t.last_read.get(&loc).copied().unwrap_or(0))
+    }
+
+    /// Bumps the thread's own component and returns the new tick.
+    fn bump(&mut self, tid: usize) -> u32 {
+        let t = self.thread(tid);
+        let v = t.hb.get(tid) + 1;
+        t.hb.set(tid, v);
+        v
+    }
+
+    /// Coherence-newest value of `loc` (teardown fallback: no decision, no
+    /// view updates).
+    pub fn latest(&self, loc: u32) -> u128 {
+        self.locs[loc as usize]
+            .stores
+            .last()
+            .expect("location has a primordial store")
+            .val
+    }
+
+    /// Atomic load: pick a coherence-eligible store (policy decision when
+    /// more than one is visible), apply acquire semantics per `o`.
+    pub fn load(
+        &mut self,
+        tid: usize,
+        loc: u32,
+        o: Ordering,
+        policy: &mut Policy,
+        decisions: &mut Vec<usize>,
+    ) -> u128 {
+        self.thread(tid);
+        if o == Ordering::SeqCst {
+            self.sc_sync(tid);
+        }
+        let lo = self.floor(tid, loc);
+        let l = &self.locs[loc as usize];
+        let hi = l.base + l.stores.len() - 1; // newest
+        let lo = lo.max(hi.saturating_sub(WINDOW - 1));
+        let n = hi - lo + 1;
+        let age = if n > 1 {
+            let a = policy.choose_read(n);
+            decisions.push(a);
+            a
+        } else {
+            0
+        };
+        let idx = hi - age; // age 0 = newest
+        let elem = &self.locs[loc as usize].stores[idx - self.locs[loc as usize].base];
+        let val = elem.val;
+        let sync = elem.sync.clone();
+        let t = self.thread(tid);
+        let prev = t.last_read.entry(loc).or_insert(0);
+        *prev = (*prev).max(idx);
+        match o {
+            Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst => {
+                self.thread(tid).hb.join(&sync)
+            }
+            _ => self.thread(tid).acq_pending.join(&sync),
+        }
+        val
+    }
+
+    /// Atomic store: append to the modification order with the release
+    /// clock `o` implies.
+    pub fn store(&mut self, tid: usize, loc: u32, o: Ordering, val: u128) {
+        self.thread(tid);
+        if o == Ordering::SeqCst {
+            self.sc_sync(tid);
+        }
+        let tick = self.bump(tid);
+        let t = &self.threads[tid];
+        let sync = match o {
+            Ordering::Release | Ordering::AcqRel | Ordering::SeqCst => t.hb.clone(),
+            _ => t.rel_fence.clone(),
+        };
+        let l = &mut self.locs[loc as usize];
+        l.stores.push(StoreElem {
+            val,
+            tid,
+            tick,
+            sync,
+        });
+        let idx = l.base + l.stores.len() - 1;
+        self.thread(tid).last_read.insert(loc, idx);
+        if o == Ordering::SeqCst {
+            self.sc_sync(tid);
+        }
+        self.prune(loc);
+    }
+
+    /// Atomic read-modify-write. Reads the coherence-latest store
+    /// (hardware RMW atomicity); `f` returns `Some(new)` to store (RMW /
+    /// successful CAS) or `None` to make it a pure load (failed CAS).
+    /// Returns `(old, stored)`.
+    pub fn rmw(
+        &mut self,
+        tid: usize,
+        loc: u32,
+        ok: Ordering,
+        err: Ordering,
+        f: &mut dyn FnMut(u128) -> Option<u128>,
+    ) -> (u128, bool) {
+        self.thread(tid);
+        if ok == Ordering::SeqCst || err == Ordering::SeqCst {
+            self.sc_sync(tid);
+        }
+        let l = &self.locs[loc as usize];
+        let idx = l.base + l.stores.len() - 1;
+        let last = l.stores.last().expect("location has a primordial store");
+        let old = last.val;
+        let prev_sync = last.sync.clone();
+        match f(old) {
+            Some(new) => {
+                match ok {
+                    Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst => {
+                        self.thread(tid).hb.join(&prev_sync)
+                    }
+                    _ => self.thread(tid).acq_pending.join(&prev_sync),
+                }
+                let tick = self.bump(tid);
+                let t = &self.threads[tid];
+                // Release-sequence continuation: the displaced store's sync
+                // rides along even through a relaxed RMW.
+                let mut sync = prev_sync;
+                match ok {
+                    Ordering::Release | Ordering::AcqRel | Ordering::SeqCst => sync.join(&t.hb),
+                    _ => sync.join(&t.rel_fence),
+                }
+                let l = &mut self.locs[loc as usize];
+                l.stores.push(StoreElem {
+                    val: new,
+                    tid,
+                    tick,
+                    sync,
+                });
+                let new_idx = l.base + l.stores.len() - 1;
+                self.thread(tid).last_read.insert(loc, new_idx);
+                if ok == Ordering::SeqCst {
+                    self.sc_sync(tid);
+                }
+                self.prune(loc);
+                (old, true)
+            }
+            None => {
+                match err {
+                    Ordering::Acquire | Ordering::SeqCst => self.thread(tid).hb.join(&prev_sync),
+                    _ => self.thread(tid).acq_pending.join(&prev_sync),
+                }
+                let t = self.thread(tid);
+                let prev = t.last_read.entry(loc).or_insert(0);
+                *prev = (*prev).max(idx);
+                (old, false)
+            }
+        }
+    }
+
+    /// Drops history entries every thread's coherence floor has passed.
+    /// `base` keeps absolute indices stable for `last_read`.
+    fn prune(&mut self, loc: u32) {
+        let l = &self.locs[loc as usize];
+        if l.stores.len() <= 64 {
+            return;
+        }
+        let mut min_floor = usize::MAX;
+        for tid in 0..self.threads.len() {
+            min_floor = min_floor.min(self.floor(tid, loc));
+        }
+        let l = &mut self.locs[loc as usize];
+        let cut = min_floor.saturating_sub(l.base);
+        if cut > 0 {
+            l.stores.drain(..cut);
+            l.base += cut;
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // Data-race detection
+    // ---------------------------------------------------------------
+
+    /// Records an access to a tracked cell; `Err` describes a data race
+    /// (the access is not ordered with a prior conflicting access).
+    pub fn cell_access(
+        &mut self,
+        tid: usize,
+        cell: u32,
+        kind: CellAccess,
+    ) -> Result<(), String> {
+        self.thread(tid);
+        let epoch = self.bump(tid);
+        let hb = self.threads[tid].hb.clone();
+        let c = &mut self.cells[cell as usize];
+        if let Some(w) = hb.first_gap(&c.writes) {
+            return Err(format!(
+                "data race on tracked cell #{cell}: t{tid} {} unordered with t{w}'s write",
+                if kind == CellAccess::Read { "read" } else { "write" },
+            ));
+        }
+        if kind == CellAccess::Write {
+            if let Some(r) = hb.first_gap(&c.reads) {
+                return Err(format!(
+                    "data race on tracked cell #{cell}: t{tid} write unordered with t{r}'s read"
+                ));
+            }
+            c.writes.set(tid, epoch);
+        } else {
+            c.reads.set(tid, epoch);
+        }
+        Ok(())
+    }
+}
+
+// ===================================================================
+// Lazy per-runtime registration
+// ===================================================================
+
+/// A weak-location (or tracked-cell) id lazily registered with the current
+/// runtime, cached as `(generation << 32) | id` in one atomic so the same
+/// static object re-registers on each new schedule. Cheap, `const`-
+/// constructible, and inert outside weak explorations.
+pub(crate) struct LazyId(std::sync::atomic::AtomicU64);
+
+impl Default for LazyId {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LazyId {
+    pub const fn new() -> LazyId {
+        LazyId(std::sync::atomic::AtomicU64::new(0))
+    }
+
+    /// Returns the id for `generation`, allocating via `alloc` on first
+    /// use in this generation. Only called with the scheduler baton held
+    /// (one simulated thread runs at a time), so the check-then-store is
+    /// not a race.
+    pub fn resolve(&self, generation: u64, alloc: impl FnOnce() -> u32) -> u32 {
+        let cached = self.0.load(Ordering::Relaxed);
+        if cached >> 32 == generation {
+            return cached as u32;
+        }
+        let id = alloc();
+        self.0.store((generation << 32) | id as u64, Ordering::Relaxed);
+        id
+    }
+}
+
+impl std::fmt::Debug for LazyId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("LazyId")
+    }
+}
+
+/// A weak-memory location handle for *external* atomics the shims cannot
+/// wrap — the workspace uses it to route double-width CAS (`AtomicPair`)
+/// through the weak engine as 128-bit SC operations.
+///
+/// All methods return `None`/`false` outside a weak exploration, in which
+/// case the caller performs the real hardware operation instead; when they
+/// do run, the caller must mirror stored values into its real atomic so
+/// teardown and pass-through reads stay truthful. The caller is expected
+/// to have executed [`crate::step`] first (these are not scheduling
+/// points on their own).
+pub struct WeakLoc(LazyId);
+
+impl Default for WeakLoc {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl WeakLoc {
+    pub const fn new() -> WeakLoc {
+        WeakLoc(LazyId::new())
+    }
+
+    fn resolve(&self, c: &crate::runtime::Ctx, init: impl FnOnce() -> u128) -> u32 {
+        self.0
+            .resolve(c.rt.generation(), || c.rt.weak_alloc_loc(init()))
+    }
+
+    /// Weak load; `init` supplies the primordial value on first use per
+    /// schedule (read it from the caller's real atomic).
+    pub fn load(&self, o: Ordering, init: impl FnOnce() -> u128) -> Option<u128> {
+        let c = weak_ctx()?;
+        let loc = self.resolve(&c, init);
+        Some(c.rt.weak_load(c.tid, loc, o))
+    }
+
+    /// Weak store; returns `false` (caller does the real store) outside a
+    /// weak exploration.
+    pub fn store(&self, o: Ordering, val: u128, init: impl FnOnce() -> u128) -> bool {
+        match weak_ctx() {
+            None => false,
+            Some(c) => {
+                let loc = self.resolve(&c, init);
+                c.rt.weak_store(c.tid, loc, o, val);
+                true
+            }
+        }
+    }
+
+    /// Weak read-modify-write: `f` sees the coherence-latest value and
+    /// returns `Some(new)` to store (successful RMW) or `None` (failed
+    /// CAS). Returns `(old, stored)` when simulated.
+    pub fn rmw(
+        &self,
+        ok: Ordering,
+        err: Ordering,
+        init: impl FnOnce() -> u128,
+        f: &mut dyn FnMut(u128) -> Option<u128>,
+    ) -> Option<(u128, bool)> {
+        let c = weak_ctx()?;
+        let loc = self.resolve(&c, init);
+        Some(c.rt.weak_rmw(c.tid, loc, ok, err, f))
+    }
+}
+
+impl std::fmt::Debug for WeakLoc {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("WeakLoc")
+    }
+}

@@ -1,0 +1,336 @@
+//! Litmus self-tests for the weak memory model: known-racy programs the
+//! weak explorer MUST flag and SC exploration provably cannot (DFS
+//! exhaustion within bounds), plus the fenced/ordered variants that must
+//! stay clean under both models. These regression-guard the simulator
+//! itself — if the weak engine silently loses a behavior, a "must find"
+//! test here fails before any queue model goes quiet.
+//!
+//! Every explorer sets `.weak(..)` explicitly so the tests mean the same
+//! thing regardless of the `WCQ_DST_WEAK` environment.
+
+use std::sync::Arc;
+
+use shuttle_lite::atomic::{fence, AtomicBool, AtomicU64, Ordering};
+use shuttle_lite::cell::UnsafeCell;
+use shuttle_lite::{membarrier, thread, Explorer};
+
+fn explorer(name: &str, weak: bool) -> Explorer {
+    Explorer::new(name)
+        .weak(weak)
+        .seed(0xDECAF)
+        .schedules(4000)
+        .preemptions(4)
+}
+
+// ===================================================================
+// SB — store buffering
+// ===================================================================
+
+/// Classic SB: two threads each store their own flag then load the
+/// other's. `r1 == r2 == 0` requires both loads to ignore the earlier
+/// (program-order) remote store — impossible under SC, allowed relaxed.
+fn sb(store_o: Ordering, load_o: Ordering, fenced: bool) -> impl Fn() + Send + Sync + 'static {
+    move || {
+        let x = Arc::new(AtomicU64::new(0));
+        let y = Arc::new(AtomicU64::new(0));
+        let (x2, y2) = (x.clone(), y.clone());
+        let t = thread::spawn(move || {
+            y2.store(1, store_o);
+            if fenced {
+                fence(Ordering::SeqCst);
+            }
+            x2.load(load_o)
+        });
+        x.store(1, store_o);
+        if fenced {
+            fence(Ordering::SeqCst);
+        }
+        let r1 = y.load(load_o);
+        let r2 = t.join().unwrap();
+        assert!(r1 == 1 || r2 == 1, "store buffering: both loads stale");
+    }
+}
+
+#[test]
+fn weak_finds_store_buffering_relaxed() {
+    let f = explorer("sb-relaxed-weak", true)
+        .find_failure(sb(Ordering::Relaxed, Ordering::Relaxed, false))
+        .expect("weak model must expose relaxed store buffering");
+    assert!(f.message.contains("store buffering"), "wrong failure: {f}");
+    // The minimized tape replays to the same defect.
+    let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        explorer("sb-relaxed-weak", true)
+            .replay(&f.schedule, sb(Ordering::Relaxed, Ordering::Relaxed, false));
+    }));
+    assert!(r.is_err(), "minimized SB schedule must replay to a failure");
+}
+
+#[test]
+fn sc_provably_misses_store_buffering() {
+    // Exhaustive DFS under SC: the outcome is unreachable, not just rare.
+    explorer("sb-relaxed-sc", false)
+        .schedules(50_000)
+        .check_dfs(sb(Ordering::Relaxed, Ordering::Relaxed, false));
+}
+
+#[test]
+fn seqcst_restores_store_buffering_order_under_weak() {
+    explorer("sb-seqcst-weak", true)
+        .schedules(50_000)
+        .check_dfs(sb(Ordering::SeqCst, Ordering::SeqCst, false));
+}
+
+#[test]
+fn seqcst_fences_forbid_store_buffering_under_weak() {
+    explorer("sb-fenced-weak", true)
+        .schedules(50_000)
+        .check_dfs(sb(Ordering::Relaxed, Ordering::Relaxed, true));
+}
+
+// ===================================================================
+// MP — message passing
+// ===================================================================
+
+/// Classic MP: writer publishes data then raises a flag; reader that sees
+/// the flag must see the data. Needs a Release store *and* an Acquire
+/// load; weakening either side loses the synchronizes-with edge.
+fn mp(flag_store: Ordering, flag_load: Ordering) -> impl Fn() + Send + Sync + 'static {
+    move || {
+        let data = Arc::new(AtomicU64::new(0));
+        let flag = Arc::new(AtomicU64::new(0));
+        let (d2, f2) = (data.clone(), flag.clone());
+        let t = thread::spawn(move || {
+            d2.store(42, Ordering::Relaxed);
+            f2.store(1, flag_store);
+        });
+        if flag.load(flag_load) == 1 {
+            assert_eq!(data.load(Ordering::Relaxed), 42, "message passing: stale data");
+        }
+        t.join().unwrap();
+    }
+}
+
+#[test]
+fn weak_finds_message_passing_with_relaxed_flag_store() {
+    explorer("mp-rlx-store-weak", true)
+        .find_failure(mp(Ordering::Relaxed, Ordering::Acquire))
+        .expect("weak model must expose MP with a relaxed flag store");
+}
+
+#[test]
+fn weak_finds_message_passing_with_relaxed_flag_load() {
+    explorer("mp-rlx-load-weak", true)
+        .find_failure(mp(Ordering::Release, Ordering::Relaxed))
+        .expect("weak model must expose MP with a relaxed flag load");
+}
+
+#[test]
+fn release_acquire_message_passing_is_clean_under_weak() {
+    explorer("mp-relacq-weak", true)
+        .schedules(50_000)
+        .check_dfs(mp(Ordering::Release, Ordering::Acquire));
+}
+
+#[test]
+fn sc_provably_misses_message_passing() {
+    explorer("mp-rlx-sc", false)
+        .schedules(50_000)
+        .check_dfs(mp(Ordering::Relaxed, Ordering::Relaxed));
+}
+
+// ===================================================================
+// Data-race detection on tracked cells
+// ===================================================================
+
+struct CellPair {
+    cell: UnsafeCell<u64>,
+    flag: AtomicU64,
+}
+
+// Safety: access discipline is exactly what the models (and the race
+// detector) exercise.
+unsafe impl Sync for CellPair {}
+
+/// Two unsynchronized writes to a tracked cell: a textbook data race. The
+/// interleaving itself never misbehaves (each write is wholly separate
+/// under the baton), so only the vector-clock detector can see it — SC
+/// exploration runs this "green" forever.
+fn racy_cell() -> impl Fn() + Send + Sync + 'static {
+    move || {
+        let s = Arc::new(CellPair {
+            cell: UnsafeCell::new(0),
+            flag: AtomicU64::new(0),
+        });
+        let s2 = s.clone();
+        let t = thread::spawn(move || {
+            s2.cell.with_mut(|p| unsafe { *p = 7 });
+        });
+        s.cell.with_mut(|p| unsafe { *p = 9 });
+        t.join().unwrap();
+    }
+}
+
+/// Same cell handed off through a Release/Acquire flag: no race.
+fn published_cell() -> impl Fn() + Send + Sync + 'static {
+    move || {
+        let s = Arc::new(CellPair {
+            cell: UnsafeCell::new(0),
+            flag: AtomicU64::new(0),
+        });
+        let s2 = s.clone();
+        let t = thread::spawn(move || {
+            s2.cell.with_mut(|p| unsafe { *p = 7 });
+            s2.flag.store(1, Ordering::Release);
+        });
+        if s.flag.load(Ordering::Acquire) == 1 {
+            s.cell.with(|p| assert_eq!(unsafe { *p }, 7));
+        }
+        t.join().unwrap();
+        // Join edge: the parent may touch the cell after joining.
+        s.cell.with(|p| assert_eq!(unsafe { *p }, 7));
+    }
+}
+
+#[test]
+fn weak_flags_unsynchronized_cell_write() {
+    let f = explorer("cell-race-weak", true)
+        .find_failure(racy_cell())
+        .expect("weak model must flag the unsynchronized cell write");
+    assert!(f.message.contains("data race"), "wrong failure: {f}");
+}
+
+#[test]
+fn sc_misses_unsynchronized_cell_write() {
+    // Cells are untracked under SC: the very race the weak job exists for.
+    explorer("cell-race-sc", false)
+        .schedules(50_000)
+        .check_dfs(racy_cell());
+}
+
+#[test]
+fn published_cell_is_race_free_under_weak() {
+    explorer("cell-pub-weak", true)
+        .schedules(50_000)
+        .check_dfs(published_cell());
+}
+
+// ===================================================================
+// membarrier — the asymmetric fence (eventcount Dekker pair)
+// ===================================================================
+
+/// The eventcount's Dekker: the waiter registers then issues the
+/// heavyweight barrier; the notifier publishes state and reads the waiter
+/// count with NO fence at all. Either the waiter observes the state
+/// change or the notifier observes the registration — the membarrier is
+/// the only thing forbidding the both-miss outcome.
+fn asymmetric_dekker(with_membarrier: bool) -> impl Fn() + Send + Sync + 'static {
+    move || {
+        let nwaiters = Arc::new(AtomicU64::new(0));
+        let state = Arc::new(AtomicU64::new(0));
+        let (n2, s2) = (nwaiters.clone(), state.clone());
+        let notifier = thread::spawn(move || {
+            s2.store(1, Ordering::Relaxed);
+            n2.load(Ordering::Relaxed)
+        });
+        nwaiters.store(1, Ordering::Relaxed);
+        if with_membarrier {
+            membarrier();
+        }
+        let seen_state = state.load(Ordering::Relaxed);
+        let seen_waiters = notifier.join().unwrap();
+        assert!(
+            seen_state == 1 || seen_waiters == 1,
+            "asymmetric Dekker: notifier missed the waiter AND the waiter missed the state"
+        );
+    }
+}
+
+#[test]
+fn weak_finds_dekker_without_membarrier() {
+    explorer("dekker-bare-weak", true)
+        .find_failure(asymmetric_dekker(false))
+        .expect("weak model must expose the unfenced Dekker pair");
+}
+
+#[test]
+fn membarrier_closes_dekker_under_weak() {
+    explorer("dekker-membarrier-weak", true)
+        .schedules(50_000)
+        .check_dfs(asymmetric_dekker(true));
+}
+
+// ===================================================================
+// Slot handoff — the queue's registration-slot claim/release protocol
+// ===================================================================
+
+/// Miniature of `acquire_slot`/`release_slot`: the owner writes per-slot
+/// data then releases the slot flag; a claimer CASes it back and writes
+/// the same data. The release store must be `Release` and the claim CAS
+/// success must be `Acquire` — the proof obligation behind the SeqCst
+/// downgrade in `wcq::queue` (see ORDERINGS.md).
+fn slot_handoff(release_o: Ordering, claim_ok: Ordering) -> impl Fn() + Send + Sync + 'static {
+    move || {
+        struct Slot {
+            occupied: AtomicBool,
+            scratch: UnsafeCell<u64>,
+        }
+        unsafe impl Sync for Slot {}
+        let s = Arc::new(Slot {
+            occupied: AtomicBool::new(true),
+            scratch: UnsafeCell::new(0),
+        });
+        let s2 = s.clone();
+        let claimer = thread::spawn(move || {
+            if s2
+                .occupied
+                .compare_exchange(false, true, claim_ok, Ordering::Relaxed)
+                .is_ok()
+            {
+                s2.scratch.with_mut(|p| unsafe { *p += 1 });
+            }
+        });
+        // Owner: use the slot's scratch state, then release the slot.
+        s.scratch.with_mut(|p| unsafe { *p += 1 });
+        s.occupied.store(false, release_o);
+        claimer.join().unwrap();
+    }
+}
+
+#[test]
+fn slot_handoff_release_acquire_is_race_free_under_weak() {
+    explorer("slot-relacq-weak", true)
+        .schedules(50_000)
+        .check_dfs(slot_handoff(Ordering::Release, Ordering::Acquire));
+}
+
+#[test]
+fn weak_flags_slot_handoff_with_relaxed_release() {
+    let f = explorer("slot-rlx-release-weak", true)
+        .find_failure(slot_handoff(Ordering::Relaxed, Ordering::Acquire))
+        .expect("weak model must flag a relaxed slot release");
+    assert!(f.message.contains("data race"), "wrong failure: {f}");
+}
+
+#[test]
+fn weak_flags_slot_handoff_with_relaxed_claim() {
+    let f = explorer("slot-rlx-claim-weak", true)
+        .find_failure(slot_handoff(Ordering::Release, Ordering::Relaxed))
+        .expect("weak model must flag a relaxed slot claim");
+    assert!(f.message.contains("data race"), "wrong failure: {f}");
+}
+
+// ===================================================================
+// Determinism
+// ===================================================================
+
+#[test]
+fn weak_exploration_is_deterministic_per_seed() {
+    let run = || {
+        explorer("weak-determinism", true)
+            .find_failure(sb(Ordering::Relaxed, Ordering::Relaxed, false))
+            .expect("SB must be found")
+    };
+    let (a, b) = (run(), run());
+    assert_eq!(a.schedule, b.schedule);
+    assert_eq!(a.schedule_index, b.schedule_index);
+}

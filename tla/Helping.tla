@@ -1,0 +1,249 @@
+------------------------------- MODULE Helping -------------------------------
+(***************************************************************************)
+(* The §3.4 helping / quiesce-on-release protocol of the wCQ reproduction  *)
+(* (crates/core/src/wcq/ring.rs `help_threads` / `quiesce_record`,        *)
+(* crates/core/src/wcq/record.rs), abstracted to one helpee record and a  *)
+(* set of helper threads.                                                  *)
+(*                                                                         *)
+(* What is modeled                                                         *)
+(* ----------------                                                        *)
+(* * The owner publishes help requests (`pending := 1` with a fresh       *)
+(*   tagged local word), completes them (`FIN`), releases its thread slot  *)
+(*   via the quiesce protocol (wait for the announce counter to drain),    *)
+(*   and re-registers (bumping the owner epoch).                           *)
+(* * Helpers run the announce-then-re-check discipline of `help_threads`: *)
+(*   observe `pending = 1`, bump `helpers`, RE-CHECK `pending`, and only  *)
+(*   then drive — snapshotting the tagged word their phase-1 CAS will use *)
+(*   as its expected value.  A helper may be preempted indefinitely        *)
+(*   between that snapshot and its CAS (the stale-helper hazard).          *)
+(* * The tagged word is `Word(seq)`: the TAG field is `seq % TagMod`      *)
+(*   (TAG_BITS wide; 2 bits under `wcq_dst` small-bounds builds) and the  *)
+(*   ticket field abstracts the 48-bit counter as `(seq ÷ TagMod) %      *)
+(*   CntMod`.  The ASSUME below (`MaxSeq <= TagMod * CntMod`) encodes the *)
+(*   implementation's argument that within any window the tag can wrap,   *)
+(*   the ticket differs — delete it and raise MaxSeq past TagMod * CntMod *)
+(*   and TLC produces the documented residual-exposure counterexample.    *)
+(*                                                                         *)
+(* Invariants (the two the code argues in prose)                           *)
+(* ---------------------------------------------                           *)
+(* * NoDriveSurvivesRelease — once a slot release completes, no helper is  *)
+(*   driving the record, none can start until the next owner publishes,    *)
+(*   and every in-flight drive belongs to the current owner epoch.         *)
+(* * TagWrapAbort — a stale helper's phase-1 CAS never applies an operand  *)
+(*   from a request other than the one currently published: the FIN flag,  *)
+(*   the TAG mismatch guard, and the ticket filter close every window.     *)
+(*                                                                         *)
+(* Run:  tlc -deadlock -config Helping.cfg Helping.tla   (see tla/README)  *)
+(***************************************************************************)
+EXTENDS Naturals, FiniteSets
+
+CONSTANTS
+  Helpers,   \* set of helper thread identities (model values)
+  MaxSeq,    \* how many requests the owner publishes (state bound)
+  TagMod,    \* 2^TAG_BITS: 4 matches the wcq_dst small-bounds build
+  CntMod,    \* abstracted ticket-counter range
+  MaxEpochs  \* how many release/re-register cycles to explore
+
+\* The 48-bit ticket cannot repeat while a 14-bit tag wraps (record.rs
+\* module docs): in-model, all reachable words are distinct under this
+\* bound.  This is the assumption the TagWrapAbort invariant leans on.
+ASSUME /\ TagMod >= 2
+       /\ CntMod >= 1
+       /\ MaxSeq <= TagMod * CntMod
+       /\ MaxEpochs >= 1
+
+\* The tagged local word a request with sequence number s publishes.
+Word(s) == [tag |-> s % TagMod, cnt |-> (s \div TagMod) % CntMod]
+
+VARIABLES
+  seq,        \* sequence number of the most recent request (0 = none yet)
+  pending,    \* 0/1: a request is published and incomplete
+  fin,        \* FIN flag of the local word
+  inc,        \* INC flag of the local word (phase-1 CAS applied)
+  helpersCnt, \* the record's announce counter (`ThreadRec.helpers`)
+  driving,    \* the record's drive counter   (`ThreadRec.driving`)
+  slotHeld,   \* the owner currently holds the thread slot
+  releasing,  \* the owner is inside `quiesce_record`
+  epoch,      \* `ThreadRec.owner_epoch`
+  pc,         \* helper program counters
+  snapWord,   \* helper's snapshot of the tagged word (CAS expected value)
+  snapSeq,    \* ghost: which request produced that snapshot
+  snapEpoch,  \* ghost: owner epoch when the drive started
+  applied     \* ghost: {[snap |-> s, cur |-> c]} for every applied CAS
+
+vars == <<seq, pending, fin, inc, helpersCnt, driving, slotHeld, releasing,
+          epoch, pc, snapWord, snapSeq, snapEpoch, applied>>
+
+HelperPCs == {"idle", "saw", "announced", "driving"}
+
+TypeOK ==
+  /\ seq \in 0..MaxSeq
+  /\ pending \in 0..1
+  /\ fin \in BOOLEAN
+  /\ inc \in BOOLEAN
+  /\ helpersCnt \in 0..Cardinality(Helpers)
+  /\ driving \in 0..Cardinality(Helpers)
+  /\ slotHeld \in BOOLEAN
+  /\ releasing \in BOOLEAN
+  /\ epoch \in 0..MaxEpochs
+  /\ pc \in [Helpers -> HelperPCs]
+  /\ snapSeq \in [Helpers -> 0..MaxSeq]
+  /\ snapEpoch \in [Helpers -> 0..MaxEpochs]
+
+Init ==
+  /\ seq = 0
+  /\ pending = 0
+  /\ fin = TRUE          \* fresh records start FIN: stray helpers bail
+  /\ inc = FALSE
+  /\ helpersCnt = 0
+  /\ driving = 0
+  /\ slotHeld = TRUE
+  /\ releasing = FALSE
+  /\ epoch = 0
+  /\ pc = [h \in Helpers |-> "idle"]
+  /\ snapWord = [h \in Helpers |-> Word(0)]
+  /\ snapSeq = [h \in Helpers |-> 0]
+  /\ snapEpoch = [h \in Helpers |-> 0]
+  /\ applied = {}
+
+(***************************************************************************)
+(* Owner actions                                                           *)
+(***************************************************************************)
+
+\* Publish a slow-path help request: fresh tagged word, pending = 1.
+OPublish ==
+  /\ slotHeld /\ ~releasing /\ pending = 0 /\ seq < MaxSeq
+  /\ seq' = seq + 1
+  /\ pending' = 1 /\ fin' = FALSE /\ inc' = FALSE
+  /\ UNCHANGED <<helpersCnt, driving, slotHeld, releasing, epoch,
+                 pc, snapWord, snapSeq, snapEpoch, applied>>
+
+\* The request completes (owner or a successful helper sets FIN; every
+\* cooperative thread then stops): pending drops.
+OComplete ==
+  /\ pending = 1
+  /\ fin' = TRUE /\ pending' = 0
+  /\ UNCHANGED <<seq, inc, helpersCnt, driving, slotHeld, releasing, epoch,
+                 pc, snapWord, snapSeq, snapEpoch, applied>>
+
+\* Begin releasing the slot: all own operations done (pending = 0), enter
+\* `quiesce_record`'s wait on the announce counter.
+ORelease ==
+  /\ slotHeld /\ ~releasing /\ pending = 0
+  /\ releasing' = TRUE
+  /\ UNCHANGED <<seq, pending, fin, inc, helpersCnt, driving, slotHeld,
+                 epoch, pc, snapWord, snapSeq, snapEpoch, applied>>
+
+\* The quiesce wait observes `helpers == 0`: the release completes.  Any
+\* helper announcing later is ordered after the owner's `pending = 0`
+\* store, so its re-check bails — the property NoDriveSurvivesRelease pins.
+OQuiesceDone ==
+  /\ releasing /\ helpersCnt = 0
+  /\ slotHeld' = FALSE /\ releasing' = FALSE
+  /\ UNCHANGED <<seq, pending, fin, inc, helpersCnt, driving, epoch,
+                 pc, snapWord, snapSeq, snapEpoch, applied>>
+
+\* A new registrant claims the slot and bumps the owner epoch (the
+\* tripwire helpers assert across their drive).
+OReacquire ==
+  /\ ~slotHeld /\ epoch < MaxEpochs
+  /\ slotHeld' = TRUE /\ epoch' = epoch + 1
+  /\ UNCHANGED <<seq, pending, fin, inc, helpersCnt, driving, releasing,
+                 pc, snapWord, snapSeq, snapEpoch, applied>>
+
+(***************************************************************************)
+(* Helper actions (`help_threads`)                                         *)
+(***************************************************************************)
+
+\* The scan's first look: `pending == 1` observed, announce not yet made.
+\* The gap between this load and the announce is the race the re-check
+\* exists for.
+HSee(h) ==
+  /\ pc[h] = "idle" /\ pending = 1
+  /\ pc' = [pc EXCEPT ![h] = "saw"]
+  /\ UNCHANGED <<seq, pending, fin, inc, helpersCnt, driving, slotHeld,
+                 releasing, epoch, snapWord, snapSeq, snapEpoch, applied>>
+
+\* Announce: `helpers.fetch_add(1)` — unconditional once the stale `saw`
+\* is in hand; pending may have dropped (or a release completed) since.
+HAnnounce(h) ==
+  /\ pc[h] = "saw"
+  /\ helpersCnt' = helpersCnt + 1
+  /\ pc' = [pc EXCEPT ![h] = "announced"]
+  /\ UNCHANGED <<seq, pending, fin, inc, driving, slotHeld, releasing,
+                 epoch, snapWord, snapSeq, snapEpoch, applied>>
+
+\* Post-announce re-check passes: start driving, snapshotting the tagged
+\* word the phase-1 CAS will carry as its expected value.
+HDrive(h) ==
+  /\ pc[h] = "announced" /\ pending = 1
+  /\ driving' = driving + 1
+  /\ snapWord' = [snapWord EXCEPT ![h] = Word(seq)]
+  /\ snapSeq' = [snapSeq EXCEPT ![h] = seq]
+  /\ snapEpoch' = [snapEpoch EXCEPT ![h] = epoch]
+  /\ pc' = [pc EXCEPT ![h] = "driving"]
+  /\ UNCHANGED <<seq, pending, fin, inc, helpersCnt, slotHeld, releasing,
+                 epoch, applied>>
+
+\* Post-announce re-check fails: bail without driving.
+HBail(h) ==
+  /\ pc[h] = "announced" /\ pending = 0
+  /\ helpersCnt' = helpersCnt - 1
+  /\ pc' = [pc EXCEPT ![h] = "idle"]
+  /\ UNCHANGED <<seq, pending, fin, inc, driving, slotHeld, releasing,
+                 epoch, snapWord, snapSeq, snapEpoch, applied>>
+
+\* The phase-1 CAS: expected value is the snapshot with FIN and INC clear,
+\* so it can only succeed while the current word equals the snapshot and
+\* neither flag is set.  The ghost `applied` records which request the
+\* operand belonged to versus which was current — TagWrapAbort checks they
+\* can never differ.
+HApply(h) ==
+  /\ pc[h] = "driving"
+  /\ ~fin /\ ~inc /\ Word(seq) = snapWord[h]
+  /\ inc' = TRUE
+  /\ applied' = applied \cup {[snap |-> snapSeq[h], cur |-> seq]}
+  /\ UNCHANGED <<seq, pending, fin, helpersCnt, driving, slotHeld,
+                 releasing, epoch, pc, snapWord, snapSeq, snapEpoch>>
+
+\* The drive loop exits — on FIN, on a TAG mismatch, after finishing the
+\* replay, or anywhere in between (abstracted as always-enabled): the
+\* helper withdraws both counters.
+HFinish(h) ==
+  /\ pc[h] = "driving"
+  /\ driving' = driving - 1
+  /\ helpersCnt' = helpersCnt - 1
+  /\ pc' = [pc EXCEPT ![h] = "idle"]
+  /\ UNCHANGED <<seq, pending, fin, inc, slotHeld, releasing, epoch,
+                 snapWord, snapSeq, snapEpoch, applied>>
+
+Next ==
+  \/ OPublish \/ OComplete \/ ORelease \/ OQuiesceDone \/ OReacquire
+  \/ \E h \in Helpers :
+       HSee(h) \/ HAnnounce(h) \/ HDrive(h) \/ HBail(h)
+       \/ HApply(h) \/ HFinish(h)
+
+Spec == Init /\ [][Next]_vars
+
+(***************************************************************************)
+(* Invariants                                                              *)
+(***************************************************************************)
+
+\* Releasing a slot can never leave (or later admit) a helper driving the
+\* record, and no drive spans a re-registration: every in-flight drive
+\* belongs to the current owner epoch, and a released record is quiet —
+\* exactly what `records_are_quiet` asserts on freshly acquired slots.
+NoDriveSurvivesRelease ==
+  /\ ~slotHeld => (driving = 0 /\ pending = 0)
+  /\ \A h \in Helpers : pc[h] = "driving" => snapEpoch[h] = epoch
+
+\* A stale helper never applies: every CAS application's operand belongs
+\* to the currently published request.  FIN guards completion, the TAG
+\* guards record reuse up to wrap, the ticket filters the wrap itself.
+TagWrapAbort == \A a \in applied : a.snap = a.cur
+
+\* The announce counter dominates the drive counter (quiesce waits on the
+\* former precisely so it covers the latter).
+CountersConsistent == driving <= helpersCnt
+
+===============================================================================

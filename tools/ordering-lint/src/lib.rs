@@ -1,0 +1,558 @@
+//! Atomic-ordering contract lint (ISSUE 8 tentpole b; DESIGN.md §13).
+//!
+//! Scans every `.rs` file under `crates/*/src` for atomic operations and
+//! fences — method calls like `.load(..)`, `.store(..)`, `.fetch_add(..)`,
+//! `.compare_exchange(..)` and free `fence(..)` calls that name at least
+//! one `Ordering` variant — and checks each discovered site against the
+//! contract table in `ORDERINGS.md`:
+//!
+//! * every site must have a row whose `file:line`, op, and orderings match
+//!   exactly (an edit that moves or reorders a site is an **anchor
+//!   drift** until the table is re-blessed);
+//! * every row must still match a site (stale rows are drift too);
+//! * every site that uses `SeqCst` must carry a non-placeholder
+//!   justification — `SeqCst` is the expensive default, and the whole
+//!   point of the table is that keeping it is an argued decision.
+//!
+//! The scanner is deliberately textual, not syntactic: zero dependencies,
+//! no macro expansion, no cfg evaluation — which means it sees *every*
+//! branch of cfg-gated code (both DWCAS backends, the `wcq_dst` seam) in
+//! one pass. The trade-off: an atomic op whose ordering is a variable
+//! rather than a literal `Ordering::*` token is invisible. The workspace
+//! has no such site; keep it that way.
+//!
+//! `--bless` regenerates `ORDERINGS.md` from the current tree, carrying
+//! each row's justification and DST-cover columns over by `(file, op,
+//! orderings)` occurrence order, so an edit that merely shifts line
+//! numbers keeps its prose. New sites get a `TODO` justification, which
+//! the lint rejects when the site is `SeqCst` — adding an unjustified
+//! `SeqCst` therefore fails CI even straight after a bless.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Atomic method names the scanner recognizes (matched as `.name(`).
+pub const OPS: &[&str] = &[
+    "load",
+    "store",
+    "swap",
+    "compare_exchange_weak",
+    "compare_exchange",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_nand",
+    "fetch_or",
+    "fetch_xor",
+    "fetch_max",
+    "fetch_min",
+    "fetch_update",
+];
+
+const ORDERING_TOKENS: &[&str] = &["SeqCst", "AcqRel", "Acquire", "Release", "Relaxed"];
+
+/// Longest argument list (in bytes) the scanner will walk looking for the
+/// closing paren; calls longer than this are ill-formed for our purposes.
+const MAX_CALL_SPAN: usize = 2000;
+
+/// One discovered atomic operation or fence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Site {
+    /// Workspace-relative path, forward slashes.
+    pub file: String,
+    /// 1-based line of the op token.
+    pub line: usize,
+    /// Method name, or `"fence"`.
+    pub op: String,
+    /// Ordering tokens in argument order, joined `", "` (e.g. `"AcqRel,
+    /// Acquire"` for a CAS).
+    pub orderings: String,
+}
+
+impl Site {
+    fn key(&self) -> (String, usize, String, String) {
+        (
+            self.file.clone(),
+            self.line,
+            self.op.clone(),
+            self.orderings.clone(),
+        )
+    }
+}
+
+impl fmt::Display for Site {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{} {}({})",
+            self.file, self.line, self.op, self.orderings
+        )
+    }
+}
+
+/// One row of the `ORDERINGS.md` contract table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Row {
+    pub file: String,
+    pub line: usize,
+    pub op: String,
+    pub orderings: String,
+    pub justification: String,
+    /// DST model (or litmus test) that exercises the site, `-` if none.
+    pub cover: String,
+}
+
+fn is_ident(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Scans one file's text. `file` is the label recorded in the sites.
+pub fn scan_source(file: &str, text: &str) -> Vec<Site> {
+    // Byte offset of each line start, to map match offsets to line numbers
+    // and to identify comment lines (`//`, `///`, `//!` after whitespace).
+    let mut line_starts = vec![0usize];
+    for (i, b) in text.bytes().enumerate() {
+        if b == b'\n' {
+            line_starts.push(i + 1);
+        }
+    }
+    let line_of = |off: usize| line_starts.partition_point(|&s| s <= off); // 1-based
+    let is_comment_line = |line: usize| {
+        let start = line_starts[line - 1];
+        let end = line_starts.get(line).copied().unwrap_or(text.len());
+        text[start..end].trim_start().starts_with("//")
+    };
+
+    let bytes = text.as_bytes();
+    let mut sites: Vec<(usize, Site)> = Vec::new(); // (offset, site) for ordering
+    let mut needles: Vec<(String, &str)> = OPS.iter().map(|op| (format!(".{op}("), *op)).collect();
+    needles.push(("fence(".to_string(), "fence"));
+
+    for (needle, op) in &needles {
+        let mut from = 0;
+        while let Some(rel) = text[from..].find(needle.as_str()) {
+            let at = from + rel;
+            from = at + needle.len();
+            // Word boundaries: `.load(` must not be the tail of `.payload(`,
+            // and free `fence(` must not be the tail of another identifier
+            // (`asymfence` has no call-form, but stay strict anyway).
+            let tok_start = if *op == "fence" { at } else { at + 1 };
+            if tok_start > 0 && is_ident(bytes[tok_start - 1]) {
+                continue;
+            }
+            let line = line_of(at);
+            if is_comment_line(line) {
+                continue;
+            }
+            // `.compare_exchange(` never fires inside `.compare_exchange_weak(`
+            // because the needle requires the literal `(` right after the name.
+            let open = at + needle.len() - 1;
+            let Some(span) = call_span(text, open) else {
+                continue;
+            };
+            let orderings = orderings_in(&text[open + 1..span]);
+            if orderings.is_empty() {
+                // Not an atomic op (`Vec::swap`, shim plumbing without a
+                // literal ordering, ...) — out of the lint's jurisdiction.
+                continue;
+            }
+            sites.push((
+                at,
+                Site {
+                    file: file.to_string(),
+                    line,
+                    op: op.to_string(),
+                    orderings: orderings.join(", "),
+                },
+            ));
+        }
+    }
+    sites.sort_by_key(|a| (a.1.line, a.0));
+    sites.into_iter().map(|(_, s)| s).collect()
+}
+
+/// Byte offset of the `)` closing the call whose `(` is at `open`, walking
+/// nested parens; `None` if unbalanced within [`MAX_CALL_SPAN`].
+fn call_span(text: &str, open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for (i, b) in text.bytes().enumerate().skip(open).take(MAX_CALL_SPAN) {
+        match b {
+            b'(' => depth += 1,
+            b')' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Ordering tokens appearing (as whole words) in an argument span, in order.
+fn orderings_in(span: &str) -> Vec<&'static str> {
+    let bytes = span.as_bytes();
+    let mut found: Vec<(usize, &'static str)> = Vec::new();
+    for tok in ORDERING_TOKENS {
+        let mut from = 0;
+        while let Some(rel) = span[from..].find(tok) {
+            let at = from + rel;
+            from = at + tok.len();
+            let pre_ok = at == 0 || !is_ident(bytes[at - 1]);
+            let post = at + tok.len();
+            let post_ok = post >= bytes.len() || !is_ident(bytes[post]);
+            if pre_ok && post_ok {
+                found.push((at, tok));
+            }
+        }
+    }
+    found.sort_by_key(|&(at, _)| at);
+    found.into_iter().map(|(_, t)| t).collect()
+}
+
+/// Walks `root/crates/*/src` for `.rs` files and scans each. Paths in the
+/// returned sites are workspace-relative with forward slashes.
+pub fn scan_tree(root: &Path) -> std::io::Result<Vec<Site>> {
+    let mut files = Vec::new();
+    let crates = root.join("crates");
+    for entry in std::fs::read_dir(&crates)? {
+        let src = entry?.path().join("src");
+        if src.is_dir() {
+            collect_rs(&src, &mut files)?;
+        }
+    }
+    files.sort();
+    let mut sites = Vec::new();
+    for path in files {
+        let text = std::fs::read_to_string(&path)?;
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        sites.extend(scan_source(&rel, &text));
+    }
+    Ok(sites)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Parses the contract table out of `ORDERINGS.md`: any markdown-table row
+/// whose first cell looks like `path:line` is a contract row; everything
+/// else (prose, headers, separators) is ignored.
+pub fn parse_contract(text: &str) -> Result<Vec<Row>, String> {
+    let mut rows = Vec::new();
+    for (ln, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if !line.starts_with('|') {
+            continue;
+        }
+        let cells: Vec<&str> = line
+            .trim_matches('|')
+            .split('|')
+            .map(str::trim)
+            .collect();
+        if cells.len() < 5 {
+            continue;
+        }
+        let Some((file, site_line)) = cells[0].rsplit_once(':') else {
+            continue;
+        };
+        if !file.contains('/') {
+            continue; // header or prose table
+        }
+        let site_line: usize = site_line
+            .parse()
+            .map_err(|_| format!("ORDERINGS.md:{}: bad line number in `{}`", ln + 1, cells[0]))?;
+        rows.push(Row {
+            file: file.to_string(),
+            line: site_line,
+            op: cells[1].to_string(),
+            orderings: cells[2].to_string(),
+            justification: cells[3].to_string(),
+            cover: cells[4].to_string(),
+        });
+    }
+    Ok(rows)
+}
+
+fn is_placeholder(justification: &str) -> bool {
+    let j = justification.trim();
+    j.is_empty() || j == "-" || j.eq_ignore_ascii_case("todo")
+}
+
+/// Checks sites against contract rows; returns clippy-style error strings
+/// (empty = clean). Multisets must match: two identical ops on one line
+/// need two rows.
+pub fn check(sites: &[Site], rows: &[Row]) -> Vec<String> {
+    use std::collections::HashMap;
+    let mut errors = Vec::new();
+
+    let mut row_count: HashMap<(String, usize, String, String), usize> = HashMap::new();
+    for r in rows {
+        *row_count
+            .entry((r.file.clone(), r.line, r.op.clone(), r.orderings.clone()))
+            .or_default() += 1;
+    }
+
+    let mut site_count: HashMap<(String, usize, String, String), usize> = HashMap::new();
+    for s in sites {
+        *site_count.entry(s.key()).or_default() += 1;
+    }
+
+    // Unlisted sites (or listed fewer times than they occur).
+    let mut remaining = row_count.clone();
+    for s in sites {
+        match remaining.get_mut(&s.key()) {
+            Some(n) if *n > 0 => *n -= 1,
+            _ => errors.push(format!(
+                "error: unlisted atomic site\n  --> {s}\n  = note: add a row to ORDERINGS.md (or run `cargo run -p ordering-lint -- --bless` and fill in the TODO)",
+            )),
+        }
+    }
+
+    // Stale rows: anchors whose (file,line,op,orderings) no longer match.
+    for r in rows {
+        let key = (r.file.clone(), r.line, r.op.clone(), r.orderings.clone());
+        if site_count.get(&key).copied().unwrap_or(0) >= row_count[&key] {
+            continue;
+        }
+        // One row per surplus, like the unlisted direction.
+        let surplus = row_count[&key] - site_count.get(&key).copied().unwrap_or(0);
+        if surplus == 0 {
+            continue;
+        }
+        // Report each stale key once (rows are iterated in order; skip dups).
+        row_count.insert(key.clone(), site_count.get(&key).copied().unwrap_or(0));
+        let hint = sites
+            .iter()
+            .filter(|s| s.file == r.file && s.op == r.op && s.orderings == r.orderings)
+            .map(|s| s.line.to_string())
+            .collect::<Vec<_>>()
+            .join(", ");
+        let hint = if hint.is_empty() {
+            "no such op/orderings in the file anymore".to_string()
+        } else {
+            format!("same op now at line(s) {hint} — re-bless")
+        };
+        errors.push(format!(
+            "error: drifted contract anchor\n  --> ORDERINGS.md row {}:{} {}({})\n  = note: {hint}",
+            r.file, r.line, r.op, r.orderings
+        ));
+    }
+
+    // SeqCst without a justification.
+    for r in rows {
+        if r.orderings.contains("SeqCst") && is_placeholder(&r.justification) {
+            errors.push(format!(
+                "error: unjustified SeqCst\n  --> {}:{} {}({})\n  = note: SeqCst sites must argue why a weaker ordering is insufficient (ORDERINGS.md)",
+                r.file, r.line, r.op, r.orderings
+            ));
+        }
+    }
+
+    errors.sort();
+    errors
+}
+
+/// Regenerates the contract table from `sites`, carrying `justification`
+/// and `cover` over from `old` rows matched by `(file, op, orderings)` in
+/// occurrence order. New sites get `TODO` / `-`.
+pub fn bless(sites: &[Site], old: &[Row]) -> String {
+    use std::collections::HashMap;
+    let mut carry: HashMap<(String, String, String), std::collections::VecDeque<(String, String)>> =
+        HashMap::new();
+    for r in old {
+        carry
+            .entry((r.file.clone(), r.op.clone(), r.orderings.clone()))
+            .or_default()
+            .push_back((r.justification.clone(), r.cover.clone()));
+    }
+
+    let mut sorted: Vec<&Site> = sites.iter().collect();
+    sorted.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+
+    let mut out = String::from(PREAMBLE);
+    out.push_str("| Site | Op | Orderings | Justification | DST cover |\n");
+    out.push_str("|---|---|---|---|---|\n");
+    for s in sorted {
+        let (j, c) = carry
+            .get_mut(&(s.file.clone(), s.op.clone(), s.orderings.clone()))
+            .and_then(|q| q.pop_front())
+            .unwrap_or_else(|| ("TODO".to_string(), "-".to_string()));
+        out.push_str(&format!(
+            "| {}:{} | {} | {} | {} | {} |\n",
+            s.file, s.line, s.op, s.orderings, j, c
+        ));
+    }
+    out
+}
+
+/// Document head emitted by [`bless`]; edit here, not in ORDERINGS.md.
+pub const PREAMBLE: &str = "\
+# Atomic-ordering contract
+
+Every atomic operation and fence under `crates/*/src` is listed here with
+its memory orderings, a one-line justification (mandatory for `SeqCst` —
+the expensive default is the one that needs arguing), and the DST model or
+litmus test that exercises the site. `cargo run -p ordering-lint` enforces
+the table: unlisted sites, stale/drifted `file:line` anchors, and
+unjustified `SeqCst` rows all fail CI (DESIGN.md §13).
+
+After moving or adding atomic code, run
+`cargo run -p ordering-lint -- --bless` to regenerate this table (prose
+columns carry over by file + op + orderings), then fill in any `TODO`.
+This file is generated — free-form notes belong in DESIGN.md §13.
+
+";
+
+/// Locates the workspace root: the nearest ancestor of `start` containing
+/// a `Cargo.toml` with a `[workspace]` section.
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start);
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d.to_path_buf());
+            }
+        }
+        dir = d.parent();
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = r#"
+use std::sync::atomic::{fence, AtomicUsize, Ordering::{Acquire, Release, SeqCst}};
+fn f(a: &AtomicUsize) {
+    a.store(1, Release);
+    let _ = a.load(Acquire);
+    // a.load(SeqCst) in a comment is not a site
+    let _ = a.compare_exchange(0, 1, SeqCst, Ordering::Relaxed);
+    fence(SeqCst);
+    let mut v = vec![1, 2];
+    v.swap(0, 1); // no ordering token: not a site
+}
+"#;
+
+    fn rows_for(sites: &[Site], justification: &str) -> Vec<Row> {
+        sites
+            .iter()
+            .map(|s| Row {
+                file: s.file.clone(),
+                line: s.line,
+                op: s.op.clone(),
+                orderings: s.orderings.clone(),
+                justification: justification.to_string(),
+                cover: "-".to_string(),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn scanner_finds_ops_and_orderings_in_argument_order() {
+        let sites = scan_source("x.rs", SRC);
+        let got: Vec<String> = sites.iter().map(|s| s.to_string()).collect();
+        assert_eq!(
+            got,
+            [
+                "x.rs:4 store(Release)",
+                "x.rs:5 load(Acquire)",
+                "x.rs:7 compare_exchange(SeqCst, Relaxed)",
+                "x.rs:8 fence(SeqCst)",
+            ]
+        );
+    }
+
+    #[test]
+    fn scanner_walks_multiline_calls() {
+        let src = "a.compare_exchange(\n  0, 1,\n  Ordering::AcqRel,\n  Ordering::Acquire,\n);\n";
+        let sites = scan_source("y.rs", src);
+        assert_eq!(sites.len(), 1);
+        assert_eq!(sites[0].line, 1);
+        assert_eq!(sites[0].orderings, "AcqRel, Acquire");
+    }
+
+    #[test]
+    fn clean_contract_passes() {
+        let sites = scan_source("x.rs", SRC);
+        let rows = rows_for(&sites, "argued");
+        assert_eq!(check(&sites, &rows), Vec::<String>::new());
+    }
+
+    #[test]
+    fn unlisted_site_fails() {
+        let sites = scan_source("x.rs", SRC);
+        let mut rows = rows_for(&sites, "argued");
+        rows.remove(0);
+        let errs = check(&sites, &rows);
+        assert_eq!(errs.len(), 1, "{errs:?}");
+        assert!(errs[0].contains("unlisted atomic site"), "{}", errs[0]);
+        assert!(errs[0].contains("x.rs:4 store(Release)"), "{}", errs[0]);
+    }
+
+    #[test]
+    fn unjustified_seqcst_fails_but_weaker_orders_need_no_prose() {
+        let sites = scan_source("x.rs", SRC);
+        let rows = rows_for(&sites, "TODO");
+        let errs = check(&sites, &rows);
+        // The two SeqCst rows (CAS + fence) fail; Release/Acquire pass.
+        assert_eq!(errs.len(), 2, "{errs:?}");
+        assert!(errs.iter().all(|e| e.contains("unjustified SeqCst")));
+    }
+
+    #[test]
+    fn drifted_anchor_fails_with_relocation_hint() {
+        let sites = scan_source("x.rs", SRC);
+        let mut rows = rows_for(&sites, "argued");
+        rows[1].line = 99; // the load moved
+        let errs = check(&sites, &rows);
+        assert_eq!(errs.len(), 2, "{errs:?}"); // stale row + now-unlisted site
+        assert!(errs.iter().any(|e| e.contains("drifted contract anchor")));
+        assert!(
+            errs.iter().any(|e| e.contains("now at line(s) 5")),
+            "{errs:?}"
+        );
+    }
+
+    #[test]
+    fn bless_emits_a_parseable_table_and_carries_prose_over() {
+        let sites = scan_source("crates/x/src/x.rs", SRC);
+        let old = vec![Row {
+            file: "crates/x/src/x.rs".to_string(),
+            line: 1, // stale anchor: carried by (file, op, orderings)
+            op: "fence".to_string(),
+            orderings: "SeqCst".to_string(),
+            justification: "global sync point".to_string(),
+            cover: "litmus".to_string(),
+        }];
+        let doc = bless(&sites, &old);
+        let rows = parse_contract(&doc).unwrap();
+        assert_eq!(rows.len(), sites.len());
+        let fence_row = rows.iter().find(|r| r.op == "fence").unwrap();
+        assert_eq!(fence_row.justification, "global sync point");
+        assert_eq!(fence_row.cover, "litmus");
+        assert!(rows
+            .iter()
+            .filter(|r| r.op != "fence")
+            .all(|r| r.justification == "TODO"));
+        // And a blessed doc checks clean except for SeqCst TODOs.
+        let errs = check(&sites, &rows);
+        assert!(errs.iter().all(|e| e.contains("unjustified SeqCst")));
+    }
+}

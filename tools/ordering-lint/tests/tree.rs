@@ -1,0 +1,76 @@
+//! The contract lint against the real tree: the checked-in ORDERINGS.md
+//! must be clean, and the two failure modes the CI gate exists for —
+//! an unjustified `SeqCst` and a drifted `file:line` anchor — must be
+//! demonstrably fatal, not theoretical.
+
+use std::path::Path;
+
+fn real_tree() -> (Vec<ordering_lint::Site>, Vec<ordering_lint::Row>) {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("tools/ordering-lint sits two levels under the workspace root")
+        .to_path_buf();
+    let sites = ordering_lint::scan_tree(&root).expect("scan crates/*/src");
+    let contract = std::fs::read_to_string(root.join("ORDERINGS.md")).expect("ORDERINGS.md");
+    let rows = ordering_lint::parse_contract(&contract).expect("parse contract");
+    (sites, rows)
+}
+
+#[test]
+fn checked_in_contract_is_clean() {
+    let (sites, rows) = real_tree();
+    assert!(
+        sites.len() > 300,
+        "scanner regression: only {} sites found",
+        sites.len()
+    );
+    let errors = ordering_lint::check(&sites, &rows);
+    assert!(errors.is_empty(), "ordering-lint dirty:\n{}", errors.join("\n"));
+}
+
+#[test]
+fn blanking_a_seqcst_justification_fails() {
+    let (sites, mut rows) = real_tree();
+    let row = rows
+        .iter_mut()
+        .find(|r| r.orderings.contains("SeqCst"))
+        .expect("tree has SeqCst rows");
+    row.justification = "TODO".to_string();
+    let errors = ordering_lint::check(&sites, &rows);
+    assert!(
+        errors.iter().any(|e| e.contains("unjustified SeqCst")),
+        "expected an unjustified-SeqCst error, got: {errors:?}"
+    );
+}
+
+#[test]
+fn drifting_an_anchor_fails() {
+    let (sites, mut rows) = real_tree();
+    // Shift one row far out of place, as an edit that inserts lines would.
+    rows[0].line += 10_000;
+    let errors = ordering_lint::check(&sites, &rows);
+    assert!(
+        errors.iter().any(|e| e.contains("drifted contract anchor")),
+        "expected a drifted-anchor error, got: {errors:?}"
+    );
+    assert!(
+        errors.iter().any(|e| e.contains("unlisted atomic site")),
+        "the displaced site must surface as unlisted too, got: {errors:?}"
+    );
+}
+
+#[test]
+fn bless_roundtrip_is_stable_and_preserves_prose() {
+    let (sites, rows) = real_tree();
+    let doc = ordering_lint::bless(&sites, &rows);
+    let reparsed = ordering_lint::parse_contract(&doc).expect("blessed doc parses");
+    assert_eq!(reparsed.len(), sites.len());
+    // Bless over an already-clean tree is a fixpoint: no TODOs introduced,
+    // every row checks clean.
+    assert!(
+        !doc.contains("| TODO |"),
+        "bless must carry all justifications over on an unchanged tree"
+    );
+    assert!(ordering_lint::check(&sites, &reparsed).is_empty());
+}
