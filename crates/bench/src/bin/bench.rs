@@ -4,12 +4,13 @@
 //! Runs a fixed matrix of channel-level rows — the wait-free wCQ channel
 //! and the topology-declared SPSC/MPSC backends — through three workloads
 //! and reports Mops/s, plus the p99 notify→wake latency of a parked
-//! `recv` (`wakeup_p99_ns`, schema v2). `--json` additionally writes the
-//! machine-readable snapshot (default `BENCH_7.json`) so the throughput
-//! trajectory can be compared across PRs; the schema is documented in the
-//! top-level README. `--compare` rereads a prior snapshot and exits
-//! nonzero if any row shared with the baseline regressed by more than
-//! 25% Mops/s.
+//! `recv` (`wakeup_p99_ns`, schema v2) and the span-collector pipeline's
+//! end-to-end sustained rate and flush-latency p99 (`collector_*`, schema
+//! v3). `--json` additionally writes the machine-readable snapshot
+//! (default `BENCH_9.json`) so the throughput trajectory can be compared
+//! across PRs; the schema is documented in the top-level README.
+//! `--compare` rereads a prior snapshot and exits nonzero if any row
+//! shared with the baseline regressed by more than 25% Mops/s.
 //!
 //! Workloads (all single-thread, the honest shape on small CI boxes; see
 //! `figure_topology` for why):
@@ -103,6 +104,42 @@ fn matrix(
     }
 }
 
+/// The span-collector pipeline row: end-to-end spans through the whole
+/// service (sharded ingest → batcher → exporter) rather than a raw
+/// channel pair. Uses the single-core-honest shape (1 worker, deep lanes,
+/// big batches — see `figure_collector` for the oversubscription sweep)
+/// and reports Mspans/s as a `Row` so `--compare` tracks it like any
+/// queue, plus the flush-latency p99 for the JSON scalars.
+fn collector_row(opts: &BenchOpts, out: &mut Vec<Row>) -> (f64, u64) {
+    use collector::{run_soak, ShedPolicy, SoakCfg};
+    let mut cfg = SoakCfg {
+        producers: 2,
+        rate: None,
+        duration: std::time::Duration::from_millis(150),
+        ..SoakCfg::default()
+    };
+    cfg.pipeline.shards = 2;
+    cfg.pipeline.producers = 2;
+    cfg.pipeline.workers = 1;
+    cfg.pipeline.batch_max = 1024;
+    cfg.pipeline.lane_order = 12;
+    cfg.pipeline.shed = ShedPolicy::Shed;
+    let mut p99 = 0u64;
+    let st = stats(opts.reps.min(5), || {
+        let r = run_soak(&cfg);
+        assert!(r.conserved(), "collector bench run violated conservation");
+        p99 = r.flush_latency.p99_ns;
+        r.throughput() / 1e6
+    });
+    eprintln!("  {:<12} {:<9} {:>9.2} Mspans/s", "collector", "pipeline", st.mean);
+    out.push(Row {
+        queue: "collector",
+        workload: "pipeline",
+        stats: st,
+    });
+    (st.mean * 1e6, p99)
+}
+
 /// p99 of the notify→wake latency for a parked `recv`, in nanoseconds.
 /// The consumer parks on the channel's not-empty eventcount; the producer
 /// stamps a shared clock immediately before the send whose notify wakes
@@ -191,12 +228,20 @@ fn compare_regressed(rows: &[Row], base: &[(String, String, f64)], base_path: &s
 
 /// Hand-rolled JSON (the workspace deliberately vendors no serde): the
 /// schema is flat enough that string assembly stays honest.
-fn to_json(rows: &[Row], opts: &BenchOpts, wakeup_p99: u64) -> String {
+fn to_json(
+    rows: &[Row],
+    opts: &BenchOpts,
+    wakeup_p99: u64,
+    collector_sps: f64,
+    collector_p99: u64,
+) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    let _ = writeln!(s, "  \"schema\": 2,");
-    let _ = writeln!(s, "  \"pr\": 7,");
+    let _ = writeln!(s, "  \"schema\": 3,");
+    let _ = writeln!(s, "  \"pr\": 9,");
     let _ = writeln!(s, "  \"wakeup_p99_ns\": {wakeup_p99},");
+    let _ = writeln!(s, "  \"collector_spans_per_sec\": {collector_sps:.0},");
+    let _ = writeln!(s, "  \"collector_flush_p99_ns\": {collector_p99},");
     let _ = writeln!(s, "  \"dwcas_backend\": \"{}\",", dwcas::BACKEND);
     let _ = writeln!(
         s,
@@ -220,7 +265,7 @@ fn to_json(rows: &[Row], opts: &BenchOpts, wakeup_p99: u64) -> String {
 
 fn main() {
     let mut json = false;
-    let mut out_path = String::from("BENCH_7.json");
+    let mut out_path = String::from("BENCH_9.json");
     let mut compare: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -261,6 +306,7 @@ fn main() {
         &mut rows,
     );
 
+    let (collector_sps, collector_p99) = collector_row(&opts, &mut rows);
     let wakeup_p99 = wakeup_p99_ns(200);
 
     println!("\n{:<14}{:<11}{:>12}{:>10}", "queue", "workload", "Mops/s", "cov");
@@ -268,9 +314,11 @@ fn main() {
         println!("{:<14}{:<11}{:>12.3}{:>10.4}", r.queue, r.workload, r.stats.mean, r.stats.cov);
     }
     println!("{:<25}{:>12} ns", "wakeup p99 (parked recv)", wakeup_p99);
+    println!("{:<25}{:>12.0} spans/s", "collector sustained", collector_sps);
+    println!("{:<25}{:>12} ns", "collector flush p99", collector_p99);
 
     if json {
-        let doc = to_json(&rows, &opts, wakeup_p99);
+        let doc = to_json(&rows, &opts, wakeup_p99, collector_sps, collector_p99);
         std::fs::write(&out_path, &doc).expect("write json snapshot");
         println!("\nwrote {out_path}");
     }

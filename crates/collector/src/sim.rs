@@ -1,0 +1,30 @@
+//! Thread seam: `std::thread` in production builds, the `shuttle-lite`
+//! cooperative shims under `--cfg wcq_dst`, mirroring `wcq`'s own seam so
+//! the deterministic-schedule tests (`tests/dst/` model 8) can explore the
+//! collector's drain path at schedule granularity. Outside an active
+//! exploration the shims pass through to `std`, so the ordinary suite
+//! still runs under the cfg.
+//!
+//! The metrics counters deliberately stay on `std` atomics even in DST
+//! builds: they carry no synchronization (pure Relaxed tallies), and
+//! keeping them off the explorer's step counter keeps model 8's schedule
+//! space the size of the *protocol*, not the bookkeeping.
+
+#[cfg(not(wcq_dst))]
+pub(crate) use std::thread::{spawn, JoinHandle};
+
+#[cfg(wcq_dst)]
+pub(crate) use shuttle_lite::thread::{spawn, yield_now, JoinHandle};
+
+/// Sleeps `d`, as a scheduling no-op under DST (a cooperative yield: the
+/// simulated clock has no sleep, and blocking an OS thread that holds the
+/// scheduler baton would stall the whole exploration for real time).
+pub(crate) fn sleep(d: std::time::Duration) {
+    #[cfg(wcq_dst)]
+    if shuttle_lite::in_sim() {
+        let _ = d;
+        yield_now();
+        return;
+    }
+    std::thread::sleep(d);
+}

@@ -1,0 +1,75 @@
+//! The unit of telemetry the collector moves: a completed span.
+
+/// A completed telemetry span, shaped like the wire records sharded
+/// tracing systems batch toward a backend: plain-old-data, 32 bytes, no
+/// heap — cheap enough that the ingest lanes move it by value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Span {
+    /// Trace the span belongs to; also the sharding key (see
+    /// [`crate::SpanSender::submit`]).
+    pub trace: u64,
+    /// Span id, unique within the trace.
+    pub id: u64,
+    /// Start timestamp, nanoseconds since an arbitrary epoch.
+    pub start_ns: u64,
+    /// Duration, nanoseconds.
+    pub dur_ns: u64,
+}
+
+impl Span {
+    /// A span with the given identity and zeroed timestamps — the shape
+    /// tests and models use when only conservation is under scrutiny.
+    pub fn new(trace: u64, id: u64) -> Span {
+        Span {
+            trace,
+            id,
+            start_ns: 0,
+            dur_ns: 0,
+        }
+    }
+
+    /// Order-independent conservation word: the metrics XOR this into the
+    /// accepted checksum at ingest and into the exported (or dropped)
+    /// checksum on the way out, so `accepted == exported ^ dropped` holds
+    /// over *content*, not just counts. The multiply-mix (splitmix-style
+    /// finalizer constants) keeps structured ids — sequential `id`s with a
+    /// shared `trace` — from cancelling each other under XOR.
+    pub fn checksum(&self) -> u64 {
+        let mut x = self
+            .trace
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(self.id)
+            .wrapping_add(self.start_ns.rotate_left(17))
+            .wrapping_add(self.dur_ns.rotate_left(41));
+        x ^= x >> 30;
+        x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x ^= x >> 27;
+        x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+        x ^ (x >> 31)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checksum_is_content_sensitive() {
+        let a = Span::new(1, 2);
+        let b = Span::new(2, 1);
+        assert_ne!(a.checksum(), b.checksum(), "fields must not commute");
+        assert_eq!(a.checksum(), Span::new(1, 2).checksum(), "deterministic");
+    }
+
+    #[test]
+    fn sequential_ids_do_not_cancel() {
+        // XOR of mixed consecutive ids must not collapse to a pattern a
+        // lost-pair bug would also produce.
+        let x: u64 = (0..64).map(|i| Span::new(7, i).checksum()).fold(0, |a, c| a ^ c);
+        let y: u64 = (0..64)
+            .filter(|i| *i != 13 && *i != 14)
+            .map(|i| Span::new(7, i).checksum())
+            .fold(0, |a, c| a ^ c);
+        assert_ne!(x, y, "dropping a pair must change the aggregate");
+    }
+}

@@ -91,7 +91,7 @@ use crate::sim::AtomicUsize;
 use std::sync::atomic::Ordering::SeqCst;
 use std::sync::Arc;
 use std::task::{Context, Poll};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 // ===================================================================
 // Constructors
@@ -242,6 +242,171 @@ pub fn mpsc_with_config<T: Send>(
         max_threads,
         cfg,
     ))))
+}
+
+/// Receives from whichever of `rxs` has a value first — the minimal
+/// `select`-style multi-queue wait the facade otherwise lacks (flushed out
+/// by the span-collector pipeline, which sweeps one MPSC lane per shard
+/// and must park when *all* of them are empty; DESIGN.md §14).
+///
+/// Semantics:
+///
+/// * Probes every receiver in index order; the first value found returns
+///   immediately as `Ok((lane, value))` — lower indices therefore win
+///   ties, which keeps the call deterministic under light load.
+/// * If every lane is observed empty, the calling thread registers on
+///   **all** of their not-empty eventcounts and parks, so one `send` on
+///   any lane wakes it — no polling loop, no per-lane timeout ladder.
+/// * `timeout = None` waits indefinitely (until a value or every lane
+///   closes); `Some(d)` bounds the wait and reports
+///   [`RecvError::Timeout`] after one final sweep, exactly like
+///   [`Receiver::recv_timeout`].
+/// * [`RecvError::Closed`] means every lane is closed **and** drained —
+///   the collective analogue of a single receiver's `Closed`.
+///
+/// A lane holding stranded ring residue (closed, but the values sit
+/// behind a consumer seat held elsewhere — DESIGN.md §11) is treated as
+/// "empty for now": `recv_any` stays awake (yield-spin, as
+/// `dequeue_blocking` does) rather than parking past the residue or
+/// reporting `Closed` over values that still exist.
+///
+/// Each receiver's **first** operation still lazily acquires its thread
+/// slot (see [`bounded`]); call sites that sweep many lanes should hold
+/// the receivers for the thread's lifetime, as the collector does.
+///
+/// # Example
+///
+/// ```
+/// use std::time::Duration;
+/// use wcq::channel;
+///
+/// let (mut tx_a, rx_a) = channel::spsc::<u32>(4, 2);
+/// let (_tx_b, rx_b) = channel::spsc::<u32>(4, 2);
+/// let mut lanes = [rx_a, rx_b];
+/// tx_a.send(7).unwrap();
+/// let (lane, v) = channel::recv_any(&mut lanes, None).unwrap();
+/// assert_eq!((lane, v), (0, 7));
+/// assert_eq!(
+///     channel::recv_any(&mut lanes, Some(Duration::from_millis(1))),
+///     Err(wcq::sync::RecvError::Timeout),
+/// );
+/// ```
+pub fn recv_any<T: Send>(
+    rxs: &mut [Receiver<T>],
+    timeout: Option<Duration>,
+) -> Result<(usize, T), RecvError> {
+    assert!(!rxs.is_empty(), "recv_any over zero receivers");
+    let deadline = timeout.map(|t| Instant::now() + t);
+    // One registration token per lane, reused across rounds.
+    let mut tokens: Vec<Option<u64>> = (0..rxs.len()).map(|_| None).collect();
+    let mut keys: Vec<u64> = vec![0; rxs.len()];
+    let mut dead: Vec<bool> = vec![false; rxs.len()];
+    let cancel_all = |rxs: &[Receiver<T>], tokens: &mut [Option<u64>]| {
+        for (rx, t) in rxs.iter().zip(tokens.iter_mut()) {
+            if let Some(token) = t.take() {
+                rx.shared.backend.sync_state().not_empty().cancel(token);
+            }
+        }
+    };
+    loop {
+        // Phase 1: snapshot each lane's epoch, then probe it. The order
+        // (listen before probe) is the usual eventcount discipline: a
+        // value that lands after the probe bumps the epoch past our key,
+        // so registration below refuses and we re-probe.
+        let mut open = 0usize;
+        let mut limbo = false;
+        for i in 0..rxs.len() {
+            keys[i] = rxs[i].shared.backend.sync_state().not_empty().listen();
+            match rxs[i].try_recv() {
+                Ok(v) => return Ok((i, v)),
+                Err(TryRecvError::Empty) => {
+                    dead[i] = false;
+                    open += 1;
+                    // Closed but `Empty`: stranded residue (see try_recv).
+                    // Parking would race the seat holder's final pop —
+                    // stay awake until the residue surfaces or drains.
+                    limbo |= rxs[i].shared.is_closed();
+                }
+                Err(TryRecvError::Closed) => dead[i] = true,
+            }
+        }
+        if open == 0 {
+            return Err(RecvError::Closed);
+        }
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            return Err(RecvError::Timeout);
+        }
+        if limbo {
+            crate::sim::yield_now();
+            continue;
+        }
+        // Phase 2: register on every open lane. A refusal means that
+        // lane was notified since phase 1 — new data may be sweepable,
+        // so drop all registrations and start over.
+        let mut refused = false;
+        for i in 0..rxs.len() {
+            if dead[i] {
+                // Lane reported Closed in phase 1; nothing to wait for.
+                continue;
+            }
+            match rxs[i]
+                .shared
+                .backend
+                .sync_state()
+                .not_empty()
+                .register_thread(keys[i])
+            {
+                Some(token) => tokens[i] = Some(token),
+                None => {
+                    refused = true;
+                    break;
+                }
+            }
+        }
+        if refused {
+            cancel_all(rxs, &mut tokens);
+            continue;
+        }
+        // Phase 3: post-registration re-probe (the Dekker step — a
+        // producer whose no-waiter fast path missed us must now be
+        // visible to this sweep).
+        for i in 0..rxs.len() {
+            if let Ok(v) = rxs[i].try_recv() {
+                cancel_all(rxs, &mut tokens);
+                return Ok((i, v));
+            }
+        }
+        // Phase 4: park until any registered epoch moves or the deadline
+        // passes. Each lane's notify wakes this thread (thread parking is
+        // process-global), and the moved epoch tells us which.
+        loop {
+            let moved = (0..rxs.len()).any(|i| {
+                tokens[i].is_some()
+                    && rxs[i].shared.backend.sync_state().not_empty().listen() != keys[i]
+            });
+            if moved {
+                break;
+            }
+            match deadline {
+                None => crate::sim::park(),
+                Some(d) => {
+                    let now = Instant::now();
+                    if now >= d {
+                        cancel_all(rxs, &mut tokens);
+                        // One final sweep keeps the result honest.
+                        for (i, rx) in rxs.iter_mut().enumerate() {
+                            if let Ok(v) = rx.try_recv() {
+                                return Ok((i, v));
+                            }
+                        }
+                        return Err(RecvError::Timeout);
+                    }
+                    crate::sim::park_timeout(d - now);
+                }
+            }
+        }
+        cancel_all(rxs, &mut tokens);
+    }
 }
 
 fn endpoints<T: Send>(backend: Backend<T>) -> (Sender<T>, Receiver<T>) {

@@ -90,6 +90,76 @@ impl LatencyStats {
     }
 }
 
+/// Bounded uniform sampler (Vitter's algorithm R) for latency streams too
+/// long to keep whole: a soak run records millions of flush latencies, and
+/// an unbounded `Vec` would both skew the run it is measuring (allocator
+/// traffic) and bias the percentiles toward whatever phase filled memory
+/// first. The reservoir keeps a fixed-size uniform sample instead.
+///
+/// The RNG is a seeded xorshift, not an entropy source — every run with
+/// the same input stream keeps the same sample, which the deterministic
+/// soak smoke in CI relies on.
+#[derive(Clone, Debug)]
+pub struct Reservoir {
+    samples: Vec<u64>,
+    cap: usize,
+    seen: u64,
+    rng: u64,
+}
+
+impl Reservoir {
+    /// A reservoir keeping at most `cap` samples (`cap >= 1`).
+    pub fn new(cap: usize) -> Reservoir {
+        Reservoir {
+            samples: Vec::with_capacity(cap.min(1 << 20)),
+            cap: cap.max(1),
+            seen: 0,
+            rng: 0x9e37_79b9_7f4a_7c15 ^ (cap as u64).wrapping_mul(0xff51_afd7_ed55_8ccd),
+        }
+    }
+
+    fn next_rand(&mut self) -> u64 {
+        // xorshift64*: plenty for sampling, zero dependencies.
+        let mut x = self.rng;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Offers one observation to the sample.
+    pub fn push(&mut self, v: u64) {
+        self.seen += 1;
+        if self.samples.len() < self.cap {
+            self.samples.push(v);
+        } else {
+            // Algorithm R: keep v with probability cap/seen, evicting a
+            // uniformly chosen resident; the modulo bias is far below the
+            // sampling noise at any plausible cap.
+            let j = self.next_rand() % self.seen;
+            if (j as usize) < self.cap {
+                self.samples[j as usize] = v;
+            }
+        }
+    }
+
+    /// Total observations offered (kept or not).
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// The retained sample, unordered.
+    pub fn into_samples(self) -> Vec<u64> {
+        self.samples
+    }
+
+    /// Summarizes the retained sample.
+    pub fn into_stats(self) -> LatencyStats {
+        LatencyStats::from_ns_samples(self.samples)
+    }
+}
+
 /// Formats nanoseconds with an adaptive unit (`ns`/`µs`/`ms`).
 pub fn fmt_ns(ns: f64) -> String {
     if ns < 1_000.0 {
@@ -148,6 +218,42 @@ mod tests {
         let empty = LatencyStats::from_ns_samples(Vec::new());
         assert_eq!(empty.n, 0);
         assert_eq!(empty.max_ns, 0);
+    }
+
+    #[test]
+    fn reservoir_keeps_everything_under_cap() {
+        let mut r = Reservoir::new(100);
+        for v in 0..50u64 {
+            r.push(v);
+        }
+        assert_eq!(r.seen(), 50);
+        let mut s = r.into_samples();
+        s.sort_unstable();
+        assert_eq!(s, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn reservoir_sample_is_bounded_and_roughly_uniform() {
+        let mut r = Reservoir::new(1_000);
+        for v in 0..100_000u64 {
+            r.push(v);
+        }
+        let s = r.into_samples();
+        assert_eq!(s.len(), 1_000);
+        // A uniform sample's mean sits near the stream mean (~50k); a
+        // sampler biased toward either end would miss by a wide margin.
+        let mean = s.iter().sum::<u64>() as f64 / s.len() as f64;
+        assert!((35_000.0..65_000.0).contains(&mean), "mean {mean}");
+    }
+
+    #[test]
+    fn reservoir_is_deterministic() {
+        let run = || {
+            let mut r = Reservoir::new(64);
+            (0..10_000u64).for_each(|v| r.push(v));
+            r.into_samples()
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]

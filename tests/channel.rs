@@ -328,3 +328,107 @@ fn receiver_competition_drains_everything() {
     all.sort_unstable();
     assert_eq!(all, (0..24).collect::<Vec<_>>());
 }
+
+// ===================================================================
+// recv_any: the select-style multi-queue wait
+// ===================================================================
+
+#[test]
+fn recv_any_prefers_lowest_ready_lane() {
+    let (mut tx_a, rx_a) = channel::spsc::<u32>(4, 2);
+    let (mut tx_b, rx_b) = channel::spsc::<u32>(4, 2);
+    let mut lanes = [rx_a, rx_b];
+    tx_b.send(20).unwrap();
+    assert_eq!(channel::recv_any(&mut lanes, None), Ok((1, 20)));
+    tx_a.send(10).unwrap();
+    tx_b.send(21).unwrap();
+    // Both ready: index order breaks the tie.
+    assert_eq!(channel::recv_any(&mut lanes, None), Ok((0, 10)));
+    assert_eq!(channel::recv_any(&mut lanes, None), Ok((1, 21)));
+}
+
+#[test]
+fn recv_any_times_out_when_all_lanes_empty() {
+    let (_tx_a, rx_a) = channel::bounded::<u32>(4, 4);
+    let (_tx_b, rx_b) = channel::mpsc::<u32>(4, 2, 4);
+    let mut lanes = [rx_a, rx_b];
+    assert_eq!(
+        channel::recv_any(&mut lanes, Some(Duration::from_millis(10))),
+        Err(RecvError::Timeout)
+    );
+}
+
+#[test]
+fn recv_any_parks_and_wakes_on_any_lane() {
+    let (tx_a, rx_a) = channel::mpsc::<u64>(4, 2, 4);
+    let (tx_b, rx_b) = channel::mpsc::<u64>(4, 2, 4);
+    let mut lanes = [rx_a, rx_b];
+    for lane in [1usize, 0, 1] {
+        let mut tx = if lane == 0 { tx_a.clone() } else { tx_b.clone() };
+        let h = std::thread::spawn(move || {
+            // Give the receiver time to pass its empty probe and park.
+            std::thread::sleep(Duration::from_millis(20));
+            tx.send(lane as u64).unwrap();
+        });
+        // No timeout: only the sender's notify can end this wait.
+        assert_eq!(channel::recv_any(&mut lanes, None), Ok((lane, lane as u64)));
+        h.join().unwrap();
+    }
+}
+
+#[test]
+fn recv_any_closed_only_after_every_lane_closes_and_drains() {
+    let (tx_a, rx_a) = channel::spsc::<u32>(4, 2);
+    let (mut tx_b, rx_b) = channel::spsc::<u32>(4, 2);
+    let mut lanes = [rx_a, rx_b];
+    drop(tx_a); // lane 0 closed empty
+    tx_b.send(7).unwrap();
+    drop(tx_b); // lane 1 closed with one value still queued
+    // The queued value must surface before the collective Closed.
+    assert_eq!(channel::recv_any(&mut lanes, None), Ok((1, 7)));
+    assert_eq!(channel::recv_any(&mut lanes, None), Err(RecvError::Closed));
+    // And Closed is sticky.
+    assert_eq!(
+        channel::recv_any(&mut lanes, Some(Duration::from_millis(1))),
+        Err(RecvError::Closed)
+    );
+}
+
+#[test]
+fn recv_any_exact_delivery_across_many_lanes() {
+    // One producer per lane, one consumer multiplexing all lanes through
+    // recv_any until the collective close: exactly-once delivery with
+    // correct lane attribution, at thread counts past the core count.
+    let lanes_n = oversubscribed(4).min(8);
+    let per = 2_000u64;
+    let mut producers = Vec::new();
+    let mut lanes = Vec::new();
+    for lane in 0..lanes_n {
+        let (mut tx, rx) = channel::mpsc::<u64>(5, 1, 3);
+        lanes.push(rx);
+        producers.push(std::thread::spawn(move || {
+            for i in 0..per {
+                tx.send(lane as u64 * per + i).unwrap();
+            }
+        }));
+    }
+    let mut got: Vec<Vec<u64>> = vec![Vec::new(); lanes_n];
+    loop {
+        match channel::recv_any(&mut lanes, None) {
+            Ok((lane, v)) => {
+                assert_eq!(v / per, lane as u64, "value surfaced on the wrong lane");
+                got[lane].push(v);
+            }
+            Err(RecvError::Closed) => break,
+            Err(RecvError::Timeout) => unreachable!("no deadline was set"),
+        }
+    }
+    for p in producers {
+        p.join().unwrap();
+    }
+    for (lane, mut vals) in got.into_iter().enumerate() {
+        vals.sort_unstable();
+        let base = lane as u64 * per;
+        assert_eq!(vals, (base..base + per).collect::<Vec<_>>());
+    }
+}

@@ -386,3 +386,82 @@ fn dst_seed_replay_is_deterministic() {
     let r = std::panic::catch_unwind(|| shuttle_lite::replay(&a.schedule, racy));
     assert!(r.is_err(), "minimized schedule must reproduce");
 }
+
+// ===================================================================
+// Model 8: collector drain — deadline flush vs shutdown-drain race
+// ===================================================================
+
+/// The span-collector drain path (DESIGN.md §14) at DST scale: one
+/// producer submits three spans and drops its handle (starting the
+/// refcount close ripple) while the batching worker races it with
+/// flushes and the exporter stage races both with injected failures.
+/// The explorer owns every interleaving of submit / flush / close /
+/// final-drain; the invariant is the crate's conservation contract —
+/// every accepted span exported exactly once, none lost in a batch that
+/// a close overtook, none duplicated by a retry.
+///
+/// `flush_after` is pinned to the two deterministic extremes so the
+/// branch structure is a pure function of the schedule: `ZERO` forces
+/// the deadline-flush path on every pass (a flush can interleave with
+/// the close between any two submits), `HOLD` (an hour) disables it so
+/// only the shutdown drain can ship the final partial batch.
+/// `fail_every` is chosen against a 2-attempt budget such that every
+/// failed batch's retry lands: faults reorder work but must not drop it.
+fn collector_drain_model(flush_after: std::time::Duration, fail_every: u64) {
+    use collector::{
+        Collector, CollectorConfig, FailEvery, RetryPolicy, ShedPolicy, Span, VecExporter,
+    };
+    use std::time::Duration;
+
+    let cfg = CollectorConfig {
+        shards: 1,
+        lane_order: 2,
+        producers: 1,
+        workers: 1,
+        batch_max: 2,
+        flush_after,
+        shed: ShedPolicy::Block,
+        retry: RetryPolicy {
+            max_attempts: 2,
+            backoff: Duration::ZERO,
+        },
+        export_order: 2,
+        latency_reservoir: 4,
+        ..CollectorConfig::default()
+    };
+    let (col, mut tx) =
+        Collector::spawn(cfg, VecExporter::default(), Arc::new(FailEvery::new(fail_every)));
+    let producer = thread::spawn(move || {
+        for id in 1..=3u64 {
+            assert!(tx.submit(Span::new(0, id)), "Block policy accepts");
+        }
+        // Handle drops here: the close ripple races the worker's flush.
+    });
+    producer.join().unwrap();
+    let (report, exporter) = col.shutdown();
+    let m = &report.metrics;
+    assert_eq!(m.accepted, 3);
+    assert_eq!(m.dropped, 0, "retry budget covers this fault profile");
+    assert_eq!(m.inflight(), 0, "drain may not leave residue");
+    assert!(m.conserved(), "count+checksum conservation: {m:?}");
+    let mut ids: Vec<u64> = exporter.spans.iter().map(|s| s.id).collect();
+    ids.sort_unstable();
+    assert_eq!(ids, vec![1, 2, 3], "exactly-once export across the race");
+}
+
+/// Deadline-flush path armed on every pass (ZERO), faults on every other
+/// export attempt.
+#[test]
+fn dst_collector_deadline_flush_vs_drain() {
+    Explorer::new("collector-drain-deadline")
+        .check(|| collector_drain_model(std::time::Duration::ZERO, 2));
+}
+
+/// Deadline disabled: only the shutdown drain can ship the buffered
+/// partial batch; a fault on the final drain's export must still retry
+/// through, not leak the batch.
+#[test]
+fn dst_collector_shutdown_drain_ships_partial_batch() {
+    Explorer::new("collector-drain-hold")
+        .check(|| collector_drain_model(std::time::Duration::from_secs(3_600), 2));
+}
