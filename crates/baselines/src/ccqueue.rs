@@ -120,8 +120,9 @@ impl CcQueue {
                     }
                 }
                 ST_DONE => {
-                    // SAFETY: combiner published results before ST_DONE.
                     let (some, ret) =
+                        // SAFETY: `cur` is arena-owned; the combiner
+                        // published both results before storing ST_DONE.
                         unsafe { ((*cur).ret_some.load(SeqCst), (*cur).ret.load(SeqCst)) };
                     return (some == 1).then_some(ret);
                 }
@@ -142,6 +143,9 @@ impl CcQueue {
             if next.is_null() || executed >= COMBINE_LIMIT {
                 break;
             }
+            // SAFETY: `node` is arena-owned; its requester published
+            // op/arg before linking itself and is now spinning on
+            // `state`, so the combiner is the only other accessor.
             let (op_k, arg_k) = unsafe { ((*node).op.load(SeqCst), (*node).arg.load(SeqCst)) };
             let res = match op_k {
                 OP_ENQ => {
@@ -156,6 +160,8 @@ impl CcQueue {
                 my_result = res;
             } else {
                 // Publish the result and release the requester.
+                // SAFETY: arena-owned node whose requester reads the
+                // results only after observing the ST_DONE store below.
                 unsafe {
                     (*node).ret_some.store(res.is_some() as u64, SeqCst);
                     (*node).ret.store(res.unwrap_or(0), SeqCst);
@@ -166,6 +172,8 @@ impl CcQueue {
         }
         // Hand the baton to whoever waits on `node` (possibly nobody yet —
         // the next arriving thread will find ST_COMBINER and take over).
+        // SAFETY: `node` is arena-owned and stays allocated for the
+        // queue's lifetime; a state store is always in-bounds.
         unsafe { (*node).state.store(ST_COMBINER, SeqCst) };
         my_result
     }

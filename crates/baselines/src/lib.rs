@@ -18,6 +18,7 @@
 //! payloads, as in the paper's test framework).
 
 #![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod ccqueue;
 pub mod crturn;

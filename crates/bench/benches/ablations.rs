@@ -199,6 +199,88 @@ fn ablate_slot_orderings(c: &mut Criterion) {
     g.finish();
 }
 
+/// Adaptive backoff (the LOOPS.md wait-edge pacing shared by the
+/// `!drained()` residue spin, the endpoint-slot wait, and the
+/// stranded-residue hint): the full `Backoff` ladder against the
+/// constant-yield loop it replaced, plus the adopted path at queue level —
+/// the unbounded queue's pairwise workload, where `dequeue_walk`
+/// constructs a `Backoff` per call and the residue window can strike.
+fn ablate_backoff(c: &mut Criterion) {
+    let mut g = c.benchmark_group("backoff");
+    // One full ladder: 7 escalating spin phases then 4 yields (step 0..=10).
+    g.bench_function("ladder", |b| {
+        b.iter(|| {
+            let mut bo = wcq::sync::Backoff::new();
+            while !bo.is_completed() {
+                bo.snooze();
+            }
+        })
+    });
+    // What the replaced code paid for the same number of waits.
+    g.bench_function("yield_ladder", |b| {
+        b.iter(|| {
+            for _ in 0..11 {
+                std::thread::yield_now();
+            }
+        })
+    });
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(2));
+    g.bench_function("unbounded_pairwise", |b| {
+        b.iter_custom(|iters| {
+            let spec = QueueSpec {
+                max_threads: THREADS + 1,
+                ring_order: 12,
+                shards: 1,
+                node_order: None,
+                cfg: WcqConfig::default(),
+            };
+            let mut total = Duration::ZERO;
+            for _ in 0..iters {
+                let q = harness::queues::UnboundedWcqBench::new(&spec);
+                total += run(&q, Workload::Pairwise, &wl_cfg()).elapsed;
+            }
+            total
+        })
+    });
+    g.finish();
+}
+
+/// Eventcount `listen` epoch-load ordering (the ORDERINGS.md
+/// `sync.rs` Relaxed row, weak-DST proven by
+/// `dst_eventcount_listen_relaxed_is_sufficient`): the distilled
+/// listen-then-probe pair at both orderings — on x86-64 both loads compile
+/// to `mov`, so any delta is compiler reordering freedom; the row
+/// documents that the downgrade is *free*, the DST model that it is
+/// *sound* — plus the real adopted path, a blocking dequeue that never
+/// parks (one `listen` + `try_dequeue` per call).
+fn ablate_eventcount_listen(c: &mut Criterion) {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use wcq::sync::SyncQueue;
+    let mut g = c.benchmark_group("eventcount_listen");
+    for (label, o) in [("relaxed", Ordering::Relaxed), ("seqcst", Ordering::SeqCst)] {
+        let epoch = AtomicU64::new(0);
+        let state = AtomicU64::new(1);
+        g.bench_function(format!("listen_probe/{label}"), |b| {
+            b.iter(|| {
+                let key = epoch.load(o); // listen's snapshot
+                std::hint::black_box(key);
+                std::hint::black_box(state.load(Ordering::SeqCst)) // probe
+            })
+        });
+    }
+    g.bench_function("dequeue_blocking_nonempty", |b| {
+        let q: wcq::WcqQueue<u64> = wcq::WcqQueue::new(12, 2);
+        let mut h = q.register().unwrap();
+        b.iter(|| {
+            h.enqueue_blocking(1).unwrap();
+            std::hint::black_box(h.dequeue_blocking().unwrap())
+        })
+    });
+    g.finish();
+}
+
 fn dwcas_primitives(c: &mut Criterion) {
     let mut g = c.benchmark_group(format!("dwcas[{}]", dwcas::BACKEND));
     let pair = dwcas::AtomicPair::new(0, 0);
@@ -239,6 +321,8 @@ criterion_group!(
     ablate_remap,
     ablate_batch,
     ablate_slot_orderings,
+    ablate_backoff,
+    ablate_eventcount_listen,
     dwcas_primitives
 );
 criterion_main!(benches);

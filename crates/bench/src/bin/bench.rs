@@ -238,7 +238,7 @@ fn to_json(
     let mut s = String::new();
     s.push_str("{\n");
     let _ = writeln!(s, "  \"schema\": 3,");
-    let _ = writeln!(s, "  \"pr\": 9,");
+    let _ = writeln!(s, "  \"pr\": 10,");
     let _ = writeln!(s, "  \"wakeup_p99_ns\": {wakeup_p99},");
     let _ = writeln!(s, "  \"collector_spans_per_sec\": {collector_sps:.0},");
     let _ = writeln!(s, "  \"collector_flush_p99_ns\": {collector_p99},");
@@ -265,7 +265,7 @@ fn to_json(
 
 fn main() {
     let mut json = false;
-    let mut out_path = String::from("BENCH_9.json");
+    let mut out_path = String::from("BENCH_10.json");
     let mut compare: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {

@@ -540,17 +540,14 @@ impl<T: Send> Shared<T> {
     /// drops, so the wait is bounded by the caller's own endpoint
     /// discipline (documented on [`bounded`]).
     fn acquire(&self) -> Endpoint<T> {
-        let mut spins = 0u32;
+        let mut backoff = crate::sync::Backoff::new();
         loop {
             if let Some(e) = self.backend.register() {
                 return e;
             }
-            spins += 1;
-            if spins <= 64 {
-                crate::sim::spin_loop();
-            } else {
-                crate::sim::yield_now();
-            }
+            // A slot frees only when another endpoint drops — likely a
+            // descheduled thread, so escalate to yielding quickly.
+            backoff.snooze();
         }
     }
 

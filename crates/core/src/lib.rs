@@ -50,6 +50,8 @@
 //! is `PAPER_MAP.md` at the repository root.
 
 #![deny(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+#![warn(clippy::undocumented_unsafe_blocks)]
 
 pub mod channel;
 pub mod pack;

@@ -269,6 +269,7 @@ pub struct ScqQueue<T> {
 // dequeuer between its dequeue from `aq` and its re-enqueue into `fq`. The
 // ring operations provide the necessary happens-before edges (SeqCst RMWs).
 unsafe impl<T: Send> Send for ScqQueue<T> {}
+// SAFETY: same argument — index-token exclusivity covers shared access.
 unsafe impl<T: Send> Sync for ScqQueue<T> {}
 
 impl<T> ScqQueue<T> {

@@ -164,6 +164,8 @@ pub struct Ring<T: Send, L: IndexLayout = Padded> {
 // check exactly this claim. `T: Send` is required because elements cross
 // threads.
 unsafe impl<T: Send, L: IndexLayout> Send for Ring<T, L> {}
+// SAFETY: same argument — the head/tail index protocol partitions the
+// slots between the two sides.
 unsafe impl<T: Send, L: IndexLayout> Sync for Ring<T, L> {}
 
 impl<T: Send> Ring<T> {

@@ -86,6 +86,98 @@ use std::task::{Context, Poll, Wake, Waker};
 use std::time::{Duration, Instant};
 
 // ===================================================================
+// Adaptive backoff
+// ===================================================================
+
+/// Bounded exponential backoff for spin/retry edges (the crossbeam
+/// `Backoff` shape, rebuilt on the private `sim` seam so DST builds
+/// model every pause as a scheduler step).
+///
+/// The suite's wait edges — points where a thread has nothing to do until
+/// *another* thread moves — previously hard-coded their politeness: a fixed
+/// spin count, then `yield_now` forever. That is wrong at both ends of the
+/// contention spectrum. Under light contention the partner lands within a
+/// few cycles and a fixed 64-iteration spin wastes them; under heavy
+/// oversubscription yielding immediately is right and spinning at all
+/// burns the quantum the partner needs. Exponential backoff adapts: each
+/// [`spin`](Self::spin)/[`snooze`](Self::snooze) doubles the pause, and
+/// `snooze` switches from `spin_loop` hints to `yield_now` once the pause
+/// exceeds a cache-miss-scale bound, handing the core to whoever holds the
+/// progress token.
+///
+/// The struct is deliberately *not* a loop bound: it adapts the *cost* of
+/// each retry, never the retry count. Every adopting site keeps (and
+/// documents in LOOPS.md) its own bound argument — `is_completed` merely
+/// signals "pauses are maxed out, park properly if you can".
+///
+/// ```
+/// use wcq::sync::Backoff;
+/// let mut b = Backoff::new();
+/// let flag = std::sync::atomic::AtomicBool::new(true); // set by a peer
+/// while !flag.load(std::sync::atomic::Ordering::Acquire) {
+///     b.snooze(); // spin a little, then start yielding
+/// }
+/// ```
+#[derive(Debug, Default)]
+pub struct Backoff {
+    step: u32,
+}
+
+/// `snooze` spins `1, 2, 4, …, 2^SPIN_LIMIT` hint iterations, then yields.
+const SPIN_LIMIT: u32 = 6;
+/// After `YIELD_LIMIT` total steps `is_completed` reports saturation.
+const YIELD_LIMIT: u32 = 10;
+
+impl Backoff {
+    /// A fresh backoff: the next pause is a single `spin_loop` hint.
+    #[inline]
+    pub fn new() -> Self {
+        Backoff { step: 0 }
+    }
+
+    /// Resets to the initial (shortest) pause. Call on progress so the
+    /// next wait starts optimistic again.
+    #[inline]
+    pub fn reset(&mut self) {
+        self.step = 0;
+    }
+
+    /// Backs off without yielding: `2^step` spin-loop hints, capped at
+    /// `2^SPIN_LIMIT`. For lock-free retry edges where the partner is
+    /// known to be mid-operation and yielding would oversleep.
+    #[inline]
+    pub fn spin(&mut self) {
+        for _ in 0..1u32 << self.step.min(SPIN_LIMIT) {
+            crate::sim::spin_loop();
+        }
+        self.step = self.step.saturating_add(1);
+    }
+
+    /// Backs off, escalating from spin hints to `yield_now` once the
+    /// exponential pause passes `2^SPIN_LIMIT` hints. For wait edges where
+    /// the partner may be descheduled — the yield donates this quantum to
+    /// it (the hand-off §3.4 helping relies on under oversubscription).
+    #[inline]
+    pub fn snooze(&mut self) {
+        if self.step <= SPIN_LIMIT {
+            for _ in 0..1u32 << self.step {
+                crate::sim::spin_loop();
+            }
+        } else {
+            crate::sim::yield_now();
+        }
+        self.step = self.step.saturating_add(1);
+    }
+
+    /// Whether backoff has saturated — the caller has spun and yielded
+    /// enough that parking (eventcount registration) is the better deal.
+    #[inline]
+    pub fn is_completed(&self) -> bool {
+        self.step > YIELD_LIMIT
+    }
+}
+
+// ===================================================================
 // Asymmetric store→load fencing (membarrier)
 // ===================================================================
 
@@ -264,9 +356,21 @@ impl Eventcount {
 
     /// Snapshots the epoch. Take the snapshot **before** probing the
     /// condition you are about to wait on.
+    ///
+    /// `Relaxed` is enough: the epoch key is *not* part of the Dekker
+    /// no-lost-wakeup pair (that is `nwaiters` vs the caller's state
+    /// change — see the struct docs). The key only prevents parking on a
+    /// notification that already happened, and the register path re-reads
+    /// the epoch **under the waiter mutex**: a stale snapshot at worst
+    /// makes `register_thread`/`register_task` refuse the key, and the
+    /// caller re-probes its condition ordered behind the notifier's bump
+    /// by the mutex's critical-section ordering. A torn/late value can
+    /// therefore cost one retry, never a missed wakeup. Verified by the
+    /// eventcount DST model under `WCQ_DST_WEAK=1` (weak-memory
+    /// exploration of this exact load at `Relaxed`).
     #[inline]
     pub fn listen(&self) -> u64 {
-        self.epoch.load(SeqCst)
+        self.epoch.load(Relaxed)
     }
 
     /// Wakes every registered waiter. A no-op (single load) when nobody is
@@ -759,6 +863,8 @@ fn dequeue_deadline<Q: SyncQueue>(
     q: &mut Q,
     deadline: Option<Instant>,
 ) -> Result<Q::Item, RecvError> {
+    // Paces the stranded-residue wait only; the normal path parks instead.
+    let mut backoff = Backoff::new();
     loop {
         let key = q.sync_state().not_empty().listen();
         if let Some(v) = q.try_dequeue() {
@@ -782,7 +888,7 @@ fn dequeue_deadline<Q: SyncQueue>(
             if deadline.is_some_and(|d| Instant::now() >= d) {
                 return q.try_dequeue().ok_or(RecvError::Timeout);
             }
-            crate::sim::yield_now();
+            backoff.snooze();
             continue;
         }
         let Some(token) = q.sync_state().not_empty().register_thread(key) else {

@@ -173,12 +173,11 @@ const HP_HEAD: usize = 0;
 /// Hazard slot publishing the enqueuer's `tail` ring.
 const HP_TAIL: usize = 1;
 
-/// Spins a dequeuer grants an in-flight enqueuer before yielding the
-/// scheduler quantum instead (`!drained()` wait). Oversubscribed hosts —
-/// the mpmc suites run at 4× cores — preempt enqueuers *inside* the ring,
-/// and burning the full quantum in `spin_loop` would stall every dequeuer
-/// behind them.
-const DRAIN_SPIN_BOUND: u32 = 64;
+// The `!drained()` wait now paces itself with [`crate::sync::Backoff`]:
+// exponential spin up to cache-miss scale, then yield — the yield donates
+// the quantum to an enqueuer preempted *inside* the ring (the mpmc suites
+// run at 4× cores, so that preemption is the common case, and burning the
+// full quantum in `spin_loop` would stall every dequeuer behind it).
 
 struct RingNode<T, R: InnerRing<T>> {
     ring: R,
@@ -288,6 +287,8 @@ pub struct Unbounded<T, R: InnerRing<T>> {
 // hazard domain; values are only handed between threads through the rings'
 // own protocols, hence `T: Send`.
 unsafe impl<T: Send, R: InnerRing<T>> Send for Unbounded<T, R> {}
+// SAFETY: same argument — shared access goes through the rings'
+// protocols and the hazard domain.
 unsafe impl<T: Send, R: InnerRing<T>> Sync for Unbounded<T, R> {}
 
 /// Unbounded queue over lock-free SCQ rings (LSCQ).
@@ -518,7 +519,7 @@ impl<T: Send, R: InnerRing<T>> Unbounded<T, R> {
     where
         F: FnMut(&R) -> usize,
     {
-        let mut spins = 0u32;
+        let mut backoff = crate::sync::Backoff::new();
         let got = loop {
             let lhead = hp.protect(HP_HEAD, &self.head);
             // SAFETY: as in `enqueue_tid` — validated against `head`, and
@@ -536,15 +537,10 @@ impl<T: Send, R: InnerRing<T>> Unbounded<T, R> {
             // A successor exists. Re-drain unless the hand-off conditions
             // hold (closed, no in-flight inserts, and still empty). The
             // wait is bounded: a preempted in-flight enqueuer holds
-            // `inflight` up for a whole quantum, so burn a few spins and
-            // then donate ours.
+            // `inflight` up for at most a quantum, so back off
+            // exponentially and then donate ours with the yield.
             if !node.drained() {
-                spins += 1;
-                if spins <= DRAIN_SPIN_BOUND {
-                    crate::sim::spin_loop();
-                } else {
-                    crate::sim::yield_now();
-                }
+                backoff.snooze();
                 continue;
             }
             let got = drain(&node.ring);
@@ -552,7 +548,7 @@ impl<T: Send, R: InnerRing<T>> Unbounded<T, R> {
                 break got;
             }
             self.unlink_and_retire(lhead, next, hp);
-            spins = 0; // progress: the next ring gets a fresh spin budget
+            backoff.reset(); // progress: the next ring starts optimistic
         };
         hp.clear_slot(HP_HEAD);
         got

@@ -65,6 +65,7 @@ pub struct WcqQueue<T> {
 // SAFETY: identical argument to `ScqQueue` — ring indices are exclusive slot
 // tokens, handed between threads through SeqCst ring operations.
 unsafe impl<T: Send> Send for WcqQueue<T> {}
+// SAFETY: same argument — slot tokens stay exclusive under sharing.
 unsafe impl<T: Send> Sync for WcqQueue<T> {}
 
 impl<T> WcqQueue<T> {

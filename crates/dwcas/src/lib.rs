@@ -44,6 +44,7 @@
 //! assumes an SC memory model and the queue layer relies on it.
 
 #![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 use std::sync::atomic::{AtomicU64, Ordering};
 

@@ -47,12 +47,16 @@ unsafe impl GlobalAlloc for CountingAlloc {
         p
     }
 
+    // SAFETY (to call): the `GlobalAlloc::dealloc` contract — `ptr` came
+    // from this allocator with this `layout`.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
         // SAFETY: forwarded contract.
         unsafe { System.dealloc(ptr, layout) };
         LIVE.fetch_sub(layout.size(), Relaxed);
     }
 
+    // SAFETY (to call): the `GlobalAlloc::realloc` contract — `ptr` came
+    // from this allocator with this `layout`, `new_size` is nonzero.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         // SAFETY: forwarded contract.
         let p = unsafe { System.realloc(ptr, layout, new_size) };

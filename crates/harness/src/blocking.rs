@@ -124,6 +124,7 @@ pub fn process_cpu_time() -> Option<Duration> {
         // `rest` starts at field 3 (state); utime/stime are fields 14/15.
         let utime: u64 = fields.get(11)?.parse().ok()?;
         let stime: u64 = fields.get(12)?.parse().ok()?;
+        // SAFETY: `sysconf` takes no pointers; invalid names return -1.
         let tck = unsafe { libc::sysconf(libc::_SC_CLK_TCK) };
         if tck <= 0 {
             return None;

@@ -19,6 +19,7 @@
 //!   used by the cross-crate integration tests.
 
 #![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod alloc;
 pub mod blocking;

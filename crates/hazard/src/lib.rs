@@ -19,6 +19,8 @@
 //! asserts the pointer is unlinked); everything else is safe.
 
 #![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+#![warn(clippy::undocumented_unsafe_blocks)]
 
 use std::collections::HashSet;
 use std::sync::atomic::Ordering::{Relaxed, SeqCst};
@@ -63,6 +65,8 @@ struct Retired {
 // owned unbounded handles, the channel endpoints) would be `!Sync` for no
 // reason.
 unsafe impl Send for Retired {}
+// SAFETY: see the shared argument above — `&Retired` exposes no way
+// to dereference or free.
 unsafe impl Sync for Retired {}
 
 /// A reclamation domain: a fixed set of hazard slots plus an orphan list.
@@ -225,6 +229,9 @@ impl<'d> HpHandle<'d> {
     /// the shared structure (no new references can be created), and must not
     /// be retired twice.
     pub unsafe fn retire<T>(&mut self, ptr: *mut T) {
+        // SAFETY (to call): `p` must be the `Box<T>` allocation recorded
+        // in the paired `Retired`. Only the scan paths invoke it, exactly
+        // once, after proving no hazard slot still covers the pointer.
         unsafe fn drop_box<T>(p: *mut u8) {
             // SAFETY: `p` originated from Box<T> per retire contract.
             drop(unsafe { Box::from_raw(p as *mut T) });
@@ -317,6 +324,8 @@ mod tests {
         assert_eq!(h.protect(0, &src), a);
         src.store(b, SeqCst);
         assert_eq!(h.protect(0, &src), b);
+        // SAFETY: the test owns both boxes; no handle retires or frees
+        // them, so each `from_raw` is the unique reclamation.
         unsafe {
             drop(Box::from_raw(a));
             drop(Box::from_raw(b));
@@ -350,6 +359,8 @@ mod tests {
             let p = Tracked::boxed(2);
             let src = AtomicPtr::new(p);
             h2.protect(1, &src);
+            // SAFETY: `p` is boxed, unlinked from the test's view here,
+            // and retired exactly once.
             unsafe { h1.retire(p) };
             drop(h1); // p still protected by h2 → goes to orphans
             assert_eq!(LIVE.load(SeqCst), 1);
@@ -364,6 +375,7 @@ mod tests {
         let mut h = d.register().unwrap();
         for i in 0..200 {
             let p = Tracked::boxed(i);
+            // SAFETY: fresh box, never linked anywhere, retired once.
             unsafe { h.retire(p) };
         }
         h.flush();
@@ -385,8 +397,11 @@ mod tests {
                 let h = d.register().unwrap();
                 while !stop.load(SeqCst) {
                     let p = h.protect(0, &src);
-                    // Read through the protected pointer; UB detectable
-                    // under ASan/Miri if reclamation raced.
+                    // SAFETY: `p` is published in our hazard slot and was
+                    // validated against `src`, so the writer cannot free
+                    // it until we clear the slot. A racing reclamation is
+                    // UB, detectable under ASan/Miri — the point of the
+                    // stress.
                     let _v = unsafe { &(*p).0 };
                     h.clear_slot(0);
                 }
@@ -400,6 +415,8 @@ mod tests {
                 for i in 1..2000 {
                     let fresh = Tracked::boxed(i);
                     let old = src.swap(fresh, SeqCst);
+                    // SAFETY: the swap unlinked `old`; the single writer
+                    // retires each displaced box exactly once.
                     unsafe { h.retire(old) };
                 }
                 h.flush();
@@ -412,6 +429,8 @@ mod tests {
         }
         // Last node still linked.
         assert_eq!(LIVE.load(SeqCst), 1);
+        // SAFETY: all threads joined; the final node is owned solely by
+        // `src`, and this is its unique reclamation.
         unsafe { drop(Box::from_raw(src.load(SeqCst))) };
         assert_eq!(LIVE.load(SeqCst), 0);
     }

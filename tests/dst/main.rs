@@ -350,6 +350,121 @@ fn dst_slot_handoff_relaxed_release_is_flagged() {
 }
 
 // ===================================================================
+// Model 9: eventcount listen — the SeqCst→Relaxed downgrade's proof
+// obligation (ORDERINGS.md)
+// ===================================================================
+
+/// Distilled `Eventcount` (sync.rs): epoch + waiter-count Dekker pair +
+/// mutexed waiter list, with a payload cell standing in for "the state the
+/// notification advertises". The waiter snapshots the epoch (`listen`),
+/// probes, registers under the mutex (re-checking the epoch), re-probes,
+/// and parks until the epoch moves; the notifier publishes the payload,
+/// raises `ready`, and — seeing a nonzero waiter count — bumps the epoch
+/// under the mutex and unparks.
+///
+/// The downgrade's claim is an *asymmetry between the two epoch loads*:
+/// the **snapshot** (`listen_o`, now `Relaxed` in production) is not part
+/// of any synchronization argument — a stale key at worst bounces off the
+/// under-mutex re-check and retries — while the **park-exit observation**
+/// (`exit_o`) is the acquire edge that carries the notifier's payload into
+/// the waiter's view. Running the snapshot `Relaxed` must be clean over
+/// ≥10k weak schedules; running the *exit* load `Relaxed` (one notch below
+/// the `SeqCst` that `park_registered` uses) must be flagged as a data
+/// race on the payload — the executable revert-verification that the
+/// right load was downgraded.
+fn ec_listen_model(listen_o: Ordering, exit_o: Ordering) {
+    use shuttle_lite::atomic::{AtomicBool, AtomicU64, AtomicUsize};
+    use shuttle_lite::cell::UnsafeCell;
+    use shuttle_lite::sync::Mutex;
+    struct Ec {
+        epoch: AtomicU64,
+        nwaiters: AtomicUsize,
+        waiters: Mutex<Vec<thread::Thread>>,
+        ready: AtomicBool,
+        payload: UnsafeCell<u64>,
+    }
+    // SAFETY: the payload access discipline under test IS the eventcount
+    // protocol; the tracked cell exists to let the race detector judge it.
+    unsafe impl Sync for Ec {}
+    let ec = Arc::new(Ec {
+        epoch: AtomicU64::new(0),
+        nwaiters: AtomicUsize::new(0),
+        waiters: Mutex::new(Vec::new()),
+        ready: AtomicBool::new(false),
+        payload: UnsafeCell::new(0),
+    });
+    let e2 = ec.clone();
+    let waiter = thread::spawn(move || loop {
+        let key = e2.epoch.load(listen_o); // listen(): the downgrade
+        if e2.ready.load(Ordering::SeqCst) {
+            // Probe-path return: ready was observed through an SC load,
+            // which orders the notifier's payload write into our view.
+            return e2.payload.with(|p| unsafe { *p });
+        }
+        {
+            let mut l = e2.waiters.lock().unwrap();
+            if e2.epoch.load(Ordering::SeqCst) != key {
+                continue; // stale snapshot: refuse the key, re-probe
+            }
+            l.push(thread::current());
+            e2.nwaiters.store(l.len(), Ordering::SeqCst); // Dekker half
+        }
+        if e2.ready.load(Ordering::SeqCst) {
+            // Post-registration re-probe (the condition re-check every
+            // caller performs): cancel and take the probe-path return.
+            let mut l = e2.waiters.lock().unwrap();
+            l.clear();
+            e2.nwaiters.store(0, Ordering::SeqCst);
+            drop(l);
+            return e2.payload.with(|p| unsafe { *p });
+        }
+        while e2.epoch.load(exit_o) == key {
+            thread::park();
+        }
+        // Woken: trust the notification the epoch move advertises.
+        return e2.payload.with(|p| unsafe { *p });
+    });
+    // Notifier: publish the payload, raise ready, then notify_all.
+    ec.payload.with_mut(|p| unsafe { *p = 7 });
+    ec.ready.store(true, Ordering::SeqCst);
+    if ec.nwaiters.load(Ordering::SeqCst) != 0 {
+        let woken = {
+            let mut l = ec.waiters.lock().unwrap();
+            ec.epoch.fetch_add(1, Ordering::SeqCst);
+            ec.nwaiters.store(0, Ordering::SeqCst);
+            std::mem::take(&mut *l)
+        };
+        for t in woken {
+            t.unpark();
+        }
+    }
+    assert_eq!(waiter.join().unwrap(), 7, "payload visible to the waiter");
+}
+
+/// The production orderings are sufficient: `listen` at `Relaxed`, park
+/// exit at `SeqCst` — no race, no lost wakeup, ≥10k weak schedules.
+#[test]
+fn dst_eventcount_listen_relaxed_is_sufficient() {
+    Explorer::new("ec-listen-downgrade")
+        .weak(true)
+        .check(|| ec_listen_model(Ordering::Relaxed, Ordering::SeqCst));
+}
+
+/// And the snapshot is the *only* epoch load that tolerates `Relaxed`:
+/// weakening the park-exit observation instead severs the acquire edge
+/// that publishes the notifier's state, and the weak engine must flag the
+/// payload race. If this ever stops firing, the downgrade's evidence —
+/// "the engine would have caught a wrong choice of load" — is void.
+#[test]
+fn dst_eventcount_park_exit_relaxed_is_flagged() {
+    let f = Explorer::new("ec-listen-downgrade-wrong")
+        .weak(true)
+        .find_failure(|| ec_listen_model(Ordering::Relaxed, Ordering::Relaxed))
+        .expect("weak model must flag the relaxed park-exit load");
+    assert!(f.message.contains("data race"), "wrong failure: {f}");
+}
+
+// ===================================================================
 // Explorer sanity: determinism of the whole DST harness
 // ===================================================================
 

@@ -27,6 +27,11 @@
 //! numbers keeps its prose. New sites get a `TODO` justification, which
 //! the lint rejects when the site is `SeqCst` — adding an unjustified
 //! `SeqCst` therefore fails CI even straight after a bless.
+//!
+//! The scanning machinery (line indexing, cross-line paren walk, anchor
+//! matching, table parse/bless, CLI protocol) lives in the shared
+//! [`lint_core`] crate; this crate owns the atomic needle set, the
+//! ordering-token extraction, and the unjustified-`SeqCst` rule.
 
 use std::fmt;
 use std::path::{Path, PathBuf};
@@ -51,10 +56,6 @@ pub const OPS: &[&str] = &[
 
 const ORDERING_TOKENS: &[&str] = &["SeqCst", "AcqRel", "Acquire", "Release", "Relaxed"];
 
-/// Longest argument list (in bytes) the scanner will walk looking for the
-/// closing paren; calls longer than this are ill-formed for our purposes.
-const MAX_CALL_SPAN: usize = 2000;
-
 /// One discovered atomic operation or fence.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Site {
@@ -70,13 +71,18 @@ pub struct Site {
 }
 
 impl Site {
-    fn key(&self) -> (String, usize, String, String) {
-        (
-            self.file.clone(),
-            self.line,
-            self.op.clone(),
-            self.orderings.clone(),
-        )
+    /// The matching signature shared with contract rows: `op(orderings)`.
+    fn sig(&self) -> String {
+        format!("{}({})", self.op, self.orderings)
+    }
+
+    fn to_core(&self) -> lint_core::Site {
+        lint_core::Site {
+            file: self.file.clone(),
+            line: self.line,
+            sig: self.sig(),
+            meta: String::new(),
+        }
     }
 }
 
@@ -102,27 +108,20 @@ pub struct Row {
     pub cover: String,
 }
 
-fn is_ident(b: u8) -> bool {
-    b.is_ascii_alphanumeric() || b == b'_'
+impl Row {
+    fn to_core(&self) -> lint_core::Row {
+        lint_core::Row {
+            file: self.file.clone(),
+            line: self.line,
+            sig: format!("{}({})", self.op, self.orderings),
+            prose: vec![self.justification.clone(), self.cover.clone()],
+        }
+    }
 }
 
 /// Scans one file's text. `file` is the label recorded in the sites.
 pub fn scan_source(file: &str, text: &str) -> Vec<Site> {
-    // Byte offset of each line start, to map match offsets to line numbers
-    // and to identify comment lines (`//`, `///`, `//!` after whitespace).
-    let mut line_starts = vec![0usize];
-    for (i, b) in text.bytes().enumerate() {
-        if b == b'\n' {
-            line_starts.push(i + 1);
-        }
-    }
-    let line_of = |off: usize| line_starts.partition_point(|&s| s <= off); // 1-based
-    let is_comment_line = |line: usize| {
-        let start = line_starts[line - 1];
-        let end = line_starts.get(line).copied().unwrap_or(text.len());
-        text[start..end].trim_start().starts_with("//")
-    };
-
+    let idx = lint_core::LineIndex::new(text);
     let bytes = text.as_bytes();
     let mut sites: Vec<(usize, Site)> = Vec::new(); // (offset, site) for ordering
     let mut needles: Vec<(String, &str)> = OPS.iter().map(|op| (format!(".{op}("), *op)).collect();
@@ -137,20 +136,20 @@ pub fn scan_source(file: &str, text: &str) -> Vec<Site> {
             // and free `fence(` must not be the tail of another identifier
             // (`asymfence` has no call-form, but stay strict anyway).
             let tok_start = if *op == "fence" { at } else { at + 1 };
-            if tok_start > 0 && is_ident(bytes[tok_start - 1]) {
+            if tok_start > 0 && lint_core::is_ident(bytes[tok_start - 1]) {
                 continue;
             }
-            let line = line_of(at);
-            if is_comment_line(line) {
+            let line = idx.line_of(at);
+            if idx.is_comment_line(text, line) {
                 continue;
             }
             // `.compare_exchange(` never fires inside `.compare_exchange_weak(`
             // because the needle requires the literal `(` right after the name.
             let open = at + needle.len() - 1;
-            let Some(span) = call_span(text, open) else {
+            let Some(span) = lint_core::call_span(text, open) else {
                 continue;
             };
-            let orderings = orderings_in(&text[open + 1..span]);
+            let orderings = lint_core::word_tokens_in(&text[open + 1..span], ORDERING_TOKENS);
             if orderings.is_empty() {
                 // Not an atomic op (`Vec::swap`, shim plumbing without a
                 // literal ordering, ...) — out of the lint's jurisdiction.
@@ -171,190 +170,63 @@ pub fn scan_source(file: &str, text: &str) -> Vec<Site> {
     sites.into_iter().map(|(_, s)| s).collect()
 }
 
-/// Byte offset of the `)` closing the call whose `(` is at `open`, walking
-/// nested parens; `None` if unbalanced within [`MAX_CALL_SPAN`].
-fn call_span(text: &str, open: usize) -> Option<usize> {
-    let mut depth = 0usize;
-    for (i, b) in text.bytes().enumerate().skip(open).take(MAX_CALL_SPAN) {
-        match b {
-            b'(' => depth += 1,
-            b')' => {
-                depth -= 1;
-                if depth == 0 {
-                    return Some(i);
-                }
-            }
-            _ => {}
-        }
-    }
-    None
-}
-
-/// Ordering tokens appearing (as whole words) in an argument span, in order.
-fn orderings_in(span: &str) -> Vec<&'static str> {
-    let bytes = span.as_bytes();
-    let mut found: Vec<(usize, &'static str)> = Vec::new();
-    for tok in ORDERING_TOKENS {
-        let mut from = 0;
-        while let Some(rel) = span[from..].find(tok) {
-            let at = from + rel;
-            from = at + tok.len();
-            let pre_ok = at == 0 || !is_ident(bytes[at - 1]);
-            let post = at + tok.len();
-            let post_ok = post >= bytes.len() || !is_ident(bytes[post]);
-            if pre_ok && post_ok {
-                found.push((at, tok));
-            }
-        }
-    }
-    found.sort_by_key(|&(at, _)| at);
-    found.into_iter().map(|(_, t)| t).collect()
-}
-
 /// Walks `root/crates/*/src` for `.rs` files and scans each. Paths in the
 /// returned sites are workspace-relative with forward slashes.
 pub fn scan_tree(root: &Path) -> std::io::Result<Vec<Site>> {
-    let mut files = Vec::new();
-    let crates = root.join("crates");
-    for entry in std::fs::read_dir(&crates)? {
-        let src = entry?.path().join("src");
-        if src.is_dir() {
-            collect_rs(&src, &mut files)?;
-        }
-    }
-    files.sort();
     let mut sites = Vec::new();
-    for path in files {
-        let text = std::fs::read_to_string(&path)?;
-        let rel = path
-            .strip_prefix(root)
-            .unwrap_or(&path)
-            .to_string_lossy()
-            .replace('\\', "/");
-        sites.extend(scan_source(&rel, &text));
-    }
+    lint_core::scan_tree(root, |rel, text| {
+        sites.extend(scan_source(rel, text));
+        Vec::new()
+    })?;
     Ok(sites)
-}
-
-fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
-    for entry in std::fs::read_dir(dir)? {
-        let path = entry?.path();
-        if path.is_dir() {
-            collect_rs(&path, out)?;
-        } else if path.extension().is_some_and(|e| e == "rs") {
-            out.push(path);
-        }
-    }
-    Ok(())
 }
 
 /// Parses the contract table out of `ORDERINGS.md`: any markdown-table row
 /// whose first cell looks like `path:line` is a contract row; everything
 /// else (prose, headers, separators) is ignored.
 pub fn parse_contract(text: &str) -> Result<Vec<Row>, String> {
-    let mut rows = Vec::new();
-    for (ln, line) in text.lines().enumerate() {
-        let line = line.trim();
-        if !line.starts_with('|') {
-            continue;
-        }
-        let cells: Vec<&str> = line
-            .trim_matches('|')
-            .split('|')
-            .map(str::trim)
-            .collect();
-        if cells.len() < 5 {
-            continue;
-        }
-        let Some((file, site_line)) = cells[0].rsplit_once(':') else {
-            continue;
-        };
-        if !file.contains('/') {
-            continue; // header or prose table
-        }
-        let site_line: usize = site_line
-            .parse()
-            .map_err(|_| format!("ORDERINGS.md:{}: bad line number in `{}`", ln + 1, cells[0]))?;
-        rows.push(Row {
-            file: file.to_string(),
-            line: site_line,
-            op: cells[1].to_string(),
-            orderings: cells[2].to_string(),
-            justification: cells[3].to_string(),
-            cover: cells[4].to_string(),
-        });
-    }
-    Ok(rows)
+    let rows = lint_core::parse_rows("ORDERINGS.md", text, 5, |cells| {
+        (
+            format!("{}({})", cells[0], cells[1]),
+            cells[1..].iter().map(|c| c.to_string()).collect(),
+        )
+    })?;
+    Ok(rows
+        .into_iter()
+        .map(|r| {
+            let op = r.sig.split('(').next().unwrap_or_default().to_string();
+            Row {
+                file: r.file,
+                line: r.line,
+                op,
+                orderings: r.prose.first().cloned().unwrap_or_default(),
+                justification: r.prose.get(1).cloned().unwrap_or_default(),
+                cover: r.prose.get(2).cloned().unwrap_or_default(),
+            }
+        })
+        .collect())
 }
 
-fn is_placeholder(justification: &str) -> bool {
-    let j = justification.trim();
-    j.is_empty() || j == "-" || j.eq_ignore_ascii_case("todo")
-}
+/// The [`lint_core::CheckCfg`] wording this lint reports with.
+const CHECK_CFG: lint_core::CheckCfg = lint_core::CheckCfg {
+    doc: "ORDERINGS.md",
+    unlisted_kind: "unlisted atomic site",
+    unlisted_note: "add a row to ORDERINGS.md (or run `cargo run -p ordering-lint -- --bless` and fill in the TODO)",
+    moved_prefix: "same op now at line(s) ",
+    gone_note: "no such op/orderings in the file anymore",
+};
 
 /// Checks sites against contract rows; returns clippy-style error strings
 /// (empty = clean). Multisets must match: two identical ops on one line
 /// need two rows.
 pub fn check(sites: &[Site], rows: &[Row]) -> Vec<String> {
-    use std::collections::HashMap;
-    let mut errors = Vec::new();
+    let core_sites: Vec<_> = sites.iter().map(Site::to_core).collect();
+    let core_rows: Vec<_> = rows.iter().map(Row::to_core).collect();
+    let mut errors = lint_core::check_anchors(&core_sites, &core_rows, &CHECK_CFG);
 
-    let mut row_count: HashMap<(String, usize, String, String), usize> = HashMap::new();
+    // SeqCst without a justification — this lint's own semantic rule.
     for r in rows {
-        *row_count
-            .entry((r.file.clone(), r.line, r.op.clone(), r.orderings.clone()))
-            .or_default() += 1;
-    }
-
-    let mut site_count: HashMap<(String, usize, String, String), usize> = HashMap::new();
-    for s in sites {
-        *site_count.entry(s.key()).or_default() += 1;
-    }
-
-    // Unlisted sites (or listed fewer times than they occur).
-    let mut remaining = row_count.clone();
-    for s in sites {
-        match remaining.get_mut(&s.key()) {
-            Some(n) if *n > 0 => *n -= 1,
-            _ => errors.push(format!(
-                "error: unlisted atomic site\n  --> {s}\n  = note: add a row to ORDERINGS.md (or run `cargo run -p ordering-lint -- --bless` and fill in the TODO)",
-            )),
-        }
-    }
-
-    // Stale rows: anchors whose (file,line,op,orderings) no longer match.
-    for r in rows {
-        let key = (r.file.clone(), r.line, r.op.clone(), r.orderings.clone());
-        if site_count.get(&key).copied().unwrap_or(0) >= row_count[&key] {
-            continue;
-        }
-        // One row per surplus, like the unlisted direction.
-        let surplus = row_count[&key] - site_count.get(&key).copied().unwrap_or(0);
-        if surplus == 0 {
-            continue;
-        }
-        // Report each stale key once (rows are iterated in order; skip dups).
-        row_count.insert(key.clone(), site_count.get(&key).copied().unwrap_or(0));
-        let hint = sites
-            .iter()
-            .filter(|s| s.file == r.file && s.op == r.op && s.orderings == r.orderings)
-            .map(|s| s.line.to_string())
-            .collect::<Vec<_>>()
-            .join(", ");
-        let hint = if hint.is_empty() {
-            "no such op/orderings in the file anymore".to_string()
-        } else {
-            format!("same op now at line(s) {hint} — re-bless")
-        };
-        errors.push(format!(
-            "error: drifted contract anchor\n  --> ORDERINGS.md row {}:{} {}({})\n  = note: {hint}",
-            r.file, r.line, r.op, r.orderings
-        ));
-    }
-
-    // SeqCst without a justification.
-    for r in rows {
-        if r.orderings.contains("SeqCst") && is_placeholder(&r.justification) {
+        if r.orderings.contains("SeqCst") && lint_core::is_placeholder(&r.justification) {
             errors.push(format!(
                 "error: unjustified SeqCst\n  --> {}:{} {}({})\n  = note: SeqCst sites must argue why a weaker ordering is insufficient (ORDERINGS.md)",
                 r.file, r.line, r.op, r.orderings
@@ -370,33 +242,20 @@ pub fn check(sites: &[Site], rows: &[Row]) -> Vec<String> {
 /// and `cover` over from `old` rows matched by `(file, op, orderings)` in
 /// occurrence order. New sites get `TODO` / `-`.
 pub fn bless(sites: &[Site], old: &[Row]) -> String {
-    use std::collections::HashMap;
-    let mut carry: HashMap<(String, String, String), std::collections::VecDeque<(String, String)>> =
-        HashMap::new();
-    for r in old {
-        carry
-            .entry((r.file.clone(), r.op.clone(), r.orderings.clone()))
-            .or_default()
-            .push_back((r.justification.clone(), r.cover.clone()));
-    }
-
-    let mut sorted: Vec<&Site> = sites.iter().collect();
-    sorted.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
-
-    let mut out = String::from(PREAMBLE);
-    out.push_str("| Site | Op | Orderings | Justification | DST cover |\n");
-    out.push_str("|---|---|---|---|---|\n");
-    for s in sorted {
-        let (j, c) = carry
-            .get_mut(&(s.file.clone(), s.op.clone(), s.orderings.clone()))
-            .and_then(|q| q.pop_front())
-            .unwrap_or_else(|| ("TODO".to_string(), "-".to_string()));
-        out.push_str(&format!(
-            "| {}:{} | {} | {} | {} | {} |\n",
-            s.file, s.line, s.op, s.orderings, j, c
-        ));
-    }
-    out
+    let core_sites: Vec<_> = sites.iter().map(Site::to_core).collect();
+    let core_rows: Vec<_> = old.iter().map(Row::to_core).collect();
+    lint_core::bless_table(
+        &core_sites,
+        &core_rows,
+        PREAMBLE,
+        "| Site | Op | Orderings | Justification | DST cover |\n|---|---|---|---|---|\n",
+        |s| {
+            // Split the `op(orderings)` signature back into its two cells.
+            let (op, rest) = s.sig.split_once('(').unwrap_or((s.sig.as_str(), ""));
+            format!("{} | {}", op, rest.trim_end_matches(')'))
+        },
+        &["TODO", "-"],
+    )
 }
 
 /// Document head emitted by [`bless`]; edit here, not in ORDERINGS.md.
@@ -420,17 +279,67 @@ This file is generated — free-form notes belong in DESIGN.md §13.
 /// Locates the workspace root: the nearest ancestor of `start` containing
 /// a `Cargo.toml` with a `[workspace]` section.
 pub fn find_root(start: &Path) -> Option<PathBuf> {
-    let mut dir = Some(start);
-    while let Some(d) = dir {
-        let manifest = d.join("Cargo.toml");
-        if let Ok(text) = std::fs::read_to_string(&manifest) {
-            if text.contains("[workspace]") {
-                return Some(d.to_path_buf());
+    lint_core::find_root(start)
+}
+
+fn from_core_sites(sites: &[lint_core::Site]) -> Vec<Site> {
+    sites
+        .iter()
+        .map(|s| {
+            let (op, rest) = s.sig.split_once('(').unwrap_or((s.sig.as_str(), ""));
+            Site {
+                file: s.file.clone(),
+                line: s.line,
+                op: op.to_string(),
+                orderings: rest.trim_end_matches(')').to_string(),
             }
-        }
-        dir = d.parent();
+        })
+        .collect()
+}
+
+fn from_core_rows(rows: &[lint_core::Row]) -> Vec<Row> {
+    rows.iter()
+        .map(|r| {
+            let op = r.sig.split('(').next().unwrap_or_default().to_string();
+            Row {
+                file: r.file.clone(),
+                line: r.line,
+                op,
+                orderings: r.prose.first().cloned().unwrap_or_default(),
+                justification: r.prose.get(1).cloned().unwrap_or_default(),
+                cover: r.prose.get(2).cloned().unwrap_or_default(),
+            }
+        })
+        .collect()
+}
+
+/// The [`lint_core::LintSpec`] wiring this lint into the shared CLI
+/// protocol (`lint_core::run_cli`).
+pub fn spec() -> lint_core::LintSpec {
+    lint_core::LintSpec {
+        name: "ordering-lint",
+        doc: "ORDERINGS.md",
+        scans: "atomic ops",
+        sites_noun: "atomic sites",
+        scan: |root| Ok(scan_tree(root)?.iter().map(Site::to_core).collect()),
+        parse: |text| {
+            Ok(parse_contract(text)?
+                .iter()
+                .map(|r| lint_core::Row {
+                    file: r.file.clone(),
+                    line: r.line,
+                    sig: format!("{}({})", r.op, r.orderings),
+                    prose: vec![
+                        r.orderings.clone(),
+                        r.justification.clone(),
+                        r.cover.clone(),
+                    ],
+                })
+                .collect())
+        },
+        check: |_root, sites, rows| check(&from_core_sites(sites), &from_core_rows(rows)),
+        bless: |sites, rows| bless(&from_core_sites(sites), &from_core_rows(rows)),
     }
-    None
 }
 
 #[cfg(test)]

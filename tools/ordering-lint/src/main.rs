@@ -6,104 +6,8 @@
 //! cargo run -p ordering-lint -- --bless   # regenerate ORDERINGS.md
 //! ```
 
-use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
-    let mut bless = false;
-    let mut root: Option<PathBuf> = None;
-    let mut args = std::env::args().skip(1);
-    while let Some(a) = args.next() {
-        match a.as_str() {
-            "--bless" => bless = true,
-            "--root" => match args.next() {
-                Some(p) => root = Some(PathBuf::from(p)),
-                None => return usage("--root needs a path"),
-            },
-            "-h" | "--help" => {
-                eprintln!(
-                    "ordering-lint: check atomic ops under crates/*/src against ORDERINGS.md\n\
-                     usage: ordering-lint [--bless] [--root <workspace-root>]"
-                );
-                return ExitCode::SUCCESS;
-            }
-            other => return usage(&format!("unknown argument `{other}`")),
-        }
-    }
-
-    let root = match root.or_else(|| {
-        std::env::current_dir()
-            .ok()
-            .and_then(|d| ordering_lint::find_root(&d))
-    }) {
-        Some(r) => r,
-        None => return usage("could not locate the workspace root (pass --root)"),
-    };
-
-    let sites = match ordering_lint::scan_tree(&root) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("error: scanning {}: {e}", root.display());
-            return ExitCode::from(2);
-        }
-    };
-
-    let contract_path = root.join("ORDERINGS.md");
-    let old_text = std::fs::read_to_string(&contract_path).unwrap_or_default();
-    let rows = match ordering_lint::parse_contract(&old_text) {
-        Ok(r) => r,
-        Err(e) => {
-            eprintln!("error: {e}");
-            return ExitCode::from(2);
-        }
-    };
-
-    if bless {
-        let doc = ordering_lint::bless(&sites, &rows);
-        if let Err(e) = std::fs::write(&contract_path, &doc) {
-            eprintln!("error: writing {}: {e}", contract_path.display());
-            return ExitCode::from(2);
-        }
-        let todos = doc.matches("| TODO |").count();
-        eprintln!(
-            "ordering-lint: blessed {} sites into {} ({} TODO justifications to fill)",
-            sites.len(),
-            contract_path.display(),
-            todos
-        );
-        return ExitCode::SUCCESS;
-    }
-
-    if old_text.is_empty() {
-        eprintln!(
-            "error: {} not found — run `cargo run -p ordering-lint -- --bless` to create it",
-            contract_path.display()
-        );
-        return ExitCode::from(2);
-    }
-
-    let errors = ordering_lint::check(&sites, &rows);
-    for e in &errors {
-        eprintln!("{e}\n");
-    }
-    eprintln!(
-        "ordering-lint: {} atomic sites checked against {} contract rows: {}",
-        sites.len(),
-        rows.len(),
-        if errors.is_empty() {
-            "clean".to_string()
-        } else {
-            format!("{} error(s)", errors.len())
-        }
-    );
-    if errors.is_empty() {
-        ExitCode::SUCCESS
-    } else {
-        ExitCode::from(1)
-    }
-}
-
-fn usage(msg: &str) -> ExitCode {
-    eprintln!("error: {msg}\nusage: ordering-lint [--bless] [--root <workspace-root>]");
-    ExitCode::from(2)
+    lint_core::run_cli(&ordering_lint::spec())
 }

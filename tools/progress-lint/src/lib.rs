@@ -1,0 +1,336 @@
+//! Progress contract lint (ISSUE 10 tentpole a; DESIGN.md §15).
+//!
+//! The paper's headline claim is *wait-freedom with bounded memory*: every
+//! loop on the hot path must terminate in a bounded number of steps. This
+//! lint makes that claim line-by-line accountable. It scans every `.rs`
+//! file under `crates/*/src` for loop heads — `loop {`, `while`, and
+//! `while let` — and checks each against the contract table in `LOOPS.md`:
+//!
+//! * every loop must have a row whose `file:line` and loop kind match
+//!   exactly (edits that move a loop are **anchor drift** until the table
+//!   is re-blessed);
+//! * every row must still match a loop (stale rows are drift too);
+//! * every row must claim a **bound class** from the taxonomy below — a
+//!   `TODO`/unknown class is an *unclassified loop* and fails CI, so a
+//!   freshly blessed new loop cannot land unaudited;
+//! * a [`WAIT_EDGE`] row — the one class that declares the loop
+//!   intentionally unbounded — must carry a non-placeholder justification
+//!   arguing why waiting forever is the *intended* semantics there
+//!   (parking facades, helper hand-off edges, test harnesses). Unbounded
+//!   is the expensive default that needs arguing, exactly like `SeqCst`
+//!   in `ORDERINGS.md`.
+//!
+//! # Bound-class taxonomy
+//!
+//! | class | meaning |
+//! |---|---|
+//! | `const` | iteration count is a compile-time or configured constant (patience, spin budgets, `TAG` wrap) |
+//! | `capacity` | bounded by a queue/ring/buffer capacity or an input's length |
+//! | `threshold` | bounded by the §3.2 threshold argument: the counter strictly decreases or the loop exits |
+//! | `helping-bounded` | bounded by the §3.4 helping protocol: a stalled op is finished by helpers within a bounded number of passes |
+//! | `retry-budget` | bounded by an explicit retry/attempt budget that is checked each round |
+//! | `finite-iter` | drains a finite collection/iterator/range that no concurrent actor refills |
+//! | `wait-edge` | intentionally unbounded wait on an external event (park/yield edges, shutdown joins, test barriers) — justification mandatory |
+//!
+//! The scanner is textual and cfg-blind like its siblings: both DWCAS
+//! backends and the `wcq_dst` seam are audited in one pass, and `#[cfg]`
+//! tricks cannot hide a loop from the table. `for` loops are deliberately
+//! out of scope: iterating a finite iterator is `finite-iter` by
+//! construction, and the tree's hot paths use explicit `loop`/`while`
+//! forms everywhere unboundedness could arise.
+
+use std::path::Path;
+
+/// The recognized bound classes (see the module docs for semantics).
+pub const BOUND_CLASSES: &[&str] = &[
+    "const",
+    "capacity",
+    "threshold",
+    "helping-bounded",
+    "retry-budget",
+    "finite-iter",
+    "wait-edge",
+];
+
+/// The one class that declares a loop intentionally unbounded; rows
+/// claiming it must justify why that is the intended semantics.
+pub const WAIT_EDGE: &str = "wait-edge";
+
+/// Scans one file's text for loop heads. `file` is the label recorded in
+/// the sites. Returned sigs are `"loop"`, `"while"`, or `"while-let"`.
+pub fn scan_source(file: &str, text: &str) -> Vec<lint_core::Site> {
+    let idx = lint_core::LineIndex::new(text);
+    let mut sites: Vec<(usize, lint_core::Site)> = Vec::new();
+
+    for at in lint_core::find_word(text, "loop") {
+        let line = idx.line_of(at);
+        if idx.is_comment_line(text, line) || idx.in_string(text, at) {
+            continue;
+        }
+        // The `loop` keyword is always directly followed by its block;
+        // anything else (`spin_loop` is already excluded by the word
+        // boundary) is prose or an identifier fragment.
+        if text[at + 4..].trim_start().as_bytes().first() != Some(&b'{') {
+            continue;
+        }
+        sites.push((at, site(file, line, "loop")));
+    }
+
+    for at in lint_core::find_word(text, "while") {
+        let line = idx.line_of(at);
+        if idx.is_comment_line(text, line) || idx.in_string(text, at) {
+            continue;
+        }
+        let rest = text[at + 5..].trim_start();
+        // `while` with no condition is prose (doc text already filtered by
+        // the comment check; string text by the quote check).
+        if rest.is_empty() {
+            continue;
+        }
+        let kind = if rest.starts_with("let")
+            && !rest.as_bytes().get(3).copied().is_some_and(lint_core::is_ident)
+        {
+            "while-let"
+        } else {
+            "while"
+        };
+        sites.push((at, site(file, line, kind)));
+    }
+
+    sites.sort_by_key(|a| (a.1.line, a.0));
+    sites.into_iter().map(|(_, s)| s).collect()
+}
+
+fn site(file: &str, line: usize, sig: &str) -> lint_core::Site {
+    lint_core::Site {
+        file: file.to_string(),
+        line,
+        sig: sig.to_string(),
+        meta: String::new(),
+    }
+}
+
+/// Walks `root/crates/*/src` and scans each `.rs` file.
+pub fn scan_tree(root: &Path) -> std::io::Result<Vec<lint_core::Site>> {
+    lint_core::scan_tree(root, scan_source)
+}
+
+/// Parses the `LOOPS.md` contract table. Row cells: site | kind | bound |
+/// justification | cover. The bound class, justification, and cover ride
+/// in [`lint_core::Row::prose`] in that order.
+pub fn parse_contract(text: &str) -> Result<Vec<lint_core::Row>, String> {
+    lint_core::parse_rows("LOOPS.md", text, 5, |cells| {
+        (
+            cells[0].to_string(),
+            cells[1..].iter().map(|c| c.to_string()).collect(),
+        )
+    })
+}
+
+const CHECK_CFG: lint_core::CheckCfg = lint_core::CheckCfg {
+    doc: "LOOPS.md",
+    unlisted_kind: "unlisted loop",
+    unlisted_note: "every loop must claim a bound class in LOOPS.md (run `cargo run -p progress-lint -- --bless` and classify the TODO)",
+    moved_prefix: "same loop kind now at line(s) ",
+    gone_note: "no such loop kind in the file anymore",
+};
+
+/// Checks sites against contract rows; returns clippy-style error strings
+/// (empty = clean).
+pub fn check(sites: &[lint_core::Site], rows: &[lint_core::Row]) -> Vec<String> {
+    let mut errors = lint_core::check_anchors(sites, rows, &CHECK_CFG);
+
+    for r in rows {
+        let bound = r.prose.first().map(String::as_str).unwrap_or("");
+        let justification = r.prose.get(1).map(String::as_str).unwrap_or("");
+        if !BOUND_CLASSES.contains(&bound.trim()) {
+            errors.push(format!(
+                "error: unclassified loop\n  --> {}:{} {}\n  = note: bound class `{}` is not in the taxonomy ({}); an unaudited loop is an unproven progress claim (LOOPS.md)",
+                r.file, r.line, r.sig, bound, BOUND_CLASSES.join("/")
+            ));
+        } else if bound.trim() == WAIT_EDGE && lint_core::is_placeholder(justification) {
+            errors.push(format!(
+                "error: unjustified wait-edge\n  --> {}:{} {}\n  = note: `wait-edge` declares the loop intentionally unbounded — argue why waiting is the intended semantics here (LOOPS.md)",
+                r.file, r.line, r.sig
+            ));
+        }
+    }
+
+    errors.sort();
+    errors
+}
+
+/// Regenerates `LOOPS.md` from `sites`, carrying bound/justification/cover
+/// over from `old` by `(file, kind)` occurrence order. New loops get a
+/// `TODO` bound class, which [`check`] rejects — a new loop cannot land
+/// unclassified even straight after a bless.
+pub fn bless(sites: &[lint_core::Site], old: &[lint_core::Row]) -> String {
+    lint_core::bless_table(
+        sites,
+        old,
+        PREAMBLE,
+        "| Site | Kind | Bound | Justification | Cover |\n|---|---|---|---|---|\n",
+        |s| s.sig.clone(),
+        &["TODO", "TODO", "-"],
+    )
+}
+
+/// Document head emitted by [`bless`]; edit here, not in LOOPS.md.
+pub const PREAMBLE: &str = "\
+# Progress contract
+
+Every `loop` / `while` / `while let` under `crates/*/src` is listed here
+with a **bound class** — the argument for why the loop terminates in a
+bounded number of steps — a one-line justification (mandatory for
+`wait-edge`, the class that declares a loop intentionally unbounded), and
+the test or DST model that exercises the site. This is the paper's §3
+wait-freedom claim made line-by-line accountable: `cargo run -p
+progress-lint` fails CI on unlisted loops, stale/drifted `file:line`
+anchors, bound classes outside the taxonomy, and unjustified `wait-edge`
+rows (DESIGN.md §15).
+
+Bound classes: `const` (compile-time/configured iteration budget),
+`capacity` (ring/buffer/input size), `threshold` (§3.2 decreasing-counter
+argument), `helping-bounded` (§3.4 helpers finish a stalled op in bounded
+passes), `retry-budget` (explicit attempt budget), `finite-iter` (drains a
+finite collection nobody refills), `wait-edge` (intentional unbounded wait
+on an external event — park/yield edges, shutdown joins, test barriers).
+
+After moving or adding a loop, run
+`cargo run -p progress-lint -- --bless` to regenerate (prose carries over
+by file + kind), then classify any `TODO`. This file is generated —
+free-form notes belong in DESIGN.md §15.
+
+";
+
+/// The [`lint_core::LintSpec`] wiring this lint into the shared CLI.
+pub fn spec() -> lint_core::LintSpec {
+    lint_core::LintSpec {
+        name: "progress-lint",
+        doc: "LOOPS.md",
+        scans: "loop/while heads",
+        sites_noun: "loop sites",
+        scan: scan_tree,
+        parse: parse_contract,
+        check: |_root, sites, rows| check(sites, rows),
+        bless,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = r#"
+fn f(n: usize) {
+    loop {
+        break;
+    }
+    'outer: loop { break 'outer; }
+    while n > 0 { }
+    while let Some(x) = it.next() { let _ = x; }
+    // a comment saying loop { and while this
+    let s = "prose: loop { while waiting";
+    std::hint::spin_loop();
+    let whiled = 1; let looper = 2; // identifiers, not keywords
+}
+"#;
+
+    #[test]
+    fn scanner_classifies_loop_kinds() {
+        let sites = scan_source("x.rs", SRC);
+        let got: Vec<String> = sites.iter().map(|s| s.to_string()).collect();
+        assert_eq!(
+            got,
+            [
+                "x.rs:3 loop",
+                "x.rs:6 loop",
+                "x.rs:7 while",
+                "x.rs:8 while-let",
+            ]
+        );
+    }
+
+    fn rows_for(sites: &[lint_core::Site], bound: &str, j: &str) -> Vec<lint_core::Row> {
+        sites
+            .iter()
+            .map(|s| lint_core::Row {
+                file: s.file.clone(),
+                line: s.line,
+                sig: s.sig.clone(),
+                prose: vec![bound.to_string(), j.to_string(), "-".to_string()],
+            })
+            .collect()
+    }
+
+    #[test]
+    fn classified_contract_passes() {
+        let sites = scan_source("x.rs", SRC);
+        let rows = rows_for(&sites, "const", "-");
+        assert_eq!(check(&sites, &rows), Vec::<String>::new());
+    }
+
+    #[test]
+    fn todo_bound_class_fails_as_unclassified() {
+        let sites = scan_source("x.rs", SRC);
+        let rows = rows_for(&sites, "TODO", "-");
+        let errs = check(&sites, &rows);
+        assert_eq!(errs.len(), sites.len(), "{errs:?}");
+        assert!(errs.iter().all(|e| e.contains("unclassified loop")));
+    }
+
+    #[test]
+    fn wait_edge_requires_justification() {
+        let sites = scan_source("x.rs", SRC);
+        let mut rows = rows_for(&sites, "wait-edge", "parks on the empty edge");
+        assert!(check(&sites, &rows).is_empty());
+        rows[0].prose[1] = "-".to_string();
+        let errs = check(&sites, &rows);
+        assert_eq!(errs.len(), 1, "{errs:?}");
+        assert!(errs[0].contains("unjustified wait-edge"), "{}", errs[0]);
+    }
+
+    #[test]
+    fn unlisted_loop_and_drifted_anchor_fail() {
+        let sites = scan_source("x.rs", SRC);
+        let mut rows = rows_for(&sites, "capacity", "-");
+        rows.remove(0);
+        let errs = check(&sites, &rows);
+        assert!(errs.iter().any(|e| e.contains("unlisted loop")), "{errs:?}");
+        let mut rows = rows_for(&sites, "capacity", "-");
+        rows[2].line += 500;
+        let errs = check(&sites, &rows);
+        assert!(
+            errs.iter().any(|e| e.contains("drifted contract anchor")),
+            "{errs:?}"
+        );
+        assert!(
+            errs.iter().any(|e| e.contains("same loop kind now at line(s) 7")),
+            "{errs:?}"
+        );
+    }
+
+    #[test]
+    fn bless_carries_prose_and_marks_new_loops_todo() {
+        let sites = scan_source("crates/x/src/x.rs", SRC);
+        let old = vec![lint_core::Row {
+            file: "crates/x/src/x.rs".to_string(),
+            line: 1, // stale anchor: carried by (file, kind)
+            sig: "while-let".to_string(),
+            prose: vec![
+                "finite-iter".to_string(),
+                "drains the iterator".to_string(),
+                "unit".to_string(),
+            ],
+        }];
+        let doc = bless(&sites, &old);
+        let rows = parse_contract(&doc).unwrap();
+        assert_eq!(rows.len(), sites.len());
+        let wl = rows.iter().find(|r| r.sig == "while-let").unwrap();
+        assert_eq!(wl.prose, ["finite-iter", "drains the iterator", "unit"]);
+        // Every other (new) loop landed as TODO and is rejected.
+        let errs = check(&sites, &rows);
+        assert_eq!(errs.len(), sites.len() - 1, "{errs:?}");
+        assert!(errs.iter().all(|e| e.contains("unclassified loop")));
+    }
+}

@@ -1,0 +1,13 @@
+//! CLI for the unsafety contract lint. Clippy-style exit codes: 0 clean,
+//! 1 contract violations, 2 usage/IO error.
+//!
+//! ```text
+//! cargo run -p unsafe-lint              # check crates/*/src vs UNSAFETY.md
+//! cargo run -p unsafe-lint -- --bless   # regenerate UNSAFETY.md
+//! ```
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    lint_core::run_cli(&unsafe_lint::spec())
+}

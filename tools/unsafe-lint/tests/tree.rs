@@ -1,0 +1,116 @@
+//! The unsafety contract against the real tree: the checked-in
+//! UNSAFETY.md must be clean, and the failure modes the CI gate exists
+//! for — an unsafe site with no contract row, a row with no invariant, a
+//! site with no adjacent `// SAFETY:` comment, and a drifted `file:line`
+//! anchor — must be demonstrably fatal, not theoretical.
+
+use std::path::{Path, PathBuf};
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("tools/unsafe-lint sits two levels under the workspace root")
+        .to_path_buf()
+}
+
+fn real_tree() -> (PathBuf, Vec<lint_core::Site>, Vec<lint_core::Row>) {
+    let root = workspace_root();
+    let sites = unsafe_lint::scan_tree(&root).expect("scan crates/*/src");
+    let contract = std::fs::read_to_string(root.join("UNSAFETY.md")).expect("UNSAFETY.md");
+    let rows = unsafe_lint::parse_contract(&contract).expect("parse contract");
+    (root, sites, rows)
+}
+
+#[test]
+fn checked_in_contract_is_clean() {
+    let (root, sites, rows) = real_tree();
+    assert!(
+        sites.len() > 100,
+        "scanner regression: only {} unsafe sites found",
+        sites.len()
+    );
+    let errors = unsafe_lint::check(&root, &sites, &rows);
+    assert!(errors.is_empty(), "unsafe-lint dirty:\n{}", errors.join("\n"));
+}
+
+#[test]
+fn injected_bare_unsafe_block_fails() {
+    let (root, mut sites, rows) = real_tree();
+    // The site an uncommented `unsafe {}` added without an UNSAFETY.md row
+    // would produce: unlisted AND undocumented.
+    sites.push(lint_core::Site {
+        file: "crates/core/src/lib.rs".to_string(),
+        line: 99_999,
+        sig: "unsafe(block)".to_string(),
+        meta: String::new(),
+    });
+    let errors = unsafe_lint::check(&root, &sites, &rows);
+    assert!(
+        errors.iter().any(|e| e.contains("unlisted unsafe site")),
+        "expected an unlisted-site error, got: {errors:?}"
+    );
+    assert!(
+        errors.iter().any(|e| e.contains("undocumented unsafe site")),
+        "expected an undocumented-site error, got: {errors:?}"
+    );
+}
+
+#[test]
+fn blanking_an_invariant_fails() {
+    let (root, sites, mut rows) = real_tree();
+    rows[0].prose[0] = "TODO".to_string();
+    let errors = unsafe_lint::check(&root, &sites, &rows);
+    assert!(
+        errors.iter().any(|e| e.contains("unargued unsafe site")),
+        "expected an unargued-site error, got: {errors:?}"
+    );
+}
+
+#[test]
+fn stripping_a_safety_comment_fails() {
+    let (root, mut sites, rows) = real_tree();
+    // Simulate a site whose adjacent `// SAFETY:` comment was deleted: the
+    // scanner would report it with empty meta instead of DOCUMENTED.
+    let site = sites
+        .iter_mut()
+        .find(|s| s.sig == "unsafe(block)")
+        .expect("tree has unsafe blocks");
+    site.meta = String::new();
+    let errors = unsafe_lint::check(&root, &sites, &rows);
+    assert!(
+        errors.iter().any(|e| e.contains("undocumented unsafe site")),
+        "expected an undocumented-site error, got: {errors:?}"
+    );
+}
+
+#[test]
+fn drifting_an_anchor_fails() {
+    let (root, sites, mut rows) = real_tree();
+    // Shift one row far out of place, as an edit that inserts lines would.
+    rows[0].line += 10_000;
+    let errors = unsafe_lint::check(&root, &sites, &rows);
+    assert!(
+        errors.iter().any(|e| e.contains("drifted contract anchor")),
+        "expected a drifted-anchor error, got: {errors:?}"
+    );
+    assert!(
+        errors.iter().any(|e| e.contains("unlisted unsafe site")),
+        "the displaced site must surface as unlisted too, got: {errors:?}"
+    );
+}
+
+#[test]
+fn bless_roundtrip_is_stable_and_preserves_prose() {
+    let (root, sites, rows) = real_tree();
+    let doc = unsafe_lint::bless(&sites, &rows);
+    let reparsed = unsafe_lint::parse_contract(&doc).expect("blessed doc parses");
+    assert_eq!(reparsed.len(), sites.len());
+    // Bless over an already-clean tree is a fixpoint: no TODOs introduced,
+    // every row checks clean.
+    assert!(
+        !doc.contains("| TODO |"),
+        "bless must carry all invariants over on an unchanged tree"
+    );
+    assert!(unsafe_lint::check(&root, &sites, &reparsed).is_empty());
+}
